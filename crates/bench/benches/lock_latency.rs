@@ -1,0 +1,66 @@
+//! Criterion: uncontended lock/unlock latency of every algorithm.
+//!
+//! Complements Figure 7's single-thread column and Figure 11's baselines:
+//! the cost of one acquire+release pair with no contention, for every lock in
+//! the library, for GLK, and for `parking_lot::Mutex` as an external
+//! reference point.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gls::glk::GlkLock;
+use gls_locks::{
+    ClhLock, McsLock, MutexLock, RawLock, TasLock, TicketLock, TtasLock,
+};
+
+fn bench_raw<L: RawLock>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+) {
+    let lock = L::default();
+    group.bench_function(L::NAME, |b| {
+        b.iter(|| {
+            lock.lock();
+            criterion::black_box(());
+            lock.unlock();
+        })
+    });
+}
+
+fn uncontended_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_lock_unlock");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+
+    bench_raw::<TasLock>(&mut group);
+    bench_raw::<TtasLock>(&mut group);
+    bench_raw::<TicketLock>(&mut group);
+    bench_raw::<McsLock>(&mut group);
+    bench_raw::<ClhLock>(&mut group);
+    bench_raw::<MutexLock>(&mut group);
+
+    let glk = GlkLock::new();
+    group.bench_function("GLK", |b| {
+        b.iter(|| {
+            glk.lock();
+            criterion::black_box(());
+            glk.unlock();
+        })
+    });
+
+    let reference = parking_lot::Mutex::new(());
+    group.bench_function("parking_lot::Mutex (reference)", |b| {
+        b.iter(|| {
+            let guard = reference.lock();
+            criterion::black_box(&guard);
+            drop(guard);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, uncontended_latency);
+criterion_main!(benches);

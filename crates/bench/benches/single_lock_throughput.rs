@@ -1,0 +1,63 @@
+//! Criterion: single-lock throughput at selected thread counts (Figure 8
+//! spot-checks).
+//!
+//! Full sweeps live in the `fig08_single_lock` binary; this bench pins three
+//! representative contention levels (1 thread, 4 threads, hardware-context
+//! count) so regressions in any lock show up in `cargo bench`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gls_locks::LockKind;
+use gls_workloads::{make_locks, microbench, LockSetup, MicrobenchConfig};
+
+fn single_lock_throughput(c: &mut Criterion) {
+    let hw = gls_runtime::hardware_contexts();
+    let thread_counts = [1usize, 4.min(hw.max(2)), hw.max(2)];
+    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+
+    let mut group = c.benchmark_group("single_lock_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+
+    for &threads in &thread_counts {
+        for kind in kinds {
+            group.throughput(Throughput::Elements(1));
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter_custom(|iters| {
+                        // Criterion asks for `iters` samples; each sample is a
+                        // short fixed-duration run, and we report time/op.
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters.min(3) {
+                            let locks = make_locks(&LockSetup::Direct(kind), 1);
+                            let result = microbench::run(
+                                &locks,
+                                &MicrobenchConfig {
+                                    threads,
+                                    cs_cycles: 1024,
+                                    delay_cycles: 128,
+                                    duration: Duration::from_millis(60),
+                                    ..Default::default()
+                                },
+                            );
+                            total += Duration::from_secs_f64(
+                                result.elapsed.as_secs_f64() / result.total_ops.max(1) as f64,
+                            );
+                        }
+                        total * (iters as u32 / iters.min(3).max(1) as u32).max(1)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_lock_throughput);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 1: different lock strategies under varying contention.
+//!
+//! One lock, rising thread count; compares a simple spinlock (TICKET), a
+//! queue lock (MCS) and a blocking lock (MUTEX). The expected shape: the
+//! spinlock wins at 1–3 threads, the queue lock wins in the middle, and only
+//! the blocking lock survives once threads outnumber hardware contexts.
+
+use gls_bench::{banner, point_duration, repetitions, thread_sweep};
+use gls_locks::LockKind;
+use gls_workloads::report::SeriesTable;
+use gls_workloads::{make_locks, microbench, LockSetup, MicrobenchConfig};
+
+fn main() {
+    banner(
+        "Figure 1",
+        "spinlock vs queue-lock vs blocking lock, one lock, rising threads",
+    );
+    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex];
+    let mut table = SeriesTable::new(
+        "Figure 1: throughput (Mops/s) of lock strategies under varying contention",
+        "threads",
+        kinds.iter().map(|k| k.name().to_string()).collect(),
+    );
+    for threads in thread_sweep() {
+        let mut row = Vec::new();
+        for kind in kinds {
+            let locks = make_locks(&LockSetup::Direct(kind), 1);
+            let result = microbench::run_median(
+                &locks,
+                &MicrobenchConfig {
+                    threads,
+                    cs_cycles: 256,
+                    delay_cycles: 128,
+                    duration: point_duration(),
+                    ..Default::default()
+                },
+                repetitions(),
+            );
+            row.push(result.mops());
+        }
+        table.push_row(threads.to_string(), row);
+    }
+    table.print();
+}

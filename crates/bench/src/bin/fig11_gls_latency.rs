@@ -1,0 +1,64 @@
+//! Figure 11: latency overhead of GLS over direct lock use (single thread).
+//!
+//! A single thread acquires and releases locks picked at random from a set of
+//! 1, 512 or 4096 locks, once directly and once through the GLS service. The
+//! reported numbers are the *additional* cycles per lock and unlock caused by
+//! GLS. The paper measures: almost nothing with 1 lock (the per-thread lock
+//! cache absorbs it), ~30 cycles with 512 locks, and more with 4096 locks
+//! (the table no longer fits in L1); unlock overhead stays tiny because it
+//! always hits the lock cache.
+
+use gls::GlsConfig;
+use gls_bench::banner;
+use gls_locks::LockKind;
+use gls_workloads::latency::{measure, overhead};
+use gls_workloads::report::SeriesTable;
+use gls_workloads::{make_locks, LockSetup};
+
+fn main() {
+    banner(
+        "Figure 11",
+        "GLS lock/unlock latency overhead over direct locking, single thread",
+    );
+    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+    let lock_counts = [1usize, 512, 4096];
+    let iterations = 50_000;
+
+    let mut lock_table = SeriesTable::new(
+        "Figure 11 (left): lock-latency overhead of GLS (cycles)",
+        "locks",
+        kinds.iter().map(|k| k.name().to_string()).collect(),
+    );
+    let mut unlock_table = SeriesTable::new(
+        "Figure 11 (right): unlock-latency overhead of GLS (cycles)",
+        "locks",
+        kinds.iter().map(|k| k.name().to_string()).collect(),
+    );
+
+    for &count in &lock_counts {
+        let mut lock_row = Vec::new();
+        let mut unlock_row = Vec::new();
+        for kind in kinds {
+            let direct = measure(&make_locks(&LockSetup::Direct(kind), count), iterations, 11);
+            let gls = measure(
+                &make_locks(
+                    &LockSetup::Gls {
+                        config: GlsConfig::default(),
+                        kind,
+                    },
+                    count,
+                ),
+                iterations,
+                11,
+            );
+            let (lock_overhead, unlock_overhead) = overhead(gls, direct);
+            lock_row.push(lock_overhead.max(0.0));
+            unlock_row.push(unlock_overhead.max(0.0));
+        }
+        lock_table.push_row(count.to_string(), lock_row);
+        unlock_table.push_row(count.to_string(), unlock_row);
+    }
+    lock_table.print();
+    unlock_table.print();
+    println!("# paper shape: ~0 cycles with 1 lock, tens of cycles at 512+, unlock overhead stays small (lock cache)");
+}

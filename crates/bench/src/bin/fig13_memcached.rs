@@ -1,0 +1,55 @@
+//! Figure 13: the Memcached re-implementations of §5.1.
+//!
+//! Normalized (to MUTEX) throughput of four versions of the simulated
+//! Memcached on the GET / SET-GET / SET mixes: the default MUTEX locking,
+//! GLK dropped underneath the existing locks, the GLS rewrite (service with
+//! the default GLK algorithm), and the GLS SPECIALIZED rewrite (explicit MCS
+//! for the contended global locks, TICKET everywhere else). The paper
+//! measures GLK ≈ +14%, GLS ≈ +7%, GLS SPECIALIZED ≈ +14% over MUTEX on
+//! average.
+
+use gls_bench::{banner, point_duration};
+use gls_systems::memcached::{self, MemcachedConfig};
+use gls_systems::LockProvider;
+use gls_workloads::report::SeriesTable;
+
+fn main() {
+    banner(
+        "Figure 13",
+        "normalized throughput of the Memcached implementations (MUTEX / GLK / GLS / GLS SPECIALIZED)",
+    );
+    let providers: Vec<LockProvider> = vec![
+        LockProvider::mutex(),
+        LockProvider::glk(),
+        LockProvider::gls(),
+        LockProvider::gls_specialized(),
+    ];
+    let mixes = MemcachedConfig::paper_configs();
+
+    let mut table = SeriesTable::new(
+        "Figure 13: Memcached throughput normalized to MUTEX",
+        "workload",
+        providers.iter().map(|p| p.label()).collect(),
+    );
+    let mut sums = vec![0.0f64; providers.len()];
+    for (label, get_percent) in mixes {
+        let config = MemcachedConfig {
+            get_percent,
+            duration: point_duration(),
+            ..Default::default()
+        };
+        let results: Vec<_> = providers
+            .iter()
+            .map(|p| memcached::run(p, &config))
+            .collect();
+        let baseline = &results[0];
+        let row: Vec<f64> = results.iter().map(|r| r.normalized_to(baseline)).collect();
+        for (i, v) in row.iter().enumerate() {
+            sums[i] += v / mixes.len() as f64;
+        }
+        table.push_row(label, row);
+    }
+    table.push_row("Avg", sums);
+    table.print();
+    println!("# paper shape: GLK and GLS SPECIALIZED ~1.14x, GLS ~1.07x, relative to MUTEX");
+}

@@ -1,0 +1,116 @@
+//! Figures 14 & 15: the five software systems with different locks.
+//!
+//! Runs every system/configuration of Table 2 with MUTEX, TICKET, MCS and
+//! GLK and prints throughput normalized to MUTEX. Figure 14 is this harness
+//! on one machine and Figure 15 on a second machine — run the same binary on
+//! both hosts.
+//!
+//! Note on the MySQL (and 64-connection SQLite) columns: with fair spinlocks
+//! under oversubscription the real systems livelock (the paper reports ~0
+//! throughput); here those configurations are still time-bounded but expect
+//! TICKET/MCS to collapse relative to MUTEX/GLK.
+
+use gls_bench::{banner, point_duration};
+use gls_runtime::hardware_contexts;
+use gls_systems::lock_provider::figure14_providers;
+use gls_systems::{hamsterdb, kyoto, memcached, mysql, sqlite, SystemResult};
+use gls_workloads::report::{geometric_mean, SeriesTable};
+
+fn main() {
+    banner(
+        "Figures 14/15",
+        "five systems x 15 configurations x {MUTEX, TICKET, MCS, GLK}, normalized to MUTEX",
+    );
+    let providers = figure14_providers();
+    let duration = point_duration();
+    let hw = hardware_contexts();
+
+    // Every (system, configuration) cell of the figure, in the paper's order.
+    type Runner = Box<dyn Fn(&gls_systems::LockProvider) -> SystemResult>;
+    let mut cells: Vec<(String, Runner)> = Vec::new();
+
+    for (label, read_percent) in hamsterdb::HamsterConfig::paper_configs() {
+        let config = hamsterdb::HamsterConfig {
+            read_percent,
+            duration,
+            keys: 50_000,
+            ..Default::default()
+        };
+        cells.push((
+            format!("HamsterDB {label}"),
+            Box::new(move |p| hamsterdb::run(p, &config)),
+        ));
+    }
+    for flavor in kyoto::KyotoFlavor::ALL {
+        let config = kyoto::KyotoConfig {
+            flavor,
+            duration,
+            keys: 50_000,
+            ..Default::default()
+        };
+        cells.push((
+            format!("Kyoto {}", flavor.label()),
+            Box::new(move |p| kyoto::run(p, &config)),
+        ));
+    }
+    for (label, get_percent) in memcached::MemcachedConfig::paper_configs() {
+        let config = memcached::MemcachedConfig {
+            get_percent,
+            duration,
+            keys: 50_000,
+            ..Default::default()
+        };
+        cells.push((
+            format!("Memcached {label}"),
+            Box::new(move |p| memcached::run(p, &config)),
+        ));
+    }
+    for workload in [mysql::MysqlWorkload::Mem, mysql::MysqlWorkload::Ssd] {
+        let config = mysql::MysqlConfig {
+            threads: hw * 3 / 2 + 2,
+            workload,
+            nodes: 20_000,
+            duration,
+        };
+        cells.push((
+            format!("MySQL {}", workload.label()),
+            Box::new(move |p| mysql::run(p, &config)),
+        ));
+    }
+    for connections in sqlite::SqliteConfig::paper_connection_counts() {
+        let config = sqlite::SqliteConfig {
+            connections,
+            duration,
+        };
+        cells.push((
+            format!("SQLite {connections} CON"),
+            Box::new(move |p| sqlite::run(p, &config)),
+        ));
+    }
+
+    let mut table = SeriesTable::new(
+        "Figures 14/15: throughput normalized to MUTEX",
+        "system/config",
+        providers.iter().map(|p| p.label()).collect(),
+    );
+    let mut normalized_per_provider: Vec<Vec<f64>> = vec![Vec::new(); providers.len()];
+    for (label, runner) in &cells {
+        eprintln!("# running {label} ...");
+        let results: Vec<SystemResult> = providers.iter().map(|p| runner(p)).collect();
+        let baseline = &results[0];
+        let row: Vec<f64> = results.iter().map(|r| r.normalized_to(baseline)).collect();
+        for (i, v) in row.iter().enumerate() {
+            normalized_per_provider[i].push(*v);
+        }
+        table.push_row(label.clone(), row);
+    }
+    table.push_row(
+        "Avg (geomean)",
+        normalized_per_provider
+            .iter()
+            .map(|v| geometric_mean(v))
+            .collect(),
+    );
+    table.print();
+    println!("# paper shape: GLK >= 1.0 almost everywhere, ~1.2x on average; fair spinlocks collapse on MySQL and SQLite 64 CON");
+}

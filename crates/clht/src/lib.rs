@@ -1,0 +1,41 @@
+//! A CLHT-style concurrent hash table.
+//!
+//! GLS is "essentially a cache for locating the lock object that corresponds
+//! to an address" (§4.1) and is built on a modified CLHT hash table with the
+//! properties the service needs:
+//!
+//! 1. cache-line-sized buckets, so operations typically complete with at most
+//!    one cache-line transfer;
+//! 2. searching for a key is a **read-only, wait-free** operation;
+//! 3. failing to insert a key is also read-only and wait-free;
+//! 4. the table is resizable.
+//!
+//! This crate reproduces that data structure for `usize → usize` mappings
+//! (GLS stores the address of a lock object as the value). Updates take a
+//! per-bucket spinlock; lookups never write shared memory.
+//!
+//! # Example
+//!
+//! ```
+//! use gls_clht::Clht;
+//!
+//! let table = Clht::new();
+//! assert_eq!(table.get(42), None);
+//! let v = table.put_if_absent(42, || 1000);
+//! assert_eq!(v, 1000);
+//! // A second insert of the same key returns the existing value.
+//! assert_eq!(table.put_if_absent(42, || 2000), 1000);
+//! assert_eq!(table.get(42), Some(1000));
+//! assert_eq!(table.remove(42), Some(1000));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bucket;
+mod table;
+
+pub use table::{Clht, ClhtStats};
+
+#[cfg(test)]
+mod proptests;

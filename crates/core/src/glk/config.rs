@@ -1,0 +1,227 @@
+//! GLK configuration parameters and their paper defaults.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gls_runtime::SystemLoadMonitor;
+
+use super::mode::GlkMode;
+
+/// Configuration of a GLK lock.
+///
+/// The defaults are the values chosen by the paper's sensitivity analysis
+/// (§3.1) and used throughout its evaluation:
+///
+/// * adaptation every **4096** critical sections,
+/// * queue sampling every **128** critical sections (32 samples/adaptation),
+/// * ticket → mcs when the smoothed queue exceeds **3.0**,
+/// * mcs → ticket when it drops below **2.0**,
+/// * multiprogramming polled roughly every **100 µs** by the shared monitor,
+/// * locks with close-to-zero contention never switch to mutex,
+/// * exponentially more calm observations required to leave mutex mode after
+///   each bounce.
+///
+/// # Example
+///
+/// ```
+/// use gls::glk::GlkConfig;
+///
+/// let config = GlkConfig::default()
+///     .with_adaptation_period(1024)
+///     .with_sampling_period(64);
+/// assert_eq!(config.adaptation_period, 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlkConfig {
+    /// Attempt adaptation every this many completed critical sections.
+    pub adaptation_period: u64,
+    /// Sample the queue length every this many completed critical sections.
+    pub sampling_period: u64,
+    /// Switch ticket → mcs when the smoothed queue exceeds this value.
+    pub ticket_to_mcs_queue: f64,
+    /// Switch mcs → ticket when the smoothed queue drops below this value.
+    pub mcs_to_ticket_queue: f64,
+    /// Smoothing factor of the exponential moving average over per-window
+    /// average queue lengths.
+    pub ema_alpha: f64,
+    /// Locks whose smoothed queue is below this value stay in (or return to)
+    /// ticket mode even under multiprogramming: "locks that face
+    /// close-to-zero contention do not cause a problem on multiprogramming".
+    pub min_queue_for_mutex: f64,
+    /// Initial number of calm monitor observations required before a lock may
+    /// leave mutex mode; doubled after every departure to damp oscillation.
+    pub initial_calm_rounds: u64,
+    /// Upper bound for the exponentially growing calm requirement.
+    pub max_calm_rounds: u64,
+    /// The mode a fresh lock starts in.
+    pub initial_mode: GlkMode,
+    /// Record mode transitions so they can be inspected/printed (§4.3).
+    pub record_transitions: bool,
+    /// How long the shared system-load monitor sleeps between polls (only
+    /// used when this configuration spawns its own monitor).
+    pub monitor_interval: Duration,
+}
+
+impl Default for GlkConfig {
+    fn default() -> Self {
+        Self {
+            adaptation_period: 4096,
+            sampling_period: 128,
+            ticket_to_mcs_queue: 3.0,
+            mcs_to_ticket_queue: 2.0,
+            ema_alpha: 0.5,
+            min_queue_for_mutex: 1.5,
+            initial_calm_rounds: 2,
+            max_calm_rounds: 1 << 20,
+            initial_mode: GlkMode::Ticket,
+            record_transitions: false,
+            monitor_interval: Duration::from_micros(100),
+        }
+    }
+}
+
+impl GlkConfig {
+    /// Sets the adaptation period (in completed critical sections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_adaptation_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "adaptation period must be positive");
+        self.adaptation_period = period;
+        self
+    }
+
+    /// Sets the queue sampling period (in completed critical sections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn with_sampling_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "sampling period must be positive");
+        self.sampling_period = period;
+        self
+    }
+
+    /// Sets the ticket→mcs and mcs→ticket queue thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_mcs < to_ticket` (the hysteresis band would be inverted).
+    pub fn with_queue_thresholds(mut self, to_mcs: f64, to_ticket: f64) -> Self {
+        assert!(
+            to_mcs >= to_ticket,
+            "ticket->mcs threshold must not be below mcs->ticket threshold"
+        );
+        self.ticket_to_mcs_queue = to_mcs;
+        self.mcs_to_ticket_queue = to_ticket;
+        self
+    }
+
+    /// Sets the initial mode of the lock.
+    pub fn with_initial_mode(mut self, mode: GlkMode) -> Self {
+        self.initial_mode = mode;
+        self
+    }
+
+    /// Enables or disables transition recording.
+    pub fn with_transition_recording(mut self, enabled: bool) -> Self {
+        self.record_transitions = enabled;
+        self
+    }
+
+    /// Disables adaptation entirely: the lock stays in its initial mode.
+    /// (Used by the paper's overhead experiments, Figure 7.)
+    pub fn without_adaptation(mut self) -> Self {
+        self.adaptation_period = u64::MAX;
+        self.sampling_period = u64::MAX;
+        self
+    }
+
+    /// Whether adaptation is effectively disabled.
+    pub fn adaptation_disabled(&self) -> bool {
+        self.adaptation_period == u64::MAX
+    }
+}
+
+/// Which system-load monitor a GLK lock consults for multiprogramming.
+#[derive(Debug, Clone, Default)]
+pub enum MonitorHandle {
+    /// The process-wide monitor ([`SystemLoadMonitor::global`]); this is what
+    /// the paper does — one background thread shared by all GLK locks.
+    #[default]
+    Global,
+    /// A dedicated monitor, typically a manually polled one in tests or a
+    /// per-experiment monitor in the benchmark harness.
+    Custom(Arc<SystemLoadMonitor>),
+}
+
+impl MonitorHandle {
+    /// Resolves the handle to a monitor reference.
+    pub fn monitor(&self) -> &SystemLoadMonitor {
+        match self {
+            MonitorHandle::Global => SystemLoadMonitor::global(),
+            MonitorHandle::Custom(m) => m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = GlkConfig::default();
+        assert_eq!(c.adaptation_period, 4096);
+        assert_eq!(c.sampling_period, 128);
+        assert_eq!(c.ticket_to_mcs_queue, 3.0);
+        assert_eq!(c.mcs_to_ticket_queue, 2.0);
+        assert_eq!(c.initial_mode, GlkMode::Ticket);
+        assert_eq!(c.adaptation_period / c.sampling_period, 32);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let c = GlkConfig::default()
+            .with_adaptation_period(512)
+            .with_sampling_period(16)
+            .with_queue_thresholds(5.0, 1.0)
+            .with_initial_mode(GlkMode::Mcs)
+            .with_transition_recording(true);
+        assert_eq!(c.adaptation_period, 512);
+        assert_eq!(c.sampling_period, 16);
+        assert_eq!(c.ticket_to_mcs_queue, 5.0);
+        assert_eq!(c.mcs_to_ticket_queue, 1.0);
+        assert_eq!(c.initial_mode, GlkMode::Mcs);
+        assert!(c.record_transitions);
+    }
+
+    #[test]
+    #[should_panic(expected = "adaptation period")]
+    fn zero_adaptation_period_rejected() {
+        let _ = GlkConfig::default().with_adaptation_period(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn inverted_thresholds_rejected() {
+        let _ = GlkConfig::default().with_queue_thresholds(1.0, 3.0);
+    }
+
+    #[test]
+    fn without_adaptation_disables() {
+        let c = GlkConfig::default().without_adaptation();
+        assert!(c.adaptation_disabled());
+    }
+
+    #[test]
+    fn monitor_handle_resolves() {
+        let global = MonitorHandle::Global;
+        let _ = global.monitor();
+        let custom = MonitorHandle::Custom(Arc::new(SystemLoadMonitor::manual(
+            Default::default(),
+        )));
+        assert_eq!(custom.monitor().registered_runnable(), 0);
+    }
+}

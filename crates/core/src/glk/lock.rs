@@ -1,0 +1,580 @@
+//! The GLK lock: structure, acquisition protocol and adaptation policy.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex as StdMutex;
+
+use gls_locks::{McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TicketLock};
+use gls_runtime::LockStats;
+
+use super::config::{GlkConfig, MonitorHandle};
+use super::mode::{GlkMode, ModeTransition};
+
+/// The generic lock (GLK): a lock that adapts between ticket, MCS and mutex
+/// modes based on observed contention and system load.
+///
+/// The structure mirrors the paper's Figure 3 — a `lock_type` flag, the three
+/// low-level lock objects and the statistics counters — and the acquisition
+/// protocol mirrors Figure 4: read the mode, acquire that low-level lock,
+/// re-check the mode (restarting if it changed), and give the now-holder a
+/// chance to adapt.
+///
+/// # Example
+///
+/// ```
+/// use gls::glk::{GlkLock, GlkMode};
+///
+/// let lock = GlkLock::new();
+/// lock.lock();
+/// assert_eq!(lock.mode(), GlkMode::Ticket); // fresh locks start uncontended
+/// lock.unlock();
+/// ```
+#[derive(Debug)]
+pub struct GlkLock {
+    /// Current mode (the paper's `lock_type`).
+    mode: AtomicU8,
+    /// Low-level lock used in [`GlkMode::Ticket`].
+    ticket: TicketLock,
+    /// Low-level lock used in [`GlkMode::Mcs`].
+    mcs: McsLock,
+    /// Low-level lock used in [`GlkMode::Mutex`].
+    mutex: MutexLock,
+    /// `num_acquired` / `queue_total` and friends.
+    stats: LockStats,
+    /// Exponential moving average of per-window queue lengths (f64 bits).
+    ema_bits: AtomicU64,
+    /// Consecutive calm monitor observations required to leave mutex mode;
+    /// doubles after every departure (§3, "Selecting the GLK Mode").
+    required_calm: AtomicU64,
+    config: GlkConfig,
+    monitor: MonitorHandle,
+    /// Recorded transitions (only populated when
+    /// [`GlkConfig::record_transitions`] is set).
+    transitions: StdMutex<Vec<ModeTransition>>,
+}
+
+impl Default for GlkLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlkLock {
+    /// Creates a GLK lock with the paper-default configuration and the
+    /// process-wide system-load monitor.
+    pub fn new() -> Self {
+        Self::with_config(GlkConfig::default())
+    }
+
+    /// Creates a GLK lock with a custom configuration.
+    pub fn with_config(config: GlkConfig) -> Self {
+        Self::with_config_and_monitor(config, MonitorHandle::Global)
+    }
+
+    /// Creates a GLK lock with a custom configuration and system-load
+    /// monitor (used by tests and by the benchmark harness, which need
+    /// deterministic multiprogramming signals).
+    pub fn with_config_and_monitor(config: GlkConfig, monitor: MonitorHandle) -> Self {
+        Self {
+            mode: AtomicU8::new(config.initial_mode.as_raw()),
+            ticket: TicketLock::new(),
+            mcs: McsLock::new(),
+            mutex: MutexLock::new(),
+            stats: LockStats::new(),
+            ema_bits: AtomicU64::new(0f64.to_bits()),
+            required_calm: AtomicU64::new(config.initial_calm_rounds),
+            config,
+            monitor,
+            transitions: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// The mode the lock currently operates in.
+    pub fn mode(&self) -> GlkMode {
+        GlkMode::from_raw(self.mode.load(Ordering::Acquire))
+    }
+
+    /// The configuration this lock runs with.
+    pub fn config(&self) -> &GlkConfig {
+        &self.config
+    }
+
+    /// Acquisition and queuing statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Number of completed acquisitions (the paper's `num_acquired`).
+    pub fn acquisitions(&self) -> u64 {
+        self.stats.acquisitions()
+    }
+
+    /// Smoothed queue length currently driving adaptation decisions.
+    pub fn smoothed_queue(&self) -> f64 {
+        f64::from_bits(self.ema_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mode transitions recorded so far (empty unless
+    /// [`GlkConfig::record_transitions`] is enabled).
+    pub fn transitions(&self) -> Vec<ModeTransition> {
+        self.transitions
+            .lock()
+            .map(|t| t.clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of threads currently holding or waiting for the lock, as seen
+    /// by the low-level lock of the current mode.
+    pub fn queue_length(&self) -> u64 {
+        match self.mode() {
+            GlkMode::Ticket => self.ticket.queue_length(),
+            GlkMode::Mcs => self.mcs.queue_length(),
+            GlkMode::Mutex => self.mutex.queue_length(),
+        }
+    }
+
+    #[inline]
+    fn lock_mode(&self, mode: GlkMode) {
+        match mode {
+            GlkMode::Ticket => self.ticket.lock(),
+            GlkMode::Mcs => self.mcs.lock(),
+            GlkMode::Mutex => self.mutex.lock(),
+        }
+    }
+
+    #[inline]
+    fn try_lock_mode(&self, mode: GlkMode) -> bool {
+        match mode {
+            GlkMode::Ticket => self.ticket.try_lock(),
+            GlkMode::Mcs => self.mcs.try_lock(),
+            GlkMode::Mutex => self.mutex.try_lock(),
+        }
+    }
+
+    #[inline]
+    fn unlock_mode(&self, mode: GlkMode) {
+        match mode {
+            GlkMode::Ticket => self.ticket.unlock(),
+            GlkMode::Mcs => self.mcs.unlock(),
+            GlkMode::Mutex => self.mutex.unlock(),
+        }
+    }
+
+    /// Acquires the lock (paper Figure 4).
+    pub fn lock(&self) {
+        loop {
+            let current = self.mode();
+            self.lock_mode(current);
+            // Line 15 of Figure 4: if the mode is unchanged and no adaptation
+            // was performed, we hold the lock; otherwise release the
+            // low-level lock (possibly of the old mode) and retry.
+            if self.mode() == current && !self.try_adapt(current) {
+                return;
+            }
+            self.unlock_mode(current);
+        }
+    }
+
+    /// Attempts to acquire the lock without waiting.
+    pub fn try_lock(&self) -> bool {
+        loop {
+            let current = self.mode();
+            if !self.try_lock_mode(current) {
+                return false;
+            }
+            if self.mode() == current && !self.try_adapt(current) {
+                return true;
+            }
+            self.unlock_mode(current);
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// Only the holder may change the mode, and it does so *before* releasing
+    /// the low-level lock it acquired, so reading the mode here always names
+    /// the lock we actually hold.
+    pub fn unlock(&self) {
+        self.unlock_mode(self.mode());
+    }
+
+    /// Whether the lock is currently held (racy; diagnostics only).
+    pub fn is_locked(&self) -> bool {
+        match self.mode() {
+            GlkMode::Ticket => self.ticket.is_locked(),
+            GlkMode::Mcs => self.mcs.is_locked(),
+            GlkMode::Mutex => self.mutex.is_locked(),
+        }
+    }
+
+    /// Statistics collection and adaptation, performed by the thread that
+    /// just acquired low-level lock `current`. Returns `true` if the mode was
+    /// changed (in which case the caller must release and retry).
+    fn try_adapt(&self, current: GlkMode) -> bool {
+        if self.config.adaptation_disabled() {
+            self.stats.record_acquisition();
+            return false;
+        }
+        let acquisitions = self.stats.record_acquisition();
+
+        // Periodic queue sampling (paper: every 128 critical sections).
+        if acquisitions % self.config.sampling_period == 0 {
+            let queued = match current {
+                GlkMode::Ticket => self.ticket.queue_length(),
+                GlkMode::Mcs => self.mcs.queue_length(),
+                GlkMode::Mutex => self.mutex.queue_length(),
+            };
+            self.stats.record_queue_sample(queued);
+        }
+
+        // Periodic adaptation (paper: every 4096 critical sections).
+        if acquisitions % self.config.adaptation_period != 0 {
+            return false;
+        }
+
+        // Fold this window's average queuing into the EMA and reset the
+        // window. Only the holder executes this, so plain read-modify-write
+        // on the atomic bits is race-free.
+        let window_avg = self.stats.average_queue();
+        let previous = self.smoothed_queue();
+        let smoothed = if self.stats.queue_samples() == 0 {
+            previous
+        } else {
+            let alpha = self.config.ema_alpha;
+            if self.stats.acquisitions() <= self.config.adaptation_period {
+                window_avg
+            } else {
+                alpha * window_avg + (1.0 - alpha) * previous
+            }
+        };
+        self.ema_bits.store(smoothed.to_bits(), Ordering::Relaxed);
+        self.stats.reset_queue_window();
+
+        let monitor = self.monitor.monitor();
+        let target = self.decide_mode(current, smoothed, monitor);
+        if target == current {
+            return false;
+        }
+
+        if self.config.record_transitions {
+            let transition = ModeTransition {
+                from: current,
+                to: target,
+                smoothed_queue: smoothed,
+                multiprogrammed: monitor.is_multiprogrammed(),
+                at_acquisition: acquisitions,
+            };
+            if let Ok(mut log) = self.transitions.lock() {
+                log.push(transition);
+            }
+        }
+        self.stats.record_transition();
+        self.mode.store(target.as_raw(), Ordering::Release);
+        true
+    }
+
+    /// The adaptation policy (§3, "Selecting the GLK Mode").
+    fn decide_mode(
+        &self,
+        current: GlkMode,
+        smoothed: f64,
+        monitor: &gls_runtime::SystemLoadMonitor,
+    ) -> GlkMode {
+        let multiprogrammed = monitor.is_multiprogrammed();
+
+        // Multiprogramming forces mutex mode — but only for locks that see
+        // real contention; lightly contended locks should finish their
+        // critical sections as fast as possible and stay ticket.
+        if multiprogrammed {
+            return if smoothed >= self.config.min_queue_for_mutex {
+                GlkMode::Mutex
+            } else {
+                GlkMode::Ticket
+            };
+        }
+
+        if current == GlkMode::Mutex {
+            // Leaving mutex mode requires an exponentially growing streak of
+            // calm observations, to avoid bouncing: blocking reduces the
+            // system load, which would immediately re-enable spinning, which
+            // would re-trigger multiprogramming, and so on.
+            let required = self.required_calm.load(Ordering::Relaxed);
+            if monitor.calm_ticks() < required {
+                return GlkMode::Mutex;
+            }
+            let next = (required.saturating_mul(2)).min(self.config.max_calm_rounds);
+            self.required_calm.store(next, Ordering::Relaxed);
+            return if smoothed > self.config.ticket_to_mcs_queue {
+                GlkMode::Mcs
+            } else {
+                GlkMode::Ticket
+            };
+        }
+
+        // Spin-mode selection with hysteresis.
+        if smoothed > self.config.ticket_to_mcs_queue {
+            GlkMode::Mcs
+        } else if smoothed < self.config.mcs_to_ticket_queue {
+            GlkMode::Ticket
+        } else {
+            current
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gls_runtime::sysload::{SystemLoadConfig, SystemLoadMonitor};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn fast_config() -> GlkConfig {
+        GlkConfig::default()
+            .with_adaptation_period(256)
+            .with_sampling_period(16)
+            .with_transition_recording(true)
+    }
+
+    fn manual_monitor() -> Arc<SystemLoadMonitor> {
+        Arc::new(SystemLoadMonitor::manual(SystemLoadConfig::default()))
+    }
+
+    #[test]
+    fn starts_in_ticket_mode_and_counts_acquisitions() {
+        let lock = GlkLock::new();
+        assert_eq!(lock.mode(), GlkMode::Ticket);
+        for _ in 0..100 {
+            lock.lock();
+            lock.unlock();
+        }
+        assert_eq!(lock.acquisitions(), 100);
+        assert_eq!(lock.mode(), GlkMode::Ticket, "uncontended lock must stay ticket");
+    }
+
+    #[test]
+    fn try_lock_respects_holder() {
+        let lock = GlkLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn provides_mutual_exclusion_across_modes() {
+        // Force frequent adaptation so the test exercises mode changes while
+        // checking that no increment is lost.
+        let lock = Arc::new(GlkLock::with_config(
+            GlkConfig::default()
+                .with_adaptation_period(64)
+                .with_sampling_period(8),
+        ));
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let guard = std::cell::UnsafeCell::new(0u64);
+        struct Shared(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Shared {}
+        let shared = Arc::new(Shared(guard));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        lock.lock();
+                        // Non-atomic increment: lost updates reveal any
+                        // mutual-exclusion violation across mode switches.
+                        unsafe { *shared.0.get() += 1 };
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80_000);
+        assert_eq!(unsafe { *shared.0.get() }, 80_000);
+    }
+
+    #[test]
+    fn adapts_to_mcs_under_contention() {
+        let lock = Arc::new(GlkLock::with_config_and_monitor(
+            fast_config(),
+            MonitorHandle::Custom(manual_monitor()),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.lock();
+                        gls_runtime::spin_cycles(500);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        // Wait until the lock has had ample opportunity to adapt.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while lock.mode() != GlkMode::Mcs && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            lock.mode(),
+            GlkMode::Mcs,
+            "8 contending threads should push GLK into mcs mode (smoothed queue {:.2})",
+            lock.smoothed_queue()
+        );
+        assert!(!lock.transitions().is_empty());
+    }
+
+    #[test]
+    fn returns_to_ticket_when_contention_drops() {
+        let monitor = manual_monitor();
+        let lock = Arc::new(GlkLock::with_config_and_monitor(
+            fast_config().with_initial_mode(GlkMode::Mcs),
+            MonitorHandle::Custom(monitor),
+        ));
+        // Single-threaded use: the queue is always exactly 1, far below the
+        // mcs->ticket threshold, so the lock must fall back to ticket mode.
+        for _ in 0..2_000 {
+            lock.lock();
+            lock.unlock();
+        }
+        assert_eq!(lock.mode(), GlkMode::Ticket);
+    }
+
+    #[test]
+    fn switches_to_mutex_under_multiprogramming() {
+        let monitor = manual_monitor();
+        // Simulate oversubscription: more runnable threads than hardware
+        // contexts, then poll once so the monitor latches the state.
+        let hw = gls_runtime::hardware_contexts();
+        let guards: Vec<_> = (0..hw * 2 + 1).map(|_| monitor.runnable_guard()).collect();
+        monitor.poll_once();
+        assert!(monitor.is_multiprogrammed());
+
+        let lock = Arc::new(GlkLock::with_config_and_monitor(
+            fast_config(),
+            MonitorHandle::Custom(Arc::clone(&monitor)),
+        ));
+        // Create real contention so the smoothed queue exceeds the
+        // min-queue-for-mutex threshold.
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.lock();
+                        gls_runtime::spin_cycles(300);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while lock.mode() != GlkMode::Mutex && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.mode(), GlkMode::Mutex);
+        drop(guards);
+    }
+
+    #[test]
+    fn lightly_contended_locks_never_switch_to_mutex() {
+        let monitor = manual_monitor();
+        let hw = gls_runtime::hardware_contexts();
+        let _guards: Vec<_> = (0..hw * 2 + 1).map(|_| monitor.runnable_guard()).collect();
+        monitor.poll_once();
+        assert!(monitor.is_multiprogrammed());
+
+        let lock = GlkLock::with_config_and_monitor(
+            fast_config(),
+            MonitorHandle::Custom(Arc::clone(&monitor)),
+        );
+        // Single-threaded (queue length 1 < min_queue_for_mutex): stays ticket
+        // even though the system is multiprogrammed.
+        for _ in 0..2_000 {
+            lock.lock();
+            lock.unlock();
+        }
+        assert_eq!(lock.mode(), GlkMode::Ticket);
+    }
+
+    #[test]
+    fn leaving_mutex_requires_calm_and_doubles_requirement() {
+        let monitor = manual_monitor();
+        let lock = GlkLock::with_config_and_monitor(
+            fast_config().with_initial_mode(GlkMode::Mutex),
+            MonitorHandle::Custom(Arc::clone(&monitor)),
+        );
+        let initial_required = lock.required_calm.load(Ordering::Relaxed);
+        // No calm ticks yet: the lock must stay in mutex mode.
+        for _ in 0..1_000 {
+            lock.lock();
+            lock.unlock();
+        }
+        assert_eq!(lock.mode(), GlkMode::Mutex);
+        // Record plenty of calm observations, then the lock may leave.
+        for _ in 0..64 {
+            monitor.poll_once();
+        }
+        for _ in 0..1_000 {
+            lock.lock();
+            lock.unlock();
+        }
+        assert_eq!(lock.mode(), GlkMode::Ticket);
+        assert!(lock.required_calm.load(Ordering::Relaxed) > initial_required);
+    }
+
+    #[test]
+    fn adaptation_disabled_freezes_mode() {
+        let lock = Arc::new(GlkLock::with_config(
+            GlkConfig::default()
+                .with_initial_mode(GlkMode::Mcs)
+                .without_adaptation(),
+        ));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        lock.lock();
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.mode(), GlkMode::Mcs);
+        assert!(lock.transitions().is_empty());
+    }
+
+    #[test]
+    fn queue_length_reports_holder() {
+        let lock = GlkLock::new();
+        assert_eq!(lock.queue_length(), 0);
+        lock.lock();
+        assert_eq!(lock.queue_length(), 1);
+        assert!(lock.is_locked());
+        lock.unlock();
+        assert_eq!(lock.queue_length(), 0);
+    }
+}

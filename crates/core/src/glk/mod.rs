@@ -1,0 +1,31 @@
+//! GLK — the generic lock algorithm (§3 of the paper).
+//!
+//! GLK adapts, per lock and at runtime, between three modes:
+//!
+//! * **ticket** for low contention,
+//! * **mcs** for high contention, and
+//! * **mutex** (blocking) for multiprogrammed systems,
+//!
+//! driven by two inputs: the amount of queuing observed behind the lock
+//! (sampled every [`GlkConfig::sampling_period`] critical sections and
+//! smoothed with an exponential moving average) and the process-wide
+//! multiprogramming signal produced by the shared
+//! [`SystemLoadMonitor`](gls_runtime::SystemLoadMonitor).
+//!
+//! ```
+//! use gls::glk::{GlkConfig, GlkLock, GlkMode};
+//!
+//! let lock = GlkLock::with_config(GlkConfig::default().with_transition_recording(true));
+//! lock.lock();
+//! // single-threaded: GLK stays in its fast ticket mode
+//! assert_eq!(lock.mode(), GlkMode::Ticket);
+//! lock.unlock();
+//! ```
+
+mod config;
+mod lock;
+mod mode;
+
+pub use config::{GlkConfig, MonitorHandle};
+pub use lock::GlkLock;
+pub use mode::{GlkMode, ModeTransition};

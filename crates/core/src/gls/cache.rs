@@ -1,0 +1,104 @@
+//! The per-thread lock cache (§4.1, "Lock-cache Optimization").
+//!
+//! The most common locking pattern acquires and then releases the *same*
+//! lock, and locks show strong temporal locality per thread. GLS therefore
+//! keeps a single-entry per-thread cache mapping the most recently used
+//! address to its lock object, avoiding the hash-table lookup entirely on a
+//! hit. A generation counter invalidates every thread's cache when any lock
+//! is removed from the service.
+
+use std::cell::Cell;
+
+/// One cached `(service, generation, address, entry)` association.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CachedLock {
+    service_id: u64,
+    generation: u64,
+    addr: usize,
+    entry: usize,
+}
+
+thread_local! {
+    static CACHE: Cell<Option<CachedLock>> = const { Cell::new(None) };
+}
+
+/// Looks up `addr` in the calling thread's cache.
+///
+/// Returns the raw entry pointer (as `usize`) if the cache holds a mapping
+/// for this service, this generation and this address.
+pub(crate) fn lookup(service_id: u64, generation: u64, addr: usize) -> Option<usize> {
+    CACHE.with(|slot| match slot.get() {
+        Some(cached)
+            if cached.service_id == service_id
+                && cached.generation == generation
+                && cached.addr == addr =>
+        {
+            Some(cached.entry)
+        }
+        _ => None,
+    })
+}
+
+/// Replaces the calling thread's cached association.
+pub(crate) fn store(service_id: u64, generation: u64, addr: usize, entry: usize) {
+    CACHE.with(|slot| {
+        slot.set(Some(CachedLock {
+            service_id,
+            generation,
+            addr,
+            entry,
+        }))
+    });
+}
+
+/// Clears the calling thread's cache (used in tests; production code relies
+/// on the generation counter for invalidation instead).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn clear() {
+    CACHE.with(|slot| slot.set(None));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_on_empty_cache() {
+        clear();
+        assert_eq!(lookup(1, 0, 0x100), None);
+    }
+
+    #[test]
+    fn hit_after_store() {
+        clear();
+        store(1, 0, 0x100, 0xdead);
+        assert_eq!(lookup(1, 0, 0x100), Some(0xdead));
+    }
+
+    #[test]
+    fn miss_on_other_address_service_or_generation() {
+        clear();
+        store(1, 5, 0x100, 0xdead);
+        assert_eq!(lookup(1, 5, 0x200), None, "different address");
+        assert_eq!(lookup(2, 5, 0x100), None, "different service");
+        assert_eq!(lookup(1, 6, 0x100), None, "different generation");
+    }
+
+    #[test]
+    fn store_replaces_previous_entry() {
+        clear();
+        store(1, 0, 0x100, 0xaaaa);
+        store(1, 0, 0x300, 0xbbbb);
+        assert_eq!(lookup(1, 0, 0x100), None, "single-entry cache evicts");
+        assert_eq!(lookup(1, 0, 0x300), Some(0xbbbb));
+    }
+
+    #[test]
+    fn cache_is_thread_local() {
+        clear();
+        store(1, 0, 0x100, 0xcccc);
+        let other = std::thread::spawn(|| lookup(1, 0, 0x100)).join().unwrap();
+        assert_eq!(other, None);
+        assert_eq!(lookup(1, 0, 0x100), Some(0xcccc));
+    }
+}

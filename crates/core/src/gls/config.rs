@@ -1,0 +1,145 @@
+//! GLS service configuration.
+
+use std::time::Duration;
+
+use gls_locks::LockKind;
+
+use crate::glk::{GlkConfig, MonitorHandle};
+
+/// Operating mode of a [`GlsService`](crate::GlsService).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GlsMode {
+    /// Plain locking service: no ownership tracking, no profiling.
+    #[default]
+    Normal,
+    /// Debug mode: ownership tracking, misuse detection and runtime deadlock
+    /// detection (§4.2). Adds overhead.
+    Debug,
+    /// Profiler mode: per-lock queuing, acquisition latency and
+    /// critical-section latency statistics (§4.3). Low overhead.
+    Profile,
+}
+
+/// Configuration of a GLS service instance.
+///
+/// # Example
+///
+/// ```
+/// use gls::{GlsConfig, GlsMode};
+///
+/// let config = GlsConfig::default().with_mode(GlsMode::Profile);
+/// assert_eq!(config.mode, GlsMode::Profile);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlsConfig {
+    /// Operating mode.
+    pub mode: GlsMode,
+    /// Algorithm used by the default `lock` interface. The paper's default is
+    /// GLK; the explicit interfaces override this per call.
+    pub default_kind: LockKind,
+    /// Configuration handed to every GLK lock created by this service.
+    pub glk: GlkConfig,
+    /// How long a thread may wait behind a lock (in debug mode) before the
+    /// deadlock-detection procedure is triggered. Paper: "more than a
+    /// second".
+    pub deadlock_check_after: Duration,
+    /// Initial capacity (number of lock objects) of the address → lock table.
+    pub initial_capacity: usize,
+    /// The system-load monitor used by GLK entries.
+    pub monitor: MonitorHandle,
+}
+
+impl Default for GlsConfig {
+    fn default() -> Self {
+        Self {
+            mode: GlsMode::Normal,
+            default_kind: LockKind::Glk,
+            glk: GlkConfig::default(),
+            deadlock_check_after: Duration::from_secs(1),
+            initial_capacity: 192,
+            monitor: MonitorHandle::Global,
+        }
+    }
+}
+
+impl GlsConfig {
+    /// Sets the operating mode.
+    pub fn with_mode(mut self, mode: GlsMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for `with_mode(GlsMode::Debug)`.
+    pub fn debug() -> Self {
+        Self::default().with_mode(GlsMode::Debug)
+    }
+
+    /// Shorthand for `with_mode(GlsMode::Profile)`.
+    pub fn profile() -> Self {
+        Self::default().with_mode(GlsMode::Profile)
+    }
+
+    /// Sets the algorithm used by the default `lock` interface.
+    pub fn with_default_kind(mut self, kind: LockKind) -> Self {
+        self.default_kind = kind;
+        self
+    }
+
+    /// Sets the GLK configuration used for adaptive entries.
+    pub fn with_glk(mut self, glk: GlkConfig) -> Self {
+        self.glk = glk;
+        self
+    }
+
+    /// Sets the waiting threshold that triggers deadlock detection.
+    pub fn with_deadlock_check_after(mut self, after: Duration) -> Self {
+        self.deadlock_check_after = after;
+        self
+    }
+
+    /// Sets the system-load monitor used by GLK entries.
+    pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
+        self.monitor = monitor;
+        self
+    }
+
+    /// Whether ownership tracking is enabled.
+    pub fn tracks_ownership(&self) -> bool {
+        self.mode == GlsMode::Debug
+    }
+
+    /// Whether profiling is enabled.
+    pub fn profiles(&self) -> bool {
+        self.mode == GlsMode::Profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_use_glk_and_normal_mode() {
+        let c = GlsConfig::default();
+        assert_eq!(c.mode, GlsMode::Normal);
+        assert_eq!(c.default_kind, LockKind::Glk);
+        assert_eq!(c.deadlock_check_after, Duration::from_secs(1));
+        assert!(!c.tracks_ownership());
+        assert!(!c.profiles());
+    }
+
+    #[test]
+    fn mode_shorthands() {
+        assert!(GlsConfig::debug().tracks_ownership());
+        assert!(GlsConfig::profile().profiles());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = GlsConfig::default()
+            .with_default_kind(LockKind::Ticket)
+            .with_deadlock_check_after(Duration::from_millis(100));
+        assert_eq!(c.default_kind, LockKind::Ticket);
+        assert_eq!(c.deadlock_check_after, Duration::from_millis(100));
+    }
+}

@@ -1,0 +1,231 @@
+//! The per-address lock object stored in the GLS hash table.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use gls_locks::{
+    ClhLock, LockKind, McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TasLock,
+    TicketLock, TtasLock,
+};
+use gls_runtime::{LockStats, ThreadId};
+
+use crate::glk::{GlkConfig, GlkLock, MonitorHandle};
+
+/// The concrete lock implementation behind a GLS entry.
+///
+/// `gls_lock` (the default interface) creates [`AlgorithmLock::Glk`] entries;
+/// the explicit `gls_A_lock` interfaces create entries of the corresponding
+/// algorithm (paper Table 1).
+#[derive(Debug)]
+pub(crate) enum AlgorithmLock {
+    /// Adaptive GLK lock (default).
+    Glk(GlkLock),
+    /// Test-and-set spinlock.
+    Tas(TasLock),
+    /// Test-and-test-and-set spinlock.
+    Ttas(TtasLock),
+    /// Ticket spinlock.
+    Ticket(TicketLock),
+    /// MCS queue lock.
+    Mcs(McsLock),
+    /// CLH queue lock.
+    Clh(ClhLock),
+    /// Blocking mutex.
+    Mutex(MutexLock),
+}
+
+impl AlgorithmLock {
+    pub(crate) fn new(kind: LockKind, glk_config: &GlkConfig, monitor: &MonitorHandle) -> Self {
+        match kind {
+            LockKind::Glk => AlgorithmLock::Glk(GlkLock::with_config_and_monitor(
+                glk_config.clone(),
+                monitor.clone(),
+            )),
+            LockKind::Tas => AlgorithmLock::Tas(TasLock::new()),
+            LockKind::Ttas => AlgorithmLock::Ttas(TtasLock::new()),
+            LockKind::Ticket => AlgorithmLock::Ticket(TicketLock::new()),
+            LockKind::Mcs => AlgorithmLock::Mcs(McsLock::new()),
+            LockKind::Clh => AlgorithmLock::Clh(ClhLock::new()),
+            LockKind::Mutex => AlgorithmLock::Mutex(MutexLock::new()),
+        }
+    }
+
+    pub(crate) fn kind(&self) -> LockKind {
+        match self {
+            AlgorithmLock::Glk(_) => LockKind::Glk,
+            AlgorithmLock::Tas(_) => LockKind::Tas,
+            AlgorithmLock::Ttas(_) => LockKind::Ttas,
+            AlgorithmLock::Ticket(_) => LockKind::Ticket,
+            AlgorithmLock::Mcs(_) => LockKind::Mcs,
+            AlgorithmLock::Clh(_) => LockKind::Clh,
+            AlgorithmLock::Mutex(_) => LockKind::Mutex,
+        }
+    }
+
+    pub(crate) fn lock(&self) {
+        match self {
+            AlgorithmLock::Glk(l) => l.lock(),
+            AlgorithmLock::Tas(l) => l.lock(),
+            AlgorithmLock::Ttas(l) => l.lock(),
+            AlgorithmLock::Ticket(l) => l.lock(),
+            AlgorithmLock::Mcs(l) => l.lock(),
+            AlgorithmLock::Clh(l) => l.lock(),
+            AlgorithmLock::Mutex(l) => l.lock(),
+        }
+    }
+
+    pub(crate) fn try_lock(&self) -> bool {
+        match self {
+            AlgorithmLock::Glk(l) => l.try_lock(),
+            AlgorithmLock::Tas(l) => l.try_lock(),
+            AlgorithmLock::Ttas(l) => l.try_lock(),
+            AlgorithmLock::Ticket(l) => l.try_lock(),
+            AlgorithmLock::Mcs(l) => l.try_lock(),
+            AlgorithmLock::Clh(l) => l.try_lock(),
+            AlgorithmLock::Mutex(l) => l.try_lock(),
+        }
+    }
+
+    pub(crate) fn unlock(&self) {
+        match self {
+            AlgorithmLock::Glk(l) => l.unlock(),
+            AlgorithmLock::Tas(l) => l.unlock(),
+            AlgorithmLock::Ttas(l) => l.unlock(),
+            AlgorithmLock::Ticket(l) => l.unlock(),
+            AlgorithmLock::Mcs(l) => l.unlock(),
+            AlgorithmLock::Clh(l) => l.unlock(),
+            AlgorithmLock::Mutex(l) => l.unlock(),
+        }
+    }
+
+    pub(crate) fn queue_length(&self) -> u64 {
+        match self {
+            AlgorithmLock::Glk(l) => l.queue_length(),
+            AlgorithmLock::Tas(l) => l.queue_length(),
+            AlgorithmLock::Ttas(l) => l.queue_length(),
+            AlgorithmLock::Ticket(l) => l.queue_length(),
+            AlgorithmLock::Mcs(l) => l.queue_length(),
+            AlgorithmLock::Clh(l) => l.queue_length(),
+            AlgorithmLock::Mutex(l) => l.queue_length(),
+        }
+    }
+
+    /// Access to the underlying GLK lock for entries created by the default
+    /// interface (used by the transition log and tests).
+    pub(crate) fn as_glk(&self) -> Option<&GlkLock> {
+        match self {
+            AlgorithmLock::Glk(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// A lock object plus the metadata GLS keeps about it (ownership for the
+/// debug mode, latency/queuing statistics for the profiler).
+#[derive(Debug)]
+pub(crate) struct LockEntry {
+    /// The address this entry was created for.
+    pub(crate) addr: usize,
+    /// The lock implementation.
+    pub(crate) lock: AlgorithmLock,
+    /// Owner thread id + 1, or 0 when free. Maintained only in debug mode.
+    owner: AtomicU32,
+    /// Cycle timestamp of the last acquisition (profiler mode).
+    acquired_at: AtomicU64,
+    /// Profiler statistics: queuing, lock latency, critical-section latency.
+    pub(crate) stats: LockStats,
+}
+
+impl LockEntry {
+    pub(crate) fn new(addr: usize, lock: AlgorithmLock) -> Self {
+        Self {
+            addr,
+            lock,
+            owner: AtomicU32::new(0),
+            acquired_at: AtomicU64::new(0),
+            stats: LockStats::new(),
+        }
+    }
+
+    /// Records `thread` as the owner (debug mode).
+    pub(crate) fn set_owner(&self, thread: ThreadId) {
+        self.owner.store(thread.as_u32() + 1, Ordering::Release);
+    }
+
+    /// Clears ownership (debug mode).
+    pub(crate) fn clear_owner(&self) {
+        self.owner.store(0, Ordering::Release);
+    }
+
+    /// The current owner, if ownership tracking has recorded one.
+    pub(crate) fn owner(&self) -> Option<ThreadId> {
+        match self.owner.load(Ordering::Acquire) {
+            0 => None,
+            raw => Some(ThreadId::from_raw(raw - 1)),
+        }
+    }
+
+    /// Stamps the acquisition time (profiler mode).
+    pub(crate) fn stamp_acquired(&self, cycles: u64) {
+        self.acquired_at.store(cycles, Ordering::Relaxed);
+    }
+
+    /// The last stamped acquisition time.
+    pub(crate) fn acquired_at(&self) -> u64 {
+        self.acquired_at.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(kind: LockKind) -> AlgorithmLock {
+        AlgorithmLock::new(kind, &GlkConfig::default(), &MonitorHandle::Global)
+    }
+
+    #[test]
+    fn every_kind_constructs_and_locks() {
+        for kind in LockKind::ALL {
+            let lock = make(kind);
+            assert_eq!(lock.kind(), kind);
+            lock.lock();
+            assert_eq!(lock.queue_length(), 1);
+            lock.unlock();
+            assert_eq!(lock.queue_length(), 0);
+        }
+    }
+
+    #[test]
+    fn try_lock_works_for_every_kind() {
+        for kind in LockKind::ALL {
+            let lock = make(kind);
+            assert!(lock.try_lock(), "{kind} try_lock on free lock");
+            assert!(!lock.try_lock(), "{kind} try_lock on held lock");
+            lock.unlock();
+        }
+    }
+
+    #[test]
+    fn as_glk_only_for_glk_entries() {
+        assert!(make(LockKind::Glk).as_glk().is_some());
+        assert!(make(LockKind::Mcs).as_glk().is_none());
+    }
+
+    #[test]
+    fn entry_ownership_tracking() {
+        let entry = LockEntry::new(0x1000, make(LockKind::Ticket));
+        assert_eq!(entry.owner(), None);
+        let me = ThreadId::current();
+        entry.set_owner(me);
+        assert_eq!(entry.owner(), Some(me));
+        entry.clear_owner();
+        assert_eq!(entry.owner(), None);
+    }
+
+    #[test]
+    fn entry_acquisition_stamp() {
+        let entry = LockEntry::new(0x2000, make(LockKind::Mutex));
+        entry.stamp_acquired(12345);
+        assert_eq!(entry.acquired_at(), 12345);
+    }
+}

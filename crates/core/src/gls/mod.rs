@@ -1,0 +1,21 @@
+//! GLS — the generic locking service (§4 of the paper).
+//!
+//! GLS hides lock declaration, allocation, initialization and algorithm
+//! selection behind a classic lock/unlock interface keyed by **any address**:
+//! the service maps the address to a lock object through a CLHT hash table,
+//! accelerated by a per-thread lock cache. On top of that mapping, GLS
+//! provides a debug mode that detects the common locking bugs (uninitialized
+//! locks, double locking, releasing a free lock, releasing another thread's
+//! lock, deadlocks) and a profiler mode that reports per-lock contention and
+//! latency.
+
+mod cache;
+mod config;
+mod debug;
+mod entry;
+mod profiler;
+mod service;
+
+pub use config::{GlsConfig, GlsMode};
+pub use profiler::{LockProfile, ProfileReport};
+pub use service::{GlsGuard, GlsService};

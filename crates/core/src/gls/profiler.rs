@@ -1,0 +1,131 @@
+//! Profiler-mode reports (§4.3).
+//!
+//! In profiler mode GLS records, per lock object, the average queuing behind
+//! the lock, the lock-acquisition latency and the critical-section duration,
+//! and can print a report in the same shape as the paper's example output:
+//!
+//! ```text
+//! [GLS] queue: 4.50 | l-lat: 13963 | cs-lat: 2848 @ (0x7fe6318eb4e0)
+//! ```
+
+use std::fmt;
+
+/// Profiling data for one lock object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockProfile {
+    /// The address this lock was created for.
+    pub addr: usize,
+    /// Lock algorithm behind this address.
+    pub algorithm: gls_locks::LockKind,
+    /// Number of completed acquisitions observed by the profiler.
+    pub acquisitions: u64,
+    /// Average queuing behind the lock (holder + waiters) at acquisition time.
+    pub avg_queue: f64,
+    /// Average lock-acquisition latency, in cycles.
+    pub avg_lock_latency: f64,
+    /// Average critical-section duration, in cycles.
+    pub avg_cs_latency: f64,
+}
+
+impl fmt::Display for LockProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[GLS] queue: {:.2} | l-lat: {:.0} | cs-lat: {:.0} @ ({:#x}:{})",
+            self.avg_queue, self.avg_lock_latency, self.avg_cs_latency, self.addr, self.algorithm
+        )
+    }
+}
+
+/// A full profiler report: one entry per lock, sorted by contention.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Per-lock profiles, most contended first.
+    pub locks: Vec<LockProfile>,
+}
+
+impl ProfileReport {
+    /// Builds a report from unsorted per-lock profiles.
+    pub fn new(mut locks: Vec<LockProfile>) -> Self {
+        locks.sort_by(|a, b| {
+            b.avg_queue
+                .partial_cmp(&a.avg_queue)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self { locks }
+    }
+
+    /// Locks whose average queuing exceeds `threshold` — the candidates the
+    /// paper flags as likely scalability bottlenecks.
+    pub fn contended(&self, threshold: f64) -> impl Iterator<Item = &LockProfile> {
+        self.locks.iter().filter(move |l| l.avg_queue > threshold)
+    }
+
+    /// Number of profiled locks.
+    pub fn len(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.locks.is_empty()
+    }
+}
+
+impl fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for lock in &self.locks {
+            writeln!(f, "{lock}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gls_locks::LockKind;
+
+    fn profile(addr: usize, queue: f64) -> LockProfile {
+        LockProfile {
+            addr,
+            algorithm: LockKind::Glk,
+            acquisitions: 100,
+            avg_queue: queue,
+            avg_lock_latency: 96.0,
+            avg_cs_latency: 194.0,
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_shape() {
+        let p = profile(0x7fe6318eb660, 0.03);
+        let s = p.to_string();
+        assert!(s.contains("queue: 0.03"));
+        assert!(s.contains("l-lat: 96"));
+        assert!(s.contains("cs-lat: 194"));
+        assert!(s.contains("0x7fe6318eb660"));
+    }
+
+    #[test]
+    fn report_sorts_by_contention() {
+        let report = ProfileReport::new(vec![profile(1, 0.1), profile(2, 5.0), profile(3, 1.2)]);
+        let queues: Vec<f64> = report.locks.iter().map(|l| l.avg_queue).collect();
+        assert_eq!(queues, vec![5.0, 1.2, 0.1]);
+    }
+
+    #[test]
+    fn contended_filters_by_threshold() {
+        let report = ProfileReport::new(vec![profile(1, 0.1), profile(2, 5.0), profile(3, 1.2)]);
+        let hot: Vec<usize> = report.contended(1.0).map(|l| l.addr).collect();
+        assert_eq!(hot, vec![2, 3]);
+        assert_eq!(report.len(), 3);
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn report_display_is_one_line_per_lock() {
+        let report = ProfileReport::new(vec![profile(1, 0.1), profile(2, 5.0)]);
+        assert_eq!(report.to_string().lines().count(), 2);
+    }
+}

@@ -1,0 +1,754 @@
+//! The GLS service: mapping arbitrary addresses to lock objects.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+use std::time::Instant;
+
+use gls_clht::{Clht, ClhtStats};
+use gls_locks::LockKind;
+use gls_runtime::{cycles, ThreadId};
+
+use crate::error::GlsError;
+use crate::glk::ModeTransition;
+
+use super::cache;
+use super::config::{GlsConfig, GlsMode};
+use super::debug::DebugState;
+use super::entry::{AlgorithmLock, LockEntry};
+use super::profiler::{LockProfile, ProfileReport};
+
+/// Monotonic id generator so per-thread lock caches can tell services apart.
+static NEXT_SERVICE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The generic locking service (GLS).
+///
+/// GLS provides the classic lock interface but accepts **any address** (any
+/// value, except 0/NULL) as the lock identifier; the service transparently
+/// maps the address to a lock object through a CLHT hash table and a
+/// per-thread lock cache. The default interface uses the adaptive GLK
+/// algorithm; explicit per-algorithm interfaces are available through
+/// [`GlsService::lock_with`] (paper Table 1).
+///
+/// # Example
+///
+/// ```
+/// use gls::GlsService;
+///
+/// let service = GlsService::new();
+/// let account_balance = 100u64; // any object can act as the lock identity
+///
+/// service.lock(&account_balance).unwrap();
+/// // ... critical section protecting the balance ...
+/// service.unlock(&account_balance).unwrap();
+///
+/// // Or, RAII style:
+/// {
+///     let _guard = service.guard(&account_balance).unwrap();
+///     // critical section
+/// }
+/// ```
+#[derive(Debug)]
+pub struct GlsService {
+    id: u64,
+    /// Bumped whenever a lock object is removed, invalidating every thread's
+    /// lock cache for this service.
+    generation: AtomicU64,
+    table: Clht,
+    config: GlsConfig,
+    debug: DebugState,
+    /// Entries removed via `free`; kept allocated until the service is
+    /// dropped so concurrent (buggy) users can never observe freed memory.
+    retired: StdMutex<Vec<usize>>,
+}
+
+impl Default for GlsService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlsService {
+    /// Creates a service with the default configuration (GLK locks, normal
+    /// mode). This is the Rust equivalent of `gls_init()`.
+    pub fn new() -> Self {
+        Self::with_config(GlsConfig::default())
+    }
+
+    /// Creates a service with a custom configuration.
+    pub fn with_config(config: GlsConfig) -> Self {
+        Self {
+            id: NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(0),
+            table: Clht::with_capacity(config.initial_capacity),
+            config,
+            debug: DebugState::new(),
+            retired: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// The process-wide default service used by the free-function interface.
+    pub fn global() -> &'static GlsService {
+        static GLOBAL: OnceLock<GlsService> = OnceLock::new();
+        GLOBAL.get_or_init(GlsService::new)
+    }
+
+    /// The configuration this service runs with.
+    pub fn config(&self) -> &GlsConfig {
+        &self.config
+    }
+
+    /// Converts a reference into the address key GLS uses internally.
+    pub fn address_of<T: ?Sized>(m: &T) -> usize {
+        m as *const T as *const () as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Default interface (gls_lock / gls_trylock / gls_unlock)
+    // ------------------------------------------------------------------
+
+    /// Acquires the lock associated with the address of `m`, creating it on
+    /// first use with the service's default algorithm (GLK unless
+    /// reconfigured).
+    ///
+    /// # Errors
+    ///
+    /// In debug mode, returns the detected issue (double locking, deadlock)
+    /// without acquiring. In normal and profile mode this never fails.
+    pub fn lock<T: ?Sized>(&self, m: &T) -> Result<(), GlsError> {
+        self.lock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::lock`] for a raw address (e.g. `gls_lock(17)`).
+    pub fn lock_addr(&self, addr: usize) -> Result<(), GlsError> {
+        self.lock_impl(addr, self.config.default_kind)
+    }
+
+    /// Attempts to acquire the lock associated with `m` without waiting.
+    ///
+    /// # Errors
+    ///
+    /// In debug mode, returns the detected issue (e.g. double locking).
+    pub fn try_lock<T: ?Sized>(&self, m: &T) -> Result<bool, GlsError> {
+        self.try_lock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::try_lock`] for a raw address.
+    pub fn try_lock_addr(&self, addr: usize) -> Result<bool, GlsError> {
+        self.try_lock_impl(addr, self.config.default_kind)
+    }
+
+    /// Releases the lock associated with `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlsError::UninitializedLock`] if the address was never
+    /// locked; in debug mode additionally detects releasing a free lock and
+    /// releasing a lock owned by another thread.
+    pub fn unlock<T: ?Sized>(&self, m: &T) -> Result<(), GlsError> {
+        self.unlock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::unlock`] for a raw address.
+    pub fn unlock_addr(&self, addr: usize) -> Result<(), GlsError> {
+        self.unlock_impl(addr, None)
+    }
+
+    // ------------------------------------------------------------------
+    // Explicit per-algorithm interface (gls_A_lock / gls_A_unlock)
+    // ------------------------------------------------------------------
+
+    /// Acquires the lock for `addr`, creating it with algorithm `kind` if it
+    /// does not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::lock`].
+    pub fn lock_with(&self, kind: LockKind, addr: usize) -> Result<(), GlsError> {
+        self.lock_impl(addr, kind)
+    }
+
+    /// Attempts to acquire the lock for `addr` using algorithm `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::try_lock`].
+    pub fn try_lock_with(&self, kind: LockKind, addr: usize) -> Result<bool, GlsError> {
+        self.try_lock_impl(addr, kind)
+    }
+
+    /// Releases the lock for `addr`, checking (in debug mode) that it was
+    /// created with algorithm `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::unlock`].
+    pub fn unlock_with(&self, kind: LockKind, addr: usize) -> Result<(), GlsError> {
+        self.unlock_impl(addr, Some(kind))
+    }
+
+    // ------------------------------------------------------------------
+    // RAII interface
+    // ------------------------------------------------------------------
+
+    /// Acquires the lock for `m` and returns a guard that releases it when
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::lock`].
+    pub fn guard<'a, T: ?Sized>(&'a self, m: &T) -> Result<GlsGuard<'a>, GlsError> {
+        self.guard_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::guard`] for a raw address.
+    pub fn guard_addr(&self, addr: usize) -> Result<GlsGuard<'_>, GlsError> {
+        self.lock_addr(addr)?;
+        Ok(GlsGuard {
+            service: self,
+            addr,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Management, debugging, profiling
+    // ------------------------------------------------------------------
+
+    /// Removes the lock object for `m` from the service (`gls_free`).
+    /// Returns `true` if a lock object existed.
+    pub fn free<T: ?Sized>(&self, m: &T) -> bool {
+        self.free_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::free`] for a raw address.
+    pub fn free_addr(&self, addr: usize) -> bool {
+        match self.table.remove(addr) {
+            Some(ptr) => {
+                // Invalidate every thread's cached mapping for this service;
+                // the allocation itself is reclaimed when the service drops,
+                // so racing users never observe freed memory.
+                self.generation.fetch_add(1, Ordering::Release);
+                if let Ok(mut retired) = self.retired.lock() {
+                    retired.push(ptr);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of lock objects currently managed by the service.
+    pub fn lock_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Issues detected so far (debug mode).
+    pub fn issues(&self) -> Vec<GlsError> {
+        self.debug.issues()
+    }
+
+    /// Clears the recorded issues.
+    pub fn clear_issues(&self) {
+        self.debug.clear_issues();
+    }
+
+    /// Statistics of the underlying address → lock table.
+    pub fn table_stats(&self) -> ClhtStats {
+        self.table.stats()
+    }
+
+    /// Builds a profiler report over every lock object (meaningful when the
+    /// service runs in [`GlsMode::Profile`]).
+    pub fn profile_report(&self) -> ProfileReport {
+        let mut locks = Vec::new();
+        self.table.for_each(|_, ptr| {
+            let entry = Self::entry_ref(ptr);
+            locks.push(LockProfile {
+                addr: entry.addr,
+                algorithm: entry.lock.kind(),
+                acquisitions: entry.stats.acquisitions(),
+                avg_queue: entry.stats.average_queue(),
+                avg_lock_latency: entry.stats.average_lock_latency(),
+                avg_cs_latency: entry.stats.average_cs_latency(),
+            });
+        });
+        ProfileReport::new(locks)
+    }
+
+    /// Collects the GLK mode transitions of every adaptive lock (only
+    /// populated when the GLK configuration enables transition recording).
+    pub fn glk_transitions(&self) -> Vec<(usize, Vec<ModeTransition>)> {
+        let mut out = Vec::new();
+        self.table.for_each(|addr, ptr| {
+            let entry = Self::entry_ref(ptr);
+            if let Some(glk) = entry.lock.as_glk() {
+                let transitions = glk.transitions();
+                if !transitions.is_empty() {
+                    out.push((addr, transitions));
+                }
+            }
+        });
+        out
+    }
+
+    /// The lock algorithm currently associated with `addr`, if any.
+    pub fn algorithm_of(&self, addr: usize) -> Option<LockKind> {
+        self.find_entry(addr).map(|e| e.lock.kind())
+    }
+
+    /// The thread currently recorded as owner of `addr` (debug mode only).
+    pub fn owner_of(&self, addr: usize) -> Option<ThreadId> {
+        self.find_entry(addr).and_then(|e| e.owner())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn entry_ref<'a>(ptr: usize) -> &'a LockEntry {
+        // SAFETY: entry allocations are only reclaimed when the service is
+        // dropped (free() retires but does not deallocate), so any pointer
+        // obtained from the table or the cache stays valid for the service
+        // lifetime, which outlives every `&self` borrow handing it out.
+        unsafe { &*(ptr as *const LockEntry) }
+    }
+
+    fn current_generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Finds the entry for `addr` without creating it.
+    fn find_entry(&self, addr: usize) -> Option<&LockEntry> {
+        let generation = self.current_generation();
+        if let Some(ptr) = cache::lookup(self.id, generation, addr) {
+            return Some(Self::entry_ref(ptr));
+        }
+        let ptr = self.table.get(addr)?;
+        cache::store(self.id, generation, addr, ptr);
+        Some(Self::entry_ref(ptr))
+    }
+
+    /// Finds or creates the entry for `addr` using algorithm `kind`.
+    fn entry_for(&self, addr: usize, kind: LockKind) -> &LockEntry {
+        assert_ne!(addr, 0, "GLS does not accept NULL (address 0) as a lock");
+        let generation = self.current_generation();
+        if let Some(ptr) = cache::lookup(self.id, generation, addr) {
+            return Self::entry_ref(ptr);
+        }
+        let ptr = self.table.put_if_absent(addr, || {
+            let lock = AlgorithmLock::new(kind, &self.config.glk, &self.config.monitor);
+            Box::into_raw(Box::new(LockEntry::new(addr, lock))) as usize
+        });
+        cache::store(self.id, generation, addr, ptr);
+        Self::entry_ref(ptr)
+    }
+
+    fn lock_impl(&self, addr: usize, kind: LockKind) -> Result<(), GlsError> {
+        let entry = self.entry_for(addr, kind);
+        match self.config.mode {
+            GlsMode::Normal => {
+                entry.lock.lock();
+                Ok(())
+            }
+            GlsMode::Profile => {
+                entry.stats.record_queue_sample(entry.lock.queue_length());
+                let start = cycles::now();
+                entry.lock.lock();
+                let acquired = cycles::now();
+                entry
+                    .stats
+                    .record_lock_latency(acquired.wrapping_sub(start));
+                entry.stamp_acquired(acquired);
+                entry.stats.record_acquisition();
+                Ok(())
+            }
+            GlsMode::Debug => self.debug_lock(entry, addr, kind),
+        }
+    }
+
+    fn debug_lock(&self, entry: &LockEntry, addr: usize, kind: LockKind) -> Result<(), GlsError> {
+        let me = ThreadId::current();
+        if entry.owner() == Some(me) {
+            let issue = GlsError::DoubleLock { addr, thread: me };
+            self.debug.record(issue.clone());
+            return Err(issue);
+        }
+        if kind != entry.lock.kind() {
+            self.debug.record(GlsError::AlgorithmMismatch {
+                addr,
+                created: entry.lock.kind(),
+                requested: kind,
+            });
+        }
+        self.debug.set_waiting(me, addr);
+        let mut window_start = Instant::now();
+        loop {
+            if entry.lock.try_lock() {
+                break;
+            }
+            if window_start.elapsed() >= self.config.deadlock_check_after {
+                if let Some(cycle) =
+                    self.debug
+                        .detect_deadlock(me, addr, |a| self.owner_of_uncached(a))
+                {
+                    self.debug.clear_waiting(me);
+                    let issue = GlsError::Deadlock { cycle };
+                    self.debug.record(issue.clone());
+                    return Err(issue);
+                }
+                window_start = Instant::now();
+            }
+            std::thread::yield_now();
+        }
+        self.debug.clear_waiting(me);
+        entry.set_owner(me);
+        entry.stats.record_acquisition();
+        Ok(())
+    }
+
+    /// Owner lookup that bypasses the per-thread cache (the deadlock detector
+    /// inspects other threads' locks, which would otherwise evict the
+    /// caller's cached entry).
+    fn owner_of_uncached(&self, addr: usize) -> Option<ThreadId> {
+        let ptr = self.table.get(addr)?;
+        Self::entry_ref(ptr).owner()
+    }
+
+    fn try_lock_impl(&self, addr: usize, kind: LockKind) -> Result<bool, GlsError> {
+        let entry = self.entry_for(addr, kind);
+        match self.config.mode {
+            GlsMode::Normal => Ok(entry.lock.try_lock()),
+            GlsMode::Profile => {
+                entry.stats.record_queue_sample(entry.lock.queue_length());
+                let start = cycles::now();
+                let acquired = entry.lock.try_lock();
+                if acquired {
+                    let now = cycles::now();
+                    entry.stats.record_lock_latency(now.wrapping_sub(start));
+                    entry.stamp_acquired(now);
+                    entry.stats.record_acquisition();
+                }
+                Ok(acquired)
+            }
+            GlsMode::Debug => {
+                let me = ThreadId::current();
+                if entry.owner() == Some(me) {
+                    let issue = GlsError::DoubleLock { addr, thread: me };
+                    self.debug.record(issue.clone());
+                    return Err(issue);
+                }
+                let acquired = entry.lock.try_lock();
+                if acquired {
+                    entry.set_owner(me);
+                    entry.stats.record_acquisition();
+                }
+                Ok(acquired)
+            }
+        }
+    }
+
+    fn unlock_impl(&self, addr: usize, expected_kind: Option<LockKind>) -> Result<(), GlsError> {
+        let Some(entry) = self.find_entry(addr) else {
+            let issue = GlsError::UninitializedLock { addr };
+            if self.config.mode == GlsMode::Debug {
+                self.debug.record(issue.clone());
+            }
+            return Err(issue);
+        };
+        if self.config.mode == GlsMode::Debug {
+            let me = ThreadId::current();
+            match entry.owner() {
+                None => {
+                    let issue = GlsError::ReleaseFreeLock { addr };
+                    self.debug.record(issue.clone());
+                    return Err(issue);
+                }
+                Some(owner) if owner != me => {
+                    let issue = GlsError::WrongOwner {
+                        addr,
+                        owner,
+                        caller: me,
+                    };
+                    self.debug.record(issue.clone());
+                    return Err(issue);
+                }
+                Some(_) => {}
+            }
+            if let Some(kind) = expected_kind {
+                if kind != entry.lock.kind() {
+                    self.debug.record(GlsError::AlgorithmMismatch {
+                        addr,
+                        created: entry.lock.kind(),
+                        requested: kind,
+                    });
+                }
+            }
+            entry.clear_owner();
+        }
+        if self.config.mode == GlsMode::Profile {
+            let acquired_at = entry.acquired_at();
+            if acquired_at != 0 {
+                let now = cycles::now();
+                entry
+                    .stats
+                    .record_cs_latency(now.wrapping_sub(acquired_at));
+            }
+        }
+        entry.lock.unlock();
+        Ok(())
+    }
+}
+
+impl Drop for GlsService {
+    fn drop(&mut self) {
+        // Reclaim every live entry and every retired entry. `&mut self`
+        // guarantees no concurrent access.
+        let mut pointers = Vec::new();
+        self.table.for_each(|_, ptr| pointers.push(ptr));
+        if let Ok(mut retired) = self.retired.lock() {
+            pointers.append(&mut *retired);
+        }
+        for ptr in pointers {
+            // SAFETY: entries were allocated with Box::into_raw and each
+            // pointer appears exactly once (either live in the table or in
+            // the retired list, never both).
+            unsafe { drop(Box::from_raw(ptr as *mut LockEntry)) };
+        }
+    }
+}
+
+/// RAII guard returned by [`GlsService::guard`]; releases the lock on drop.
+#[derive(Debug)]
+pub struct GlsGuard<'a> {
+    service: &'a GlsService,
+    addr: usize,
+}
+
+impl GlsGuard<'_> {
+    /// The address this guard protects.
+    pub fn addr(&self) -> usize {
+        self.addr
+    }
+}
+
+impl Drop for GlsGuard<'_> {
+    fn drop(&mut self) {
+        // Releasing a lock we acquired cannot fail in normal mode; in debug
+        // mode a failure would itself be recorded in the issue log.
+        let _ = self.service.unlock_addr(self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glk::GlkConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock_arbitrary_values() {
+        let svc = GlsService::new();
+        // Any non-zero value works as a lock identity, like gls_lock(17).
+        svc.lock_addr(17).unwrap();
+        svc.unlock_addr(17).unwrap();
+        assert_eq!(svc.lock_count(), 1);
+    }
+
+    #[test]
+    fn unlock_of_unknown_address_reports_uninitialized() {
+        let svc = GlsService::new();
+        let err = svc.unlock_addr(0x1234).unwrap_err();
+        assert_eq!(err.category(), "uninitialized-lock");
+    }
+
+    #[test]
+    #[should_panic(expected = "NULL")]
+    fn null_address_is_rejected() {
+        GlsService::new().lock_addr(0).unwrap();
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let svc = GlsService::new();
+        let data = 5u32;
+        {
+            let _g = svc.guard(&data).unwrap();
+            assert!(!svc.try_lock(&data).unwrap());
+        }
+        assert!(svc.try_lock(&data).unwrap());
+        svc.unlock(&data).unwrap();
+    }
+
+    #[test]
+    fn explicit_interface_creates_requested_algorithm() {
+        let svc = GlsService::new();
+        svc.lock_with(LockKind::Mcs, 0x10).unwrap();
+        svc.unlock_with(LockKind::Mcs, 0x10).unwrap();
+        assert_eq!(svc.algorithm_of(0x10), Some(LockKind::Mcs));
+        svc.lock_with(LockKind::Ticket, 0x20).unwrap();
+        svc.unlock_with(LockKind::Ticket, 0x20).unwrap();
+        assert_eq!(svc.algorithm_of(0x20), Some(LockKind::Ticket));
+        // The default interface creates GLK entries.
+        svc.lock_addr(0x30).unwrap();
+        svc.unlock_addr(0x30).unwrap();
+        assert_eq!(svc.algorithm_of(0x30), Some(LockKind::Glk));
+    }
+
+    #[test]
+    fn free_removes_lock_object() {
+        let svc = GlsService::new();
+        svc.lock_addr(0x40).unwrap();
+        svc.unlock_addr(0x40).unwrap();
+        assert_eq!(svc.lock_count(), 1);
+        assert!(svc.free_addr(0x40));
+        assert!(!svc.free_addr(0x40));
+        assert_eq!(svc.lock_count(), 0);
+        // The address can be re-created afterwards.
+        svc.lock_addr(0x40).unwrap();
+        svc.unlock_addr(0x40).unwrap();
+        assert_eq!(svc.lock_count(), 1);
+    }
+
+    #[test]
+    fn many_threads_many_locks_mutual_exclusion() {
+        let svc = Arc::new(GlsService::new());
+        let slots: Arc<Vec<std::sync::atomic::AtomicU64>> =
+            Arc::new((0..16).map(|_| std::sync::atomic::AtomicU64::new(0)).collect());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                let slots = Arc::clone(&slots);
+                std::thread::spawn(move || {
+                    for i in 0..5_000usize {
+                        let slot = (t * 31 + i) % slots.len();
+                        let addr = 0x1000 + slot;
+                        svc.lock_addr(addr).unwrap();
+                        // Read-modify-write that would lose updates without
+                        // mutual exclusion per address.
+                        let v = slots[slot].load(Ordering::Relaxed);
+                        slots[slot].store(v + 1, Ordering::Relaxed);
+                        svc.unlock_addr(addr).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = slots.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 8 * 5_000);
+        assert_eq!(svc.lock_count(), 16);
+    }
+
+    #[test]
+    fn debug_mode_detects_double_lock_and_release_free() {
+        let svc = GlsService::with_config(GlsConfig::debug());
+        let obj = 1u8;
+        svc.lock(&obj).unwrap();
+        let err = svc.lock(&obj).unwrap_err();
+        assert_eq!(err.category(), "double-lock");
+        svc.unlock(&obj).unwrap();
+        let err = svc.unlock(&obj).unwrap_err();
+        assert_eq!(err.category(), "release-free-lock");
+        let categories: Vec<_> = svc.issues().iter().map(|i| i.category()).collect();
+        assert!(categories.contains(&"double-lock"));
+        assert!(categories.contains(&"release-free-lock"));
+    }
+
+    #[test]
+    fn debug_mode_detects_wrong_owner() {
+        let svc = Arc::new(GlsService::with_config(GlsConfig::debug()));
+        svc.lock_addr(0x99).unwrap();
+        let svc2 = Arc::clone(&svc);
+        let err = std::thread::spawn(move || svc2.unlock_addr(0x99).unwrap_err())
+            .join()
+            .unwrap();
+        assert_eq!(err.category(), "wrong-owner");
+        svc.unlock_addr(0x99).unwrap();
+    }
+
+    #[test]
+    fn debug_mode_records_algorithm_mismatch() {
+        let svc = GlsService::with_config(GlsConfig::debug());
+        svc.lock_with(LockKind::Ticket, 0x77).unwrap();
+        svc.unlock_with(LockKind::Ticket, 0x77).unwrap();
+        svc.lock_with(LockKind::Mcs, 0x77).unwrap();
+        svc.unlock_with(LockKind::Mcs, 0x77).unwrap();
+        assert!(svc
+            .issues()
+            .iter()
+            .any(|i| i.category() == "algorithm-mismatch"));
+    }
+
+    #[test]
+    fn profile_mode_collects_latencies() {
+        let svc = GlsService::with_config(GlsConfig::profile());
+        for i in 0..100 {
+            svc.lock_addr(0x200 + (i % 4)).unwrap();
+            gls_runtime::spin_cycles(200);
+            svc.unlock_addr(0x200 + (i % 4)).unwrap();
+        }
+        let report = svc.profile_report();
+        assert_eq!(report.len(), 4);
+        for lock in &report.locks {
+            assert!(lock.acquisitions >= 25);
+            assert!(lock.avg_cs_latency > 0.0, "cs latency should be recorded");
+        }
+    }
+
+    #[test]
+    fn glk_transitions_surface_through_service() {
+        let config = GlsConfig::default().with_glk(
+            GlkConfig::default()
+                .with_adaptation_period(128)
+                .with_sampling_period(8)
+                .with_transition_recording(true),
+        );
+        let svc = Arc::new(GlsService::with_config(config));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        svc.lock_addr(0xabc).unwrap();
+                        gls_runtime::spin_cycles(400);
+                        svc.unlock_addr(0xabc).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while svc.glk_transitions().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let transitions = svc.glk_transitions();
+        assert!(
+            !transitions.is_empty(),
+            "contended GLK lock should have adapted at least once"
+        );
+    }
+
+    #[test]
+    fn global_service_is_singleton() {
+        let a = GlsService::global() as *const _;
+        let b = GlsService::global() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_stats_reflect_lock_count() {
+        let svc = GlsService::new();
+        for i in 1..=50 {
+            svc.lock_addr(i * 8).unwrap();
+            svc.unlock_addr(i * 8).unwrap();
+        }
+        let stats = svc.table_stats();
+        assert_eq!(stats.elements, 50);
+        assert_eq!(svc.lock_count(), 50);
+    }
+}

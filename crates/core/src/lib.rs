@@ -1,0 +1,130 @@
+//! # GLS & GLK — Locking Made Easy
+//!
+//! A Rust reproduction of the Middleware'16 paper *"Locking Made Easy"*
+//! (Antić, Chatzopoulos, Guerraoui, Trigonakis — EPFL): a locking middleware
+//! that removes the chores of lock-based programming and a generic lock that
+//! adapts to the workload.
+//!
+//! The crate has two layers:
+//!
+//! * [`glk`] — **GLK**, the *generic lock*: a single lock object that
+//!   operates as a ticket spinlock under low contention, as an MCS queue
+//!   lock under high contention, and as a blocking mutex when the machine is
+//!   multiprogrammed, adapting per lock and at runtime based on observed
+//!   queuing and a process-wide system-load monitor.
+//! * [`gls`] — **GLS**, the *generic locking service*: a middleware that maps
+//!   any address (in fact any non-zero value) to a lock object, so
+//!   programmers never declare, allocate, initialize or destroy locks. The
+//!   default interface uses GLK; explicit interfaces expose TAS, TTAS,
+//!   ticket, MCS, CLH and mutex locks. A debug mode detects the classic
+//!   locking bugs (including runtime deadlock detection) and a profiler mode
+//!   reports per-lock contention and latencies.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gls::GlsService;
+//!
+//! // One service for the whole application (or use GlsService::global()).
+//! let gls = GlsService::new();
+//!
+//! // Any object can be used as a lock, with no declaration or initialization.
+//! let shared_config = String::from("...");
+//!
+//! gls.lock(&shared_config).unwrap();
+//! // ... critical section ...
+//! gls.unlock(&shared_config).unwrap();
+//! ```
+//!
+//! ## Choosing algorithms explicitly
+//!
+//! ```
+//! use gls::GlsService;
+//! use gls_locks::LockKind;
+//!
+//! let gls = GlsService::new();
+//! // A highly contended global lock: pick MCS explicitly (paper §5.1).
+//! gls.lock_with(LockKind::Mcs, 0x1000).unwrap();
+//! gls.unlock_with(LockKind::Mcs, 0x1000).unwrap();
+//! ```
+//!
+//! ## Using GLK directly (no service)
+//!
+//! In a system that already has locking in place, GLK can be used on its own
+//! "to minimize the overhead" (§1):
+//!
+//! ```
+//! use gls::glk::GlkLock;
+//!
+//! let lock = GlkLock::new();
+//! lock.lock();
+//! lock.unlock();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod glk;
+pub mod gls;
+
+pub use error::GlsError;
+pub use glk::{GlkConfig, GlkLock, GlkMode, ModeTransition};
+pub use gls::{GlsConfig, GlsGuard, GlsMode, GlsService, LockProfile, ProfileReport};
+
+// Re-export the substrate types that appear in this crate's public API so
+// downstream users need only one dependency.
+pub use gls_locks::LockKind;
+
+/// Convenience free functions mirroring the C interface of Table 1
+/// (`gls_lock`, `gls_trylock`, `gls_unlock`, `gls_free`), all operating on
+/// the process-wide default service ([`GlsService::global`]).
+pub mod api {
+    use super::{GlsError, GlsService};
+
+    /// Acquires the lock associated with `m` on the global service.
+    ///
+    /// # Errors
+    ///
+    /// See [`GlsService::lock`].
+    pub fn lock<T: ?Sized>(m: &T) -> Result<(), GlsError> {
+        GlsService::global().lock(m)
+    }
+
+    /// Attempts to acquire the lock associated with `m` on the global service.
+    ///
+    /// # Errors
+    ///
+    /// See [`GlsService::try_lock`].
+    pub fn try_lock<T: ?Sized>(m: &T) -> Result<bool, GlsError> {
+        GlsService::global().try_lock(m)
+    }
+
+    /// Releases the lock associated with `m` on the global service.
+    ///
+    /// # Errors
+    ///
+    /// See [`GlsService::unlock`].
+    pub fn unlock<T: ?Sized>(m: &T) -> Result<(), GlsError> {
+        GlsService::global().unlock(m)
+    }
+
+    /// Removes the lock object associated with `m` from the global service.
+    pub fn free<T: ?Sized>(m: &T) -> bool {
+        GlsService::global().free(m)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn global_api_roundtrip() {
+            let data = vec![1, 2, 3];
+            super::lock(&data).unwrap();
+            assert!(!super::try_lock(&data).unwrap());
+            super::unlock(&data).unwrap();
+            assert!(super::try_lock(&data).unwrap());
+            super::unlock(&data).unwrap();
+            assert!(super::free(&data));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Lock-algorithm substrate for the "Locking Made Easy" reproduction.
+//!
+//! The paper's middleware (GLS) and adaptive lock (GLK) are built from a set
+//! of classic lock algorithms (§2): simple spinlocks (test-and-set,
+//! test-and-test-and-set, ticket), queue-based spinlocks (MCS, CLH) and a
+//! blocking mutex with a bounded busy-wait phase. This crate implements all
+//! of them behind two small traits, [`RawLock`] and [`RawTryLock`], plus a
+//! [`QueueInformed`] extension that exposes the queue length needed by GLK's
+//! contention statistics.
+//!
+//! All locks are padded to a cache line ([`CachePadded`]) exactly as the
+//! paper's methodology pads every lock to 64 bytes to avoid false sharing.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gls_locks::{RawLock, TicketLock};
+//!
+//! let lock = TicketLock::new();
+//! lock.lock();
+//! // ... critical section ...
+//! lock.unlock();
+//! ```
+//!
+//! For lock-protects-data usage, wrap any algorithm in [`Lock`]:
+//!
+//! ```
+//! use gls_locks::{Lock, McsLock};
+//!
+//! let counter: Lock<u64, McsLock> = Lock::new(0);
+//! *counter.lock() += 1;
+//! assert_eq!(*counter.lock(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backoff;
+pub mod cache_padded;
+#[cfg(test)]
+pub(crate) mod test_support;
+pub mod clh;
+pub mod kind;
+pub mod lock;
+pub mod mcs;
+pub mod mutex;
+pub mod raw;
+pub mod rwlock;
+pub mod tas;
+pub mod ticket;
+pub mod ttas;
+
+pub use backoff::Backoff;
+pub use cache_padded::CachePadded;
+pub use clh::ClhLock;
+pub use kind::LockKind;
+pub use lock::{Lock, LockGuard};
+pub use mcs::McsLock;
+pub use mutex::MutexLock;
+pub use raw::{QueueInformed, RawLock, RawTryLock};
+pub use rwlock::{RwTtasLock, RwTtasReadGuard, RwTtasWriteGuard};
+pub use tas::TasLock;
+pub use ticket::TicketLock;
+pub use ttas::TtasLock;

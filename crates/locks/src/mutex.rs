@@ -1,0 +1,244 @@
+//! Blocking mutex with a bounded busy-wait phase.
+//!
+//! The paper's MUTEX mode exists for multiprogrammed environments: waiting
+//! threads must release their hardware context to the OS instead of spinning.
+//! Like glibc's adaptive `pthread_mutex`, this lock first spins for a bounded
+//! number of attempts (blocking/unblocking through the OS is expensive) and
+//! only then puts the thread to sleep. The paper notes its GLK-embedded MUTEX
+//! is deliberately lighter than glibc's, leaving sanity checks to the GLS
+//! debug mode; this implementation follows that split.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::backoff::Backoff;
+use crate::cache_padded::CachePadded;
+use crate::raw::{QueueInformed, RawLock, RawTryLock};
+
+/// Lock states.
+const FREE: u32 = 0;
+const HELD: u32 = 1;
+const CONTENDED: u32 = 2;
+
+/// Number of bounded-spin attempts before a waiter goes to sleep.
+const SPIN_ATTEMPTS: u32 = 64;
+
+/// A blocking (spin-then-sleep) mutual-exclusion lock.
+///
+/// # Example
+///
+/// ```
+/// use gls_locks::{MutexLock, RawLock};
+///
+/// let lock = MutexLock::new();
+/// lock.lock();
+/// lock.unlock();
+/// ```
+#[derive(Debug, Default)]
+pub struct MutexLock {
+    state: CachePadded<MutexState>,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    /// FREE / HELD / CONTENDED.
+    word: AtomicU32,
+    /// Holder + waiters (spinning or sleeping), for [`QueueInformed`].
+    queued: AtomicU64,
+    /// Parking lot for sleeping waiters.
+    sleep_lock: Mutex<()>,
+    sleep_cond: Condvar,
+}
+
+impl MutexLock {
+    /// Creates an unlocked mutex.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn try_acquire_fast(&self) -> bool {
+        self.state
+            .word
+            .compare_exchange(FREE, HELD, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    #[cold]
+    fn lock_slow(&self) {
+        // Bounded spin phase: blocking through the OS costs far more than a
+        // short critical section, so give the holder a chance to finish.
+        let mut backoff = Backoff::new();
+        for _ in 0..SPIN_ATTEMPTS {
+            if self.state.word.load(Ordering::Relaxed) == FREE && self.try_acquire_fast() {
+                return;
+            }
+            backoff.spin();
+        }
+        // Sleep phase: mark the lock contended and park until woken.
+        let mut guard = self
+            .state
+            .sleep_lock
+            .lock()
+            .expect("mutex parking lot poisoned");
+        loop {
+            if self.state.word.swap(CONTENDED, Ordering::Acquire) == FREE {
+                // We acquired the lock; it stays marked CONTENDED so the
+                // release path will wake another sleeper if there is one.
+                return;
+            }
+            guard = self
+                .state
+                .sleep_cond
+                .wait(guard)
+                .expect("mutex parking lot poisoned");
+        }
+    }
+}
+
+impl RawLock for MutexLock {
+    const NAME: &'static str = "MUTEX";
+
+    #[inline]
+    fn lock(&self) {
+        self.state.queued.fetch_add(1, Ordering::Relaxed);
+        if self.try_acquire_fast() {
+            return;
+        }
+        self.lock_slow();
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        let prev = self.state.word.swap(FREE, Ordering::Release);
+        if prev == CONTENDED {
+            // Some waiter may be asleep (or about to sleep); taking the
+            // parking-lot mutex before notifying closes the lost-wakeup race.
+            let _guard = self
+                .state
+                .sleep_lock
+                .lock()
+                .expect("mutex parking lot poisoned");
+            self.state.sleep_cond.notify_one();
+        }
+        self.state.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.state.word.load(Ordering::Relaxed) != FREE
+    }
+}
+
+impl RawTryLock for MutexLock {
+    #[inline]
+    fn try_lock(&self) -> bool {
+        let acquired = self.try_acquire_fast();
+        if acquired {
+            self.state.queued.fetch_add(1, Ordering::Relaxed);
+        }
+        acquired
+    }
+}
+
+impl QueueInformed for MutexLock {
+    fn queue_length(&self) -> u64 {
+        self.state.queued.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lock_unlock_single_thread() {
+        let lock = MutexLock::new();
+        assert!(!lock.is_locked());
+        lock.lock();
+        assert!(lock.is_locked());
+        lock.unlock();
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn try_lock_semantics() {
+        let lock = MutexLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        crate::test_support::check_mutual_exclusion::<MutexLock>(8, 20_000);
+    }
+
+    #[test]
+    fn sleeping_waiters_are_woken() {
+        // Hold the lock long enough that waiters exhaust their spin budget
+        // and go to sleep, then release and check they all finish.
+        let lock = Arc::new(MutexLock::new());
+        lock.lock();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    l.lock();
+                    l.unlock();
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        lock.unlock();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!lock.is_locked());
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn queue_length_tracks_holder_and_waiters() {
+        let lock = Arc::new(MutexLock::new());
+        lock.lock();
+        assert_eq!(lock.queue_length(), 1);
+        let l = Arc::clone(&lock);
+        let waiter = std::thread::spawn(move || {
+            l.lock();
+            l.unlock();
+        });
+        while lock.queue_length() < 2 {
+            std::hint::spin_loop();
+        }
+        lock.unlock();
+        waiter.join().unwrap();
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn heavy_handover_does_not_deadlock() {
+        let lock = Arc::new(MutexLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        lock.lock();
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 60_000);
+    }
+}

@@ -1,0 +1,86 @@
+//! The raw lock traits shared by every algorithm in this crate.
+
+/// A raw mutual-exclusion lock: no data, just `lock` / `unlock`.
+///
+/// This mirrors the classic lock interface of §2 of the paper. All
+/// implementations in this crate are [`Send`] + [`Sync`] and constructible
+/// with [`Default`] so that higher layers (GLK, GLS) can create them lazily.
+///
+/// # Contract
+///
+/// `unlock` must only be called by the thread that currently holds the lock.
+/// Violations cannot cause memory unsafety with the implementations in this
+/// crate (they are checked or tolerated), but they break mutual exclusion —
+/// exactly the class of bug the GLS debug mode (§4.2) exists to detect.
+pub trait RawLock: Send + Sync + Default {
+    /// Human-readable algorithm name (e.g. `"TICKET"`), used in reports.
+    const NAME: &'static str;
+
+    /// Acquires the lock, blocking (spinning or sleeping) until it is held.
+    fn lock(&self);
+
+    /// Releases the lock.
+    fn unlock(&self);
+
+    /// Whether the lock is currently held by some thread.
+    ///
+    /// This is inherently racy and intended for diagnostics and tests only.
+    fn is_locked(&self) -> bool;
+}
+
+/// A lock that also supports a non-blocking acquisition attempt.
+pub trait RawTryLock: RawLock {
+    /// Attempts to acquire the lock without waiting; returns `true` on
+    /// success.
+    fn try_lock(&self) -> bool;
+}
+
+/// A lock able to report how many threads are currently involved with it
+/// (the holder plus any waiters).
+///
+/// GLK's contention metric is "the amount of queuing behind the lock" (§3):
+/// for a ticket lock this is `ticket - owner`, for MCS the paper counts queue
+/// nodes. Every lock used inside GLK implements this trait.
+pub trait QueueInformed: RawLock {
+    /// Number of threads holding or waiting for the lock right now.
+    ///
+    /// `0` means free and uncontended; `1` means held with no waiter.
+    fn queue_length(&self) -> u64;
+}
+
+/// Asserts at compile time that `T` is `Send` and `Sync`; used in tests.
+#[cfg(test)]
+pub(crate) fn assert_send_sync<T: Send + Sync>() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClhLock, McsLock, MutexLock, TasLock, TicketLock, TtasLock};
+
+    #[test]
+    fn all_locks_are_send_sync() {
+        assert_send_sync::<TasLock>();
+        assert_send_sync::<TtasLock>();
+        assert_send_sync::<TicketLock>();
+        assert_send_sync::<McsLock>();
+        assert_send_sync::<ClhLock>();
+        assert_send_sync::<MutexLock>();
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            TasLock::NAME,
+            TtasLock::NAME,
+            TicketLock::NAME,
+            McsLock::NAME,
+            ClhLock::NAME,
+            MutexLock::NAME,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in names.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

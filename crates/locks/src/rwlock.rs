@@ -1,0 +1,278 @@
+//! A TTAS-based reader-writer lock.
+//!
+//! Several of the evaluated systems (Kyoto Cabinet, SQLite) protect their
+//! main data structure with reader-writer locks. The paper overloads the
+//! `pthread` reader-writer locks "with our custom TTAS-based implementation"
+//! (§5.2, footnote 7); this module is that implementation, carrying the data
+//! it protects like [`std::sync::RwLock`].
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::backoff::Backoff;
+use crate::cache_padded::CachePadded;
+
+/// Writer-held flag (high bit); the remaining bits count active readers.
+const WRITER: u32 = 1 << 31;
+
+/// A spinning reader-writer lock protecting a value of type `T`.
+///
+/// Readers share access; a writer excludes everyone. Waiting is TTAS-style
+/// busy waiting with exponential backoff.
+///
+/// # Example
+///
+/// ```
+/// use gls_locks::RwTtasLock;
+///
+/// let lock = RwTtasLock::new(vec![1, 2, 3]);
+/// assert_eq!(lock.read().len(), 3);
+/// lock.write().push(4);
+/// assert_eq!(lock.read().len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct RwTtasLock<T> {
+    state: CachePadded<AtomicU32>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is mediated by the reader/writer protocol below.
+unsafe impl<T: Send> Send for RwTtasLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwTtasLock<T> {}
+
+impl<T> RwTtasLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            state: CachePadded::new(AtomicU32::new(0)),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Acquires shared (read) access, spinning until no writer holds the lock.
+    pub fn read(&self) -> RwTtasReadGuard<'_, T> {
+        let mut backoff = Backoff::new();
+        loop {
+            let current = self.state.load(Ordering::Relaxed);
+            if current & WRITER == 0 {
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        current,
+                        current + 1,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return RwTtasReadGuard { lock: self };
+                }
+            }
+            backoff.spin();
+        }
+    }
+
+    /// Attempts to acquire shared access without waiting.
+    pub fn try_read(&self) -> Option<RwTtasReadGuard<'_, T>> {
+        let current = self.state.load(Ordering::Relaxed);
+        if current & WRITER != 0 {
+            return None;
+        }
+        self.state
+            .compare_exchange(current, current + 1, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| RwTtasReadGuard { lock: self })
+    }
+
+    /// Acquires exclusive (write) access, spinning until all readers and any
+    /// writer have left.
+    pub fn write(&self) -> RwTtasWriteGuard<'_, T> {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.state.load(Ordering::Relaxed) == 0
+                && self
+                    .state
+                    .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return RwTtasWriteGuard { lock: self };
+            }
+            backoff.spin();
+        }
+    }
+
+    /// Attempts to acquire exclusive access without waiting.
+    pub fn try_write(&self) -> Option<RwTtasWriteGuard<'_, T>> {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| RwTtasWriteGuard { lock: self })
+    }
+
+    /// Whether a writer currently holds the lock.
+    pub fn is_write_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & WRITER != 0
+    }
+
+    /// Number of readers currently holding the lock.
+    pub fn reader_count(&self) -> u32 {
+        self.state.load(Ordering::Relaxed) & !WRITER
+    }
+
+    /// Mutable access without locking; requires `&mut self`, so it is
+    /// statically race-free.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Shared-access guard returned by [`RwTtasLock::read`].
+#[derive(Debug)]
+pub struct RwTtasReadGuard<'a, T> {
+    lock: &'a RwTtasLock<T>,
+}
+
+impl<T> std::ops::Deref for RwTtasReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: readers have shared access while the reader count is held.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwTtasReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive-access guard returned by [`RwTtasLock::write`].
+#[derive(Debug)]
+pub struct RwTtasWriteGuard<'a, T> {
+    lock: &'a RwTtasLock<T>,
+}
+
+impl<T> std::ops::Deref for RwTtasWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the writer flag grants exclusive access.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwTtasWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the writer flag grants exclusive access.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwTtasWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = RwTtasLock::new(10u64);
+        assert_eq!(*lock.read(), 10);
+        *lock.write() += 5;
+        assert_eq!(*lock.read(), 15);
+        assert_eq!(lock.into_inner(), 15);
+    }
+
+    #[test]
+    fn multiple_concurrent_readers() {
+        let lock = RwTtasLock::new(0u64);
+        let r1 = lock.read();
+        let r2 = lock.read();
+        assert_eq!(lock.reader_count(), 2);
+        assert!(lock.try_write().is_none());
+        drop(r1);
+        drop(r2);
+        assert!(lock.try_write().is_some());
+    }
+
+    #[test]
+    fn writer_excludes_readers() {
+        let lock = RwTtasLock::new(0u64);
+        let w = lock.write();
+        assert!(lock.is_write_locked());
+        assert!(lock.try_read().is_none());
+        drop(w);
+        assert!(lock.try_read().is_some());
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut lock = RwTtasLock::new(1u64);
+        *lock.get_mut() = 9;
+        assert_eq!(*lock.read(), 9);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_updates() {
+        let lock = Arc::new(RwTtasLock::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        *lock.write() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 80_000);
+    }
+
+    #[test]
+    fn readers_and_writers_interleave_consistently() {
+        let lock = Arc::new(RwTtasLock::new((0u64, 0u64)));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        let mut g = lock.write();
+                        g.0 += 1;
+                        g.1 += 1;
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        let g = lock.read();
+                        // Both halves must always agree: a torn view would
+                        // mean a reader overlapped a writer.
+                        assert_eq!(g.0, g.1);
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.read().0, 20_000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Ticket spinlock.
+//!
+//! The paper picks the ticket lock as GLK's low-contention mode because it is
+//! fair and more scalable than TAS/TTAS (§3). A ticket lock keeps two
+//! counters: `ticket` (next ticket to hand out) and `owner` (ticket currently
+//! being served). The difference between them is exactly the amount of
+//! queuing behind the lock — the statistic GLK's adaptation feeds on — so the
+//! lock provides it "by design", for free.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::cache_padded::CachePadded;
+use crate::raw::{QueueInformed, RawLock, RawTryLock};
+
+/// A fair ticket spinlock, padded to one cache line.
+///
+/// # Example
+///
+/// ```
+/// use gls_locks::{QueueInformed, RawLock, TicketLock};
+///
+/// let lock = TicketLock::new();
+/// lock.lock();
+/// assert_eq!(lock.queue_length(), 1); // holder, no waiters
+/// lock.unlock();
+/// assert_eq!(lock.queue_length(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    state: CachePadded<TicketState>,
+}
+
+#[derive(Debug, Default)]
+struct TicketState {
+    /// Next ticket to be handed out.
+    ticket: AtomicU32,
+    /// Ticket currently allowed to enter the critical section.
+    owner: AtomicU32,
+}
+
+impl TicketLock {
+    /// Creates an unlocked ticket lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `(ticket, owner)`; used by tests and by GLK's statistics.
+    pub fn counters(&self) -> (u32, u32) {
+        (
+            self.state.ticket.load(Ordering::Relaxed),
+            self.state.owner.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl RawLock for TicketLock {
+    const NAME: &'static str = "TICKET";
+
+    #[inline]
+    fn lock(&self) {
+        let my_ticket = self.state.ticket.fetch_add(1, Ordering::Relaxed);
+        // Spin until it is our turn. Acquire on the load that observes our
+        // ticket so the critical section cannot float above it.
+        while self.state.owner.load(Ordering::Acquire) != my_ticket {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        // Only the holder increments `owner`, so a plain add is fine.
+        let owner = self.state.owner.load(Ordering::Relaxed);
+        self.state.owner.store(owner.wrapping_add(1), Ordering::Release);
+    }
+
+    fn is_locked(&self) -> bool {
+        let (ticket, owner) = self.counters();
+        ticket != owner
+    }
+}
+
+impl RawTryLock for TicketLock {
+    #[inline]
+    fn try_lock(&self) -> bool {
+        let owner = self.state.owner.load(Ordering::Relaxed);
+        // Succeed only if no one holds or waits: ticket == owner, and we can
+        // atomically grab that ticket.
+        self.state
+            .ticket
+            .compare_exchange(owner, owner.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+impl QueueInformed for TicketLock {
+    /// `ticket - owner`: the holder plus all waiters (paper §3, "Measuring
+    /// Contention").
+    fn queue_length(&self) -> u64 {
+        let (ticket, owner) = self.counters();
+        u64::from(ticket.wrapping_sub(owner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_unlock_cycle() {
+        let lock = TicketLock::new();
+        assert!(!lock.is_locked());
+        lock.lock();
+        assert!(lock.is_locked());
+        lock.unlock();
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn try_lock_only_succeeds_when_free() {
+        let lock = TicketLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn queue_length_reflects_waiters() {
+        let lock = Arc::new(TicketLock::new());
+        lock.lock();
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let l = Arc::clone(&lock);
+            handles.push(std::thread::spawn(move || {
+                l.lock();
+                l.unlock();
+            }));
+        }
+        while lock.queue_length() < 4 {
+            std::hint::spin_loop();
+        }
+        assert_eq!(lock.queue_length(), 4); // holder + 3 waiters
+        lock.unlock();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        crate::test_support::check_mutual_exclusion::<TicketLock>(8, 20_000);
+    }
+
+    #[test]
+    fn fifo_ordering_of_grants() {
+        // With a ticket lock, acquisition order must match ticket order.
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let lock = Arc::new(TicketLock::new());
+        let order = Arc::new(AtomicU32::new(0));
+        lock.lock();
+        let mut handles = Vec::new();
+        let mut expected = Vec::new();
+        for i in 0..4u32 {
+            let l = Arc::clone(&lock);
+            let o = Arc::clone(&order);
+            // Serialize enqueueing so ticket order is deterministic.
+            while lock.queue_length() < u64::from(i) + 1 {
+                std::hint::spin_loop();
+            }
+            handles.push(std::thread::spawn(move || {
+                l.lock();
+                let pos = o.fetch_add(1, Ordering::SeqCst);
+                l.unlock();
+                (i, pos)
+            }));
+            expected.push(i);
+            while lock.queue_length() < u64::from(i) + 2 {
+                std::hint::spin_loop();
+            }
+        }
+        lock.unlock();
+        let mut results: Vec<(u32, u32)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by_key(|&(_, pos)| pos);
+        let served: Vec<u32> = results.iter().map(|&(i, _)| i).collect();
+        assert_eq!(served, expected, "ticket lock should serve FIFO");
+    }
+
+    #[test]
+    fn counters_wrap_safely() {
+        let lock = TicketLock::new();
+        lock.state.ticket.store(u32::MAX, Ordering::Relaxed);
+        lock.state.owner.store(u32::MAX, Ordering::Relaxed);
+        lock.lock();
+        assert_eq!(lock.queue_length(), 1);
+        lock.unlock();
+        assert_eq!(lock.queue_length(), 0);
+        assert!(!lock.is_locked());
+    }
+}

@@ -1,0 +1,183 @@
+//! Exponential moving average used to smooth per-lock contention statistics.
+//!
+//! GLK keeps "the exponential moving average of the statistics in order to
+//! hide possible short-term workload fluctuations" (§3). The adaptation
+//! decision (ticket ↔ mcs) is made on the smoothed queue length, not on the
+//! raw per-period sample.
+
+/// An exponential moving average over `f64` samples.
+///
+/// The smoothing factor `alpha` is the weight of the newest sample:
+/// `ema_new = alpha * sample + (1 - alpha) * ema_old`. Before the first
+/// sample is observed the average reports `0.0` and [`Ema::is_empty`] is true.
+///
+/// # Example
+///
+/// ```
+/// use gls_runtime::Ema;
+///
+/// let mut ema = Ema::new(0.5);
+/// ema.record(4.0);
+/// ema.record(0.0);
+/// assert!((ema.value() - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ema {
+    alpha: f64,
+    value: f64,
+    samples: u64,
+}
+
+impl Ema {
+    /// Creates a new average with the given smoothing factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0.0, 1.0]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EMA smoothing factor must be in (0, 1], got {alpha}"
+        );
+        Self {
+            alpha,
+            value: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// The smoothing factor this average was created with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Records one sample.
+    ///
+    /// The first sample initializes the average directly (no bias towards the
+    /// zero starting value).
+    pub fn record(&mut self, sample: f64) {
+        if self.samples == 0 {
+            self.value = sample;
+        } else {
+            self.value = self.alpha * sample + (1.0 - self.alpha) * self.value;
+        }
+        self.samples += 1;
+    }
+
+    /// Current value of the average (`0.0` before any sample).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// True if no sample has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Clears the average back to its initial state.
+    pub fn reset(&mut self) {
+        self.value = 0.0;
+        self.samples = 0;
+    }
+}
+
+impl Default for Ema {
+    /// An EMA with the smoothing factor used by the GLK defaults (0.5).
+    fn default() -> Self {
+        Self::new(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn starts_empty() {
+        let ema = Ema::new(0.3);
+        assert!(ema.is_empty());
+        assert_eq!(ema.value(), 0.0);
+        assert_eq!(ema.samples(), 0);
+    }
+
+    #[test]
+    fn first_sample_initializes_directly() {
+        let mut ema = Ema::new(0.1);
+        ema.record(10.0);
+        assert_eq!(ema.value(), 10.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_last_sample() {
+        let mut ema = Ema::new(1.0);
+        for s in [3.0, 7.0, 1.0, 9.0] {
+            ema.record(s);
+            assert_eq!(ema.value(), s);
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ema = Ema::new(0.5);
+        ema.record(5.0);
+        ema.reset();
+        assert!(ema.is_empty());
+        assert_eq!(ema.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn zero_alpha_rejected() {
+        let _ = Ema::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing factor")]
+    fn large_alpha_rejected() {
+        let _ = Ema::new(1.5);
+    }
+
+    #[test]
+    fn converges_towards_constant_input() {
+        let mut ema = Ema::new(0.25);
+        ema.record(0.0);
+        for _ in 0..200 {
+            ema.record(8.0);
+        }
+        assert!((ema.value() - 8.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// The EMA always stays within the [min, max] envelope of its inputs.
+        #[test]
+        fn stays_within_input_envelope(
+            alpha in 0.01f64..=1.0,
+            samples in proptest::collection::vec(-1e6f64..1e6, 1..64)
+        ) {
+            let mut ema = Ema::new(alpha);
+            for &s in &samples {
+                ema.record(s);
+            }
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(ema.value() >= min - 1e-9);
+            prop_assert!(ema.value() <= max + 1e-9);
+        }
+
+        /// Recording the same value repeatedly keeps the average at that value.
+        #[test]
+        fn constant_input_is_fixed_point(alpha in 0.01f64..=1.0, v in -1e6f64..1e6, n in 1usize..50) {
+            let mut ema = Ema::new(alpha);
+            for _ in 0..n {
+                ema.record(v);
+            }
+            prop_assert!((ema.value() - v).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! A small log-scaled latency histogram used by the GLS profiler.
+//!
+//! The profiler (§4.3) reports per-lock acquisition latency and
+//! critical-section duration. A fixed-size power-of-two-bucketed histogram
+//! gives percentiles with constant memory and no allocation on the hot path.
+
+/// Number of buckets: bucket `i` holds samples in `[2^i, 2^(i+1))` cycles,
+/// with bucket 0 holding `[0, 2)` and the last bucket holding everything
+/// larger.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of cycle counts.
+///
+/// # Example
+///
+/// ```
+/// use gls_runtime::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.mean() > 0.0);
+/// assert!(h.percentile(0.5) <= h.percentile(0.99));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < 2 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize - 1).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample (in cycles).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the samples (`0.0` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (`0` if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (`0` if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`), reported as the upper bound
+    /// of the bucket containing the q-th sample. Returns `0` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0.0, 1.0]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Upper bound of bucket i.
+                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+            }
+        }
+        self.max
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+    }
+
+    #[test]
+    fn single_sample_statistics() {
+        let mut h = LatencyHistogram::new();
+        h.record(100);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 100.0);
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 100);
+        assert!(h.percentile(1.0) >= 100);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 1);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_validates_range() {
+        LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut h = LatencyHistogram::new();
+        h.record(5);
+        h.reset();
+        assert!(h.is_empty());
+    }
+
+    proptest! {
+        /// Percentiles are monotone in q and bounded by min/max buckets.
+        #[test]
+        fn percentiles_are_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let p50 = h.percentile(0.5);
+            let p90 = h.percentile(0.9);
+            let p99 = h.percentile(0.99);
+            prop_assert!(p50 <= p90);
+            prop_assert!(p90 <= p99);
+            prop_assert!(h.mean() >= h.min() as f64);
+            prop_assert!(h.mean() <= h.max() as f64);
+        }
+
+        /// Mean equals the true arithmetic mean (exact sums are kept).
+        #[test]
+        fn mean_is_exact(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = LatencyHistogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let expect = samples.iter().map(|&s| s as f64).sum::<f64>() / samples.len() as f64;
+            prop_assert!((h.mean() - expect).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Shared runtime substrate for the GLS locking-middleware reproduction.
+//!
+//! The paper "Locking Made Easy" (Middleware'16) builds its adaptive lock
+//! (GLK) and locking service (GLS) on top of a handful of small runtime
+//! facilities that are not themselves lock algorithms:
+//!
+//! * a cheap way to measure short durations in **CPU cycles** and to busy-wait
+//!   for a given number of cycles (critical-section simulation, latency
+//!   measurements) — [`cycles`];
+//! * an **exponential moving average** used to smooth the per-lock queuing
+//!   statistics that drive adaptation — [`ema`];
+//! * small, dense, reusable **thread identifiers** used by the debug and
+//!   deadlock-detection machinery — [`thread_id`];
+//! * knowledge of how many **hardware contexts** the machine offers —
+//!   [`topology`];
+//! * the **system-load monitor**, the paper's background thread that detects
+//!   multiprogramming (more runnable tasks than hardware contexts) and tells
+//!   every GLK lock in the process to consider switching to its blocking
+//!   mutex mode — [`sysload`];
+//! * per-lock **statistics counters** and a tiny log-scaled **histogram**
+//!   used by the GLS profiler — [`stats`] and [`histogram`].
+//!
+//! Everything in this crate is dependency-free and usable from both the core
+//! `gls` crate and the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! use gls_runtime::cycles;
+//!
+//! let start = cycles::now();
+//! cycles::spin_for(1_000); // simulate a 1000-cycle critical section
+//! assert!(cycles::now() >= start);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cycles;
+pub mod ema;
+pub mod histogram;
+pub mod stats;
+pub mod sysload;
+pub mod thread_id;
+pub mod topology;
+
+pub use cycles::{now as cycles_now, spin_for as spin_cycles};
+pub use ema::Ema;
+pub use histogram::LatencyHistogram;
+pub use stats::LockStats;
+pub use sysload::{SystemLoadMonitor, SystemLoadSnapshot};
+pub use thread_id::ThreadId;
+pub use topology::hardware_contexts;

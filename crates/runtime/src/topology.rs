@@ -1,0 +1,105 @@
+//! Hardware-context topology information.
+//!
+//! GLK's multiprogramming detector compares the number of runnable tasks to
+//! the number of available hardware contexts (§3, "Measuring Contention").
+//! This module provides the latter, with an environment-variable override so
+//! experiments can emulate a smaller machine (e.g. the paper's 20- and
+//! 48-context Xeons) without changing code.
+
+use std::sync::OnceLock;
+
+/// Environment variable that overrides the detected number of hardware
+/// contexts. Useful for reproducing multiprogramming behaviour on machines
+/// with a different core count than the paper's.
+pub const HW_CONTEXTS_ENV: &str = "GLS_HW_CONTEXTS";
+
+/// Returns the number of hardware contexts (logical CPUs) available to this
+/// process.
+///
+/// Resolution order:
+/// 1. the [`HW_CONTEXTS_ENV`] environment variable, if set and parseable;
+/// 2. [`std::thread::available_parallelism`];
+/// 3. a conservative fallback of `1`.
+///
+/// The value is computed once and cached for the lifetime of the process.
+pub fn hardware_contexts() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(detect)
+}
+
+/// Detects the hardware context count without caching (used by tests).
+pub fn detect() -> usize {
+    if let Ok(v) = std::env::var(HW_CONTEXTS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A suggested thread-count sweep for contention experiments: 1, 2, 3, ... up
+/// to `factor` times the number of hardware contexts, thinning out the large
+/// counts to keep sweeps tractable.
+///
+/// The paper sweeps 1..60 threads on a 48-context machine (1.25x
+/// oversubscription); `sweep(1.25)` reproduces that shape on any host.
+pub fn sweep(factor: f64) -> Vec<usize> {
+    let hw = hardware_contexts();
+    let max = ((hw as f64) * factor).ceil() as usize;
+    let max = max.max(2);
+    let mut out = Vec::new();
+    let mut t = 1usize;
+    while t <= max {
+        out.push(t);
+        // Dense at the low end (where ticket/mcs crossovers live), sparser
+        // towards the top.
+        let step = if t < 4 {
+            1
+        } else if t < 16 {
+            2
+        } else {
+            4
+        };
+        t += step;
+    }
+    if *out.last().unwrap() != max {
+        out.push(max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_contexts_is_positive_and_cached() {
+        let a = hardware_contexts();
+        let b = hardware_contexts();
+        assert!(a >= 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detect_is_positive() {
+        assert!(detect() >= 1);
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_starts_at_one() {
+        let s = sweep(1.25);
+        assert_eq!(s[0], 1);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sweep_covers_oversubscription() {
+        let s = sweep(1.5);
+        let hw = hardware_contexts();
+        assert!(*s.last().unwrap() >= hw.max(2));
+    }
+}

@@ -1,0 +1,243 @@
+//! HamsterDB-like embedded key-value store: one global lock.
+//!
+//! "The HamsterDB embedded key-value store relies on a global lock. Of
+//! course, the contention on that lock is very high. [...] Consequently, we
+//! use just two threads as the application cannot scale further." (§5.2)
+//!
+//! The store is a B-tree (here a `BTreeMap`) guarded by a single mutex from
+//! the [`LockProvider`]; the workload issues random reads and writes with a
+//! configurable read ratio (the paper's WT / WT-RD / RD configurations are
+//! 10%, 50% and 90% reads).
+
+use std::cell::UnsafeCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::lock_provider::{AppMutex, LockProvider};
+use crate::result::SystemResult;
+
+/// Workload configuration for the HamsterDB experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HamsterConfig {
+    /// Number of worker threads (the paper uses 2).
+    pub threads: usize,
+    /// Fraction of read operations, in percent (10 = WT, 50 = WT/RD, 90 = RD).
+    pub read_percent: u32,
+    /// Number of keys pre-loaded into the store.
+    pub keys: u64,
+    /// Measurement duration.
+    pub duration: Duration,
+}
+
+impl Default for HamsterConfig {
+    fn default() -> Self {
+        Self {
+            threads: 2,
+            read_percent: 50,
+            keys: 100_000,
+            duration: Duration::from_millis(300),
+        }
+    }
+}
+
+impl HamsterConfig {
+    /// The paper's three configurations: (label, read percentage).
+    pub fn paper_configs() -> [(&'static str, u32); 3] {
+        [("WT", 10), ("WT/RD", 50), ("RD", 90)]
+    }
+}
+
+/// The embedded store: a B-tree entirely serialized by one global lock.
+#[derive(Debug)]
+pub struct HamsterDb {
+    global_lock: AppMutex,
+    tree: UnsafeCell<BTreeMap<u64, u64>>,
+}
+
+// SAFETY: all access to `tree` happens under `global_lock`.
+unsafe impl Sync for HamsterDb {}
+unsafe impl Send for HamsterDb {}
+
+impl HamsterDb {
+    /// Creates an empty store whose global lock comes from `provider`.
+    pub fn new(provider: &LockProvider) -> Self {
+        Self {
+            // The global lock is, by construction, the hottest lock in the
+            // system.
+            global_lock: provider.new_contended_mutex(),
+            tree: UnsafeCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Loads `keys` sequential keys.
+    pub fn load(&self, keys: u64) {
+        self.global_lock.with(|| {
+            // SAFETY: global lock held.
+            let tree = unsafe { &mut *self.tree.get() };
+            for k in 0..keys {
+                tree.insert(k, k.wrapping_mul(31));
+            }
+        });
+    }
+
+    /// Reads one key.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.global_lock.with(|| {
+            // SAFETY: global lock held.
+            unsafe { (*self.tree.get()).get(&key).copied() }
+        })
+    }
+
+    /// Writes one key.
+    pub fn put(&self, key: u64, value: u64) {
+        self.global_lock.with(|| {
+            // SAFETY: global lock held.
+            unsafe {
+                (*self.tree.get()).insert(key, value);
+            }
+        });
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.global_lock.with(|| {
+            // SAFETY: global lock held.
+            unsafe { (*self.tree.get()).len() }
+        })
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Runs the HamsterDB workload and reports throughput.
+pub fn run(provider: &LockProvider, config: &HamsterConfig) -> SystemResult {
+    let db = Arc::new(HamsterDb::new(provider));
+    db.load(config.keys);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..config.threads)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let read_percent = config.read_percent;
+            let keys = config.keys;
+            std::thread::spawn(move || {
+                // Count this worker towards the process-wide runnable-task
+                // count so GLK's multiprogramming detector can see it.
+                let _runnable = gls_runtime::SystemLoadMonitor::global().runnable_guard();
+                let mut rng = StdRng::seed_from_u64(0xDB + t as u64);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(0..keys);
+                    if rng.gen_range(0..100) < read_percent {
+                        let _ = db.get(key);
+                    } else {
+                        db.put(key, ops);
+                    }
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    let operations = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    SystemResult {
+        system: "HamsterDB",
+        config: format!("{}% reads", config.read_percent),
+        lock: provider.label(),
+        operations,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gls_locks::LockKind;
+
+    #[test]
+    fn store_get_put_roundtrip() {
+        let db = HamsterDb::new(&LockProvider::mutex());
+        assert!(db.is_empty());
+        db.put(7, 70);
+        assert_eq!(db.get(7), Some(70));
+        assert_eq!(db.get(8), None);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn load_populates_sequential_keys() {
+        let db = HamsterDb::new(&LockProvider::mutex());
+        db.load(1_000);
+        assert_eq!(db.len(), 1_000);
+        assert_eq!(db.get(999), Some(999u64.wrapping_mul(31)));
+    }
+
+    #[test]
+    fn concurrent_updates_are_serialized_by_the_global_lock() {
+        let db = Arc::new(HamsterDb::new(&LockProvider::Direct(LockKind::Ticket)));
+        db.put(0, 0);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for _ in 0..2_500 {
+                        let current = db.get(0).unwrap();
+                        db.put(0, current + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Read-modify-write across two critical sections can lose updates,
+        // but the structure itself must stay consistent and non-empty.
+        assert!(db.get(0).unwrap() > 0);
+    }
+
+    #[test]
+    fn workload_produces_throughput_for_all_providers() {
+        let config = HamsterConfig {
+            threads: 2,
+            read_percent: 90,
+            keys: 10_000,
+            duration: Duration::from_millis(80),
+        };
+        for provider in [
+            LockProvider::mutex(),
+            LockProvider::Direct(LockKind::Ticket),
+            LockProvider::Direct(LockKind::Mcs),
+            LockProvider::glk(),
+        ] {
+            let result = run(&provider, &config);
+            assert!(
+                result.operations > 100,
+                "{} produced {} ops",
+                provider.label(),
+                result.operations
+            );
+            assert_eq!(result.system, "HamsterDB");
+        }
+    }
+
+    #[test]
+    fn paper_configs_cover_three_read_ratios() {
+        let configs = HamsterConfig::paper_configs();
+        assert_eq!(configs.len(), 3);
+        assert_eq!(configs[0], ("WT", 10));
+        assert_eq!(configs[2], ("RD", 90));
+    }
+}

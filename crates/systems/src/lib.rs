@@ -1,0 +1,35 @@
+//! Miniature lock-based systems for the GLS/GLK evaluation (§5 of the paper).
+//!
+//! The paper plugs its locks into five real systems by overloading the
+//! `pthread` mutex (and reader-writer lock) functions. This crate rebuilds
+//! laptop-scale versions of those systems that preserve the property the
+//! experiments depend on — each system's **locking architecture** (how many
+//! locks, which are global, how skewed the traffic, how deep the nesting,
+//! whether threads are oversubscribed) — while shrinking the data plane. Each
+//! system is parameterized over a [`LockProvider`], the Rust equivalent of
+//! swapping the `pthread` library underneath an unmodified application:
+//!
+//! | Module | Paper system | Locking architecture kept |
+//! |---|---|---|
+//! | [`hamsterdb`] | HamsterDB 2.1.7 | one global lock in front of the whole store |
+//! | [`kyoto`] | Kyoto Cabinet 1.2.76 | global reader-writer lock + 16 bucket-group mutexes (+ nesting for CACHE); B+-tree node rwlocks + contended node-cache mutexes |
+//! | [`memcached`] | Memcached 1.4.22 | per-bucket item locks, global stats/slabs/LRU/rebalance locks, worker threads; plus the two latent locking bugs of §5.1 |
+//! | [`mysql`] | MySQL 5.6 + LinkBench | custom semaphore-style buffer-pool locks with oversubscribed worker threads (MEM and SSD configurations) |
+//! | [`sqlite`] | SQLite 3.8.5 + TPC-C | per-connection mutex, allocator mutex, cache mutex, B-tree node rwlocks; 8–64 connections |
+//!
+//! All systems share the [`SystemResult`] output shape consumed by the
+//! figure-reproduction binaries in `gls-bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hamsterdb;
+pub mod kyoto;
+pub mod lock_provider;
+pub mod memcached;
+pub mod mysql;
+pub mod result;
+pub mod sqlite;
+
+pub use lock_provider::{AppMutex, AppRwLock, LockProvider};
+pub use result::SystemResult;

@@ -1,0 +1,453 @@
+//! The pluggable locking facade used by every simulated system.
+//!
+//! In the paper, "modifying locks is as simple as overloading the pthread
+//! mutex functions with our own lock implementations" (§5). [`LockProvider`]
+//! plays that role here: a system asks the provider for its mutexes and
+//! reader-writer locks, and the experiment harness decides whether those are
+//! MUTEX, TICKET, MCS, GLK, or GLS-mediated locks — without the system code
+//! changing.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use gls::glk::{GlkConfig, GlkLock, MonitorHandle};
+use gls::{GlsConfig, GlsService};
+use gls_locks::{
+    ClhLock, LockKind, McsLock, MutexLock, RawLock, RawTryLock, RwTtasLock, TasLock, TicketLock,
+    TtasLock,
+};
+
+/// Distinct synthetic addresses handed to GLS-backed locks.
+static NEXT_ADDR: AtomicUsize = AtomicUsize::new(0x4000_0000);
+
+fn fresh_addr() -> usize {
+    NEXT_ADDR.fetch_add(64, Ordering::Relaxed)
+}
+
+/// Chooses which lock implementation the simulated systems receive.
+#[derive(Clone)]
+pub enum LockProvider {
+    /// A concrete algorithm used directly (the "overload pthread mutex with
+    /// algorithm X" configuration of Figures 14/15). `LockKind::Mutex` is the
+    /// systems' default/baseline.
+    Direct(LockKind),
+    /// GLK used directly with a custom configuration and load monitor.
+    Glk {
+        /// GLK configuration for every created lock.
+        config: GlkConfig,
+        /// System-load monitor consulted for multiprogramming.
+        monitor: MonitorHandle,
+    },
+    /// Locks obtained through a shared GLS service using its default
+    /// algorithm (the "GLS" rewrite of Memcached in Figure 13).
+    Gls(Arc<GlsService>),
+    /// Locks obtained through a shared GLS service with an explicitly chosen
+    /// algorithm per lock *purpose* (the "GLS SPECIALIZED" configuration):
+    /// `contended_kind` for locks the caller marks as hot, `default_kind`
+    /// for the rest.
+    GlsSpecialized {
+        /// The shared service.
+        service: Arc<GlsService>,
+        /// Algorithm for hot (contended) locks.
+        contended_kind: LockKind,
+        /// Algorithm for everything else.
+        default_kind: LockKind,
+    },
+}
+
+impl fmt::Debug for LockProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LockProvider({})", self.label())
+    }
+}
+
+impl LockProvider {
+    /// Baseline provider: the systems' default blocking mutex.
+    pub fn mutex() -> Self {
+        LockProvider::Direct(LockKind::Mutex)
+    }
+
+    /// GLK provider with paper-default settings and the global load monitor.
+    pub fn glk() -> Self {
+        LockProvider::Glk {
+            config: GlkConfig::default(),
+            monitor: MonitorHandle::Global,
+        }
+    }
+
+    /// GLS provider with a fresh service using the default (GLK) algorithm.
+    pub fn gls() -> Self {
+        LockProvider::Gls(Arc::new(GlsService::with_config(GlsConfig::default())))
+    }
+
+    /// GLS provider with explicit per-purpose algorithms (MCS for contended
+    /// locks, TICKET elsewhere — the choice §5.1 arrives at for Memcached).
+    pub fn gls_specialized() -> Self {
+        LockProvider::GlsSpecialized {
+            service: Arc::new(GlsService::with_config(GlsConfig::default())),
+            contended_kind: LockKind::Mcs,
+            default_kind: LockKind::Ticket,
+        }
+    }
+
+    /// Display label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            LockProvider::Direct(kind) => kind.name().to_string(),
+            LockProvider::Glk { .. } => "GLK".to_string(),
+            LockProvider::Gls(_) => "GLS".to_string(),
+            LockProvider::GlsSpecialized { .. } => "GLS SPECIALIZED".to_string(),
+        }
+    }
+
+    /// Creates a mutex for ordinary (not known-hot) use.
+    pub fn new_mutex(&self) -> AppMutex {
+        self.make_mutex(false)
+    }
+
+    /// Creates a mutex for a lock the system knows is highly contended
+    /// (e.g. a global stats lock). Only the `GlsSpecialized` provider treats
+    /// this differently.
+    pub fn new_contended_mutex(&self) -> AppMutex {
+        self.make_mutex(true)
+    }
+
+    fn make_mutex(&self, contended: bool) -> AppMutex {
+        let inner = match self {
+            LockProvider::Direct(kind) => MutexImpl::Raw(make_raw(*kind)),
+            LockProvider::Glk { config, monitor } => MutexImpl::Raw(Arc::new(GlkRaw(
+                GlkLock::with_config_and_monitor(config.clone(), monitor.clone()),
+            ))),
+            LockProvider::Gls(service) => MutexImpl::Gls {
+                service: Arc::clone(service),
+                addr: fresh_addr(),
+                kind: None,
+            },
+            LockProvider::GlsSpecialized {
+                service,
+                contended_kind,
+                default_kind,
+            } => MutexImpl::Gls {
+                service: Arc::clone(service),
+                addr: fresh_addr(),
+                kind: Some(if contended { *contended_kind } else { *default_kind }),
+            },
+        };
+        AppMutex { inner }
+    }
+
+    /// Creates a reader-writer lock. For every provider except the MUTEX
+    /// baseline this is the TTAS-based rwlock the paper substitutes for
+    /// `pthread_rwlock` (§5.2, footnote 7); the MUTEX baseline uses the
+    /// standard blocking rwlock.
+    pub fn new_rwlock(&self) -> AppRwLock {
+        match self {
+            LockProvider::Direct(LockKind::Mutex) => AppRwLock {
+                inner: RwImpl::Blocking(std::sync::RwLock::new(())),
+            },
+            _ => AppRwLock {
+                inner: RwImpl::Ttas(RwTtasLock::new(())),
+            },
+        }
+    }
+
+    /// The GLS service backing this provider, if any (used by the Memcached
+    /// experiment to pull profiler reports and issue logs).
+    pub fn service(&self) -> Option<&Arc<GlsService>> {
+        match self {
+            LockProvider::Gls(service) => Some(service),
+            LockProvider::GlsSpecialized { service, .. } => Some(service),
+            _ => None,
+        }
+    }
+}
+
+/// Object-safe raw-lock facade for the direct providers.
+trait RawFacade: Send + Sync {
+    fn lock(&self);
+    fn unlock(&self);
+    fn try_lock(&self) -> bool;
+}
+
+struct Raw<L>(L);
+
+impl<L: RawLock + RawTryLock> RawFacade for Raw<L> {
+    fn lock(&self) {
+        self.0.lock()
+    }
+    fn unlock(&self) {
+        self.0.unlock()
+    }
+    fn try_lock(&self) -> bool {
+        self.0.try_lock()
+    }
+}
+
+struct GlkRaw(GlkLock);
+
+impl RawFacade for GlkRaw {
+    fn lock(&self) {
+        self.0.lock()
+    }
+    fn unlock(&self) {
+        self.0.unlock()
+    }
+    fn try_lock(&self) -> bool {
+        self.0.try_lock()
+    }
+}
+
+fn make_raw(kind: LockKind) -> Arc<dyn RawFacade> {
+    match kind {
+        LockKind::Tas => Arc::new(Raw(TasLock::new())),
+        LockKind::Ttas => Arc::new(Raw(TtasLock::new())),
+        LockKind::Ticket => Arc::new(Raw(TicketLock::new())),
+        LockKind::Mcs => Arc::new(Raw(McsLock::new())),
+        LockKind::Clh => Arc::new(Raw(ClhLock::new())),
+        LockKind::Mutex => Arc::new(Raw(MutexLock::new())),
+        LockKind::Glk => Arc::new(GlkRaw(GlkLock::new())),
+    }
+}
+
+enum MutexImpl {
+    Raw(Arc<dyn RawFacade>),
+    Gls {
+        service: Arc<GlsService>,
+        addr: usize,
+        /// `None` = the service's default interface (GLK); `Some(kind)` = the
+        /// explicit per-algorithm interface.
+        kind: Option<LockKind>,
+    },
+}
+
+/// A mutex handle handed to the simulated systems.
+pub struct AppMutex {
+    inner: MutexImpl,
+}
+
+impl fmt::Debug for AppMutex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            MutexImpl::Raw(_) => write!(f, "AppMutex(raw)"),
+            MutexImpl::Gls { addr, .. } => write!(f, "AppMutex(gls @ {addr:#x})"),
+        }
+    }
+}
+
+impl AppMutex {
+    /// Acquires the mutex.
+    ///
+    /// When the lock is GLS-backed and the service runs in debug mode, a
+    /// detected misuse (e.g. double locking) is recorded in the service's
+    /// issue log and the call returns without acquiring — the "warn and
+    /// continue" behaviour of the paper's debug mode.
+    pub fn lock(&self) {
+        match &self.inner {
+            MutexImpl::Raw(raw) => raw.lock(),
+            MutexImpl::Gls {
+                service,
+                addr,
+                kind,
+            } => {
+                let _ = match kind {
+                    None => service.lock_addr(*addr),
+                    Some(k) => service.lock_with(*k, *addr),
+                };
+            }
+        }
+    }
+
+    /// Releases the mutex. Misuse detected by a debug-mode GLS service is
+    /// recorded in its issue log rather than panicking (see [`AppMutex::lock`]).
+    pub fn unlock(&self) {
+        match &self.inner {
+            MutexImpl::Raw(raw) => raw.unlock(),
+            MutexImpl::Gls { service, addr, .. } => {
+                let _ = service.unlock_addr(*addr);
+            }
+        }
+    }
+
+    /// Attempts to acquire the mutex without waiting.
+    pub fn try_lock(&self) -> bool {
+        match &self.inner {
+            MutexImpl::Raw(raw) => raw.try_lock(),
+            MutexImpl::Gls {
+                service,
+                addr,
+                kind,
+            } => match kind {
+                None => service.try_lock_addr(*addr).unwrap_or(false),
+                Some(k) => service.try_lock_with(*k, *addr).unwrap_or(false),
+            },
+        }
+    }
+
+    /// Runs `f` while holding the mutex.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.lock();
+        let out = f();
+        self.unlock();
+        out
+    }
+}
+
+enum RwImpl {
+    Blocking(std::sync::RwLock<()>),
+    Ttas(RwTtasLock<()>),
+}
+
+/// A reader-writer lock handle handed to the simulated systems.
+pub struct AppRwLock {
+    inner: RwImpl,
+}
+
+impl fmt::Debug for AppRwLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            RwImpl::Blocking(_) => write!(f, "AppRwLock(blocking)"),
+            RwImpl::Ttas(_) => write!(f, "AppRwLock(ttas)"),
+        }
+    }
+}
+
+impl AppRwLock {
+    /// Runs `f` while holding shared (read) access.
+    pub fn with_read<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.inner {
+            RwImpl::Blocking(l) => {
+                let _g = l.read().expect("rwlock poisoned");
+                f()
+            }
+            RwImpl::Ttas(l) => {
+                let _g = l.read();
+                f()
+            }
+        }
+    }
+
+    /// Runs `f` while holding exclusive (write) access.
+    pub fn with_write<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.inner {
+            RwImpl::Blocking(l) => {
+                let _g = l.write().expect("rwlock poisoned");
+                f()
+            }
+            RwImpl::Ttas(l) => {
+                let _g = l.write();
+                f()
+            }
+        }
+    }
+}
+
+/// The four lock configurations compared in Figures 14 and 15.
+pub fn figure14_providers() -> Vec<LockProvider> {
+    vec![
+        LockProvider::Direct(LockKind::Mutex),
+        LockProvider::Direct(LockKind::Ticket),
+        LockProvider::Direct(LockKind::Mcs),
+        LockProvider::glk(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    fn all_providers() -> Vec<LockProvider> {
+        vec![
+            LockProvider::Direct(LockKind::Mutex),
+            LockProvider::Direct(LockKind::Ticket),
+            LockProvider::Direct(LockKind::Mcs),
+            LockProvider::Direct(LockKind::Tas),
+            LockProvider::glk(),
+            LockProvider::gls(),
+            LockProvider::gls_specialized(),
+        ]
+    }
+
+    #[test]
+    fn every_provider_produces_working_mutexes() {
+        for provider in all_providers() {
+            let m = provider.new_mutex();
+            m.lock();
+            assert!(!m.try_lock(), "{}", provider.label());
+            m.unlock();
+            assert!(m.try_lock(), "{}", provider.label());
+            m.unlock();
+            m.with(|| ());
+        }
+    }
+
+    #[test]
+    fn every_provider_produces_working_rwlocks() {
+        for provider in all_providers() {
+            let rw = provider.new_rwlock();
+            rw.with_read(|| ());
+            rw.with_write(|| ());
+        }
+    }
+
+    #[test]
+    fn mutexes_provide_mutual_exclusion_for_every_provider() {
+        for provider in all_providers() {
+            let m = StdArc::new(provider.new_mutex());
+            struct Cell(std::cell::UnsafeCell<u64>);
+            unsafe impl Sync for Cell {}
+            let value = StdArc::new(Cell(std::cell::UnsafeCell::new(0)));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = StdArc::clone(&m);
+                    let value = StdArc::clone(&value);
+                    std::thread::spawn(move || {
+                        for _ in 0..5_000 {
+                            m.with(|| unsafe { *value.0.get() += 1 });
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(
+                unsafe { *value.0.get() },
+                20_000,
+                "provider {}",
+                provider.label()
+            );
+        }
+    }
+
+    #[test]
+    fn specialized_provider_assigns_kinds_by_purpose() {
+        let provider = LockProvider::gls_specialized();
+        let hot = provider.new_contended_mutex();
+        let cold = provider.new_mutex();
+        hot.lock();
+        hot.unlock();
+        cold.lock();
+        cold.unlock();
+        let service = provider.service().unwrap();
+        // Hot locks are MCS, cold locks are TICKET.
+        let (hot_addr, cold_addr) = match (&hot.inner, &cold.inner) {
+            (MutexImpl::Gls { addr: a, .. }, MutexImpl::Gls { addr: b, .. }) => (*a, *b),
+            _ => panic!("specialized provider must produce GLS-backed mutexes"),
+        };
+        assert_eq!(service.algorithm_of(hot_addr), Some(LockKind::Mcs));
+        assert_eq!(service.algorithm_of(cold_addr), Some(LockKind::Ticket));
+    }
+
+    #[test]
+    fn labels_and_figure14_set() {
+        assert_eq!(LockProvider::mutex().label(), "MUTEX");
+        assert_eq!(LockProvider::glk().label(), "GLK");
+        assert_eq!(LockProvider::gls().label(), "GLS");
+        let providers = figure14_providers();
+        assert_eq!(providers.len(), 4);
+        assert_eq!(providers[0].label(), "MUTEX");
+        assert_eq!(providers[3].label(), "GLK");
+    }
+}

@@ -1,0 +1,75 @@
+//! Common result shape for the system experiments.
+
+use std::time::Duration;
+
+/// Outcome of running one workload configuration on one simulated system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemResult {
+    /// System name (e.g. `"HamsterDB"`).
+    pub system: &'static str,
+    /// Configuration name (e.g. `"RD"`, `"CACHE"`, `"GET"`, `"32 CON"`).
+    pub config: String,
+    /// Lock provider label (e.g. `"MUTEX"`, `"GLK"`).
+    pub lock: String,
+    /// Completed operations.
+    pub operations: u64,
+    /// Wall-clock time of the measurement.
+    pub elapsed: Duration,
+}
+
+impl SystemResult {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.elapsed.as_secs_f64() == 0.0 {
+            0.0
+        } else {
+            self.operations as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Throughput of `self` normalized to `baseline` (the "normalized to
+    /// MUTEX" presentation of Figures 13–15).
+    pub fn normalized_to(&self, baseline: &SystemResult) -> f64 {
+        let base = baseline.ops_per_sec();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.ops_per_sec() / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(ops: u64, ms: u64) -> SystemResult {
+        SystemResult {
+            system: "Test",
+            config: "CFG".into(),
+            lock: "MUTEX".into(),
+            operations: ops,
+            elapsed: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn throughput_is_ops_over_time() {
+        let r = result(5_000, 500);
+        assert!((r.ops_per_sec() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalization_is_relative_throughput() {
+        let base = result(1_000, 1_000);
+        let faster = result(1_300, 1_000);
+        assert!((faster.normalized_to(&base) - 1.3).abs() < 1e-9);
+        assert_eq!(faster.normalized_to(&result(0, 1_000)), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_reports_zero_throughput() {
+        let r = result(100, 0);
+        assert_eq!(r.ops_per_sec(), 0.0);
+    }
+}

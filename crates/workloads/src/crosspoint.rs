@@ -1,0 +1,80 @@
+//! The ticket-vs-MCS performance crosspoint (Figure 5).
+//!
+//! For a given critical-section length, the crosspoint is the smallest number
+//! of threads concurrently using one lock at which MCS outperforms TICKET.
+//! The paper measures it at 2–5 threads on its two Xeons and uses "3" as the
+//! ticket→mcs threshold of GLK.
+
+use std::time::Duration;
+
+use gls_locks::LockKind;
+
+use crate::bench_lock::{make_locks, LockSetup};
+use crate::microbench::{self, MicrobenchConfig};
+
+/// Result of a crosspoint search for one critical-section length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrosspointResult {
+    /// Critical-section length in cycles.
+    pub cs_cycles: u64,
+    /// Smallest thread count at which MCS throughput exceeded TICKET
+    /// throughput, or `None` if it never did within the searched range.
+    pub crosspoint: Option<usize>,
+    /// `(threads, ticket Mops/s, mcs Mops/s)` samples for the whole sweep.
+    pub samples: Vec<(usize, f64, f64)>,
+}
+
+/// Measures TICKET and MCS throughput on a single lock for each thread count
+/// in `2..=max_threads` and reports where MCS starts winning.
+pub fn find_crosspoint(
+    cs_cycles: u64,
+    max_threads: usize,
+    duration: Duration,
+) -> CrosspointResult {
+    let mut samples = Vec::new();
+    let mut crosspoint = None;
+    for threads in 2..=max_threads.max(2) {
+        let config = MicrobenchConfig {
+            threads,
+            cs_cycles,
+            delay_cycles: 100,
+            duration,
+            ..Default::default()
+        };
+        let ticket = microbench::run(
+            &make_locks(&LockSetup::Direct(LockKind::Ticket), 1),
+            &config,
+        )
+        .mops();
+        let mcs = microbench::run(&make_locks(&LockSetup::Direct(LockKind::Mcs), 1), &config).mops();
+        samples.push((threads, ticket, mcs));
+        if crosspoint.is_none() && mcs > ticket {
+            crosspoint = Some(threads);
+        }
+    }
+    CrosspointResult {
+        cs_cycles,
+        crosspoint,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_sample_per_thread_count() {
+        let result = find_crosspoint(500, 4, Duration::from_millis(40));
+        assert_eq!(result.cs_cycles, 500);
+        assert_eq!(result.samples.len(), 3); // threads 2, 3, 4
+        for (threads, ticket, mcs) in &result.samples {
+            assert!(*threads >= 2 && *threads <= 4);
+            assert!(*ticket > 0.0);
+            assert!(*mcs > 0.0);
+        }
+        if let Some(cp) = result.crosspoint {
+            assert!(cp >= 2 && cp <= 4);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Quickstart: locking without declaring, allocating or initializing locks.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p gls --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+
+use gls::glk::GlkLock;
+use gls::{GlsService, LockKind};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The default interface: any object is a lock.
+    // ------------------------------------------------------------------
+    let service = Arc::new(GlsService::new());
+
+    // Two totally ordinary pieces of shared state. Note that nothing about
+    // them mentions locks: GLS maps their addresses to lock objects lazily.
+    let inventory: Arc<Vec<&str>> = Arc::new(vec!["apples", "pears"]);
+    let revenue = Arc::new(0u64);
+
+    let mut handles = Vec::new();
+    for worker in 0..4 {
+        let service = Arc::clone(&service);
+        let inventory = Arc::clone(&inventory);
+        let revenue = Arc::clone(&revenue);
+        handles.push(thread::spawn(move || {
+            for i in 0..10_000u64 {
+                // Classic lock/unlock calls, keyed by the object itself.
+                service.lock(&*inventory).unwrap();
+                // ... read or update the inventory ...
+                service.unlock(&*inventory).unwrap();
+
+                // RAII style for the second object.
+                let _guard = service.guard(&*revenue).unwrap();
+                // ... update revenue ...
+                let _ = worker + i;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!(
+        "quickstart: service manages {} lock object(s) after the workload",
+        service.lock_count()
+    );
+
+    // ------------------------------------------------------------------
+    // 2. The explicit interface: pick an algorithm per lock (Table 1).
+    // ------------------------------------------------------------------
+    let hot_global_lock = 0xCAFE_usize;
+    service.lock_with(LockKind::Mcs, hot_global_lock).unwrap();
+    println!(
+        "explicit interface: {:?} is protected by {}",
+        hot_global_lock,
+        service.algorithm_of(hot_global_lock).unwrap()
+    );
+    service.unlock_with(LockKind::Mcs, hot_global_lock).unwrap();
+
+    // ------------------------------------------------------------------
+    // 3. GLK standalone: for systems that already manage their own locks.
+    // ------------------------------------------------------------------
+    let glk = Arc::new(GlkLock::new());
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let glk = Arc::clone(&glk);
+        handles.push(thread::spawn(move || {
+            for _ in 0..50_000 {
+                glk.lock();
+                glk.unlock();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    println!(
+        "standalone GLK: {} acquisitions, finished in {} mode",
+        glk.acquisitions(),
+        glk.mode()
+    );
+}

@@ -1,0 +1,137 @@
+//! Mixed stress test: guards, explicit algorithms, trylocks, frees and
+//! profiling all exercised together from many threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gls::{GlsConfig, GlsService, LockKind};
+
+#[test]
+fn mixed_api_stress() {
+    let svc = Arc::new(GlsService::new());
+    let successes = Arc::new(AtomicU64::new(0));
+    const ADDRESSES: usize = 24;
+
+    let handles: Vec<_> = (0..8usize)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let successes = Arc::clone(&successes);
+            std::thread::spawn(move || {
+                let mut x = (t as u64 + 1) * 0x9E3779B9;
+                for i in 0..20_000usize {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let addr = 0x2000 + (x as usize % ADDRESSES) * 8;
+                    match i % 4 {
+                        0 => {
+                            // RAII guard.
+                            let _g = svc.guard_addr(addr).unwrap();
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        1 => {
+                            // Plain lock/unlock.
+                            svc.lock_addr(addr).unwrap();
+                            successes.fetch_add(1, Ordering::Relaxed);
+                            svc.unlock_addr(addr).unwrap();
+                        }
+                        2 => {
+                            // Trylock, possibly failing.
+                            if svc.try_lock_addr(addr).unwrap() {
+                                successes.fetch_add(1, Ordering::Relaxed);
+                                svc.unlock_addr(addr).unwrap();
+                            }
+                        }
+                        _ => {
+                            // Explicit algorithm on a disjoint address range so
+                            // the same address always uses one algorithm.
+                            let explicit = 0x9_0000 + (x as usize % 8) * 8;
+                            svc.lock_with(LockKind::Ticket, explicit).unwrap();
+                            successes.fetch_add(1, Ordering::Relaxed);
+                            svc.unlock_with(LockKind::Ticket, explicit).unwrap();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(successes.load(Ordering::Relaxed) > 0);
+    assert!(svc.lock_count() >= ADDRESSES);
+    // No issues should have been recorded in normal mode.
+    assert!(svc.issues().is_empty());
+}
+
+#[test]
+fn per_thread_lock_cache_survives_interleaved_addresses() {
+    // Alternate rapidly between two addresses per thread so the single-entry
+    // lock cache keeps missing; correctness must not depend on hits.
+    let svc = Arc::new(GlsService::new());
+    struct Pair(std::cell::UnsafeCell<(u64, u64)>);
+    unsafe impl Sync for Pair {}
+    let pair = Arc::new(Pair(std::cell::UnsafeCell::new((0, 0))));
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    svc.lock_addr(0xAAA0).unwrap();
+                    unsafe { (*pair.0.get()).0 += 1 };
+                    svc.unlock_addr(0xAAA0).unwrap();
+
+                    svc.lock_addr(0xBBB0).unwrap();
+                    unsafe { (*pair.0.get()).1 += 1 };
+                    svc.unlock_addr(0xBBB0).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let (a, b) = unsafe { *pair.0.get() };
+    assert_eq!(a, 80_000);
+    assert_eq!(b, 80_000);
+}
+
+#[test]
+fn profiling_service_under_stress_reports_every_lock() {
+    let svc = Arc::new(GlsService::with_config(GlsConfig::profile()));
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || {
+                for i in 0..5_000usize {
+                    let addr = 0x3000 + ((i + t) % 10) * 8;
+                    svc.lock_addr(addr).unwrap();
+                    svc.unlock_addr(addr).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let report = svc.profile_report();
+    assert_eq!(report.len(), 10);
+    let total: u64 = report.locks.iter().map(|l| l.acquisitions).sum();
+    assert_eq!(total, 30_000);
+}
+
+#[test]
+fn guards_can_be_held_across_nested_addresses() {
+    let svc = GlsService::new();
+    let outer = 0x111_usize;
+    let inner = 0x222_usize;
+    for _ in 0..1_000 {
+        let _a = svc.guard_addr(outer).unwrap();
+        let _b = svc.guard_addr(inner).unwrap();
+        // Guards drop in reverse order (inner first), which is the correct
+        // nesting discipline.
+    }
+    assert_eq!(svc.lock_count(), 2);
+}
