@@ -2,7 +2,7 @@
 //!
 //! Complements Figure 7's single-thread column and Figure 11's baselines:
 //! the cost of one acquire+release pair with no contention, for every lock in
-//! the library, for GLK, and for `parking_lot::Mutex` as an external
+//! the library, for GLK, and for `std::sync::Mutex` as an external
 //! reference point.
 
 use std::time::Duration;
@@ -10,9 +10,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use gls::glk::GlkLock;
-use gls_locks::{
-    ClhLock, McsLock, MutexLock, RawLock, TasLock, TicketLock, TtasLock,
-};
+use gls_locks::{ClhLock, McsLock, MutexLock, RawLock, TasLock, TicketLock, TtasLock};
 
 fn bench_raw<L: RawLock>(
     group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
@@ -50,10 +48,10 @@ fn uncontended_latency(c: &mut Criterion) {
         })
     });
 
-    let reference = parking_lot::Mutex::new(());
-    group.bench_function("parking_lot::Mutex (reference)", |b| {
+    let reference = std::sync::Mutex::new(());
+    group.bench_function("std::sync::Mutex (reference)", |b| {
         b.iter(|| {
-            let guard = reference.lock();
+            let guard = reference.lock().unwrap();
             criterion::black_box(&guard);
             drop(guard);
         })

@@ -15,7 +15,12 @@ use gls_workloads::{make_locks, microbench, LockSetup, MicrobenchConfig};
 fn single_lock_throughput(c: &mut Criterion) {
     let hw = gls_runtime::hardware_contexts();
     let thread_counts = [1usize, 4.min(hw.max(2)), hw.max(2)];
-    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+    let kinds = [
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutex,
+        LockKind::Glk,
+    ];
 
     let mut group = c.benchmark_group("single_lock_throughput");
     group
@@ -50,7 +55,7 @@ fn single_lock_throughput(c: &mut Criterion) {
                                 result.elapsed.as_secs_f64() / result.total_ops.max(1) as f64,
                             );
                         }
-                        total * (iters as u32 / iters.min(3).max(1) as u32).max(1)
+                        total * (iters as u32 / iters.clamp(1, 3) as u32).max(1)
                     })
                 },
             );

@@ -68,7 +68,7 @@ fn main() {
                 GlkConfig::default()
                     .with_initial_mode(mode)
                     .with_adaptation_period(period)
-                    .with_sampling_period(period.min(128).max(1)),
+                    .with_sampling_period(period.clamp(1, 128)),
                 threads,
             );
             row.push(mops / baselines[i]);

@@ -27,7 +27,12 @@ fn main() {
         ("10 threads", contended_threads, 0),
         ("multiprog.", contended_threads, hw * 2),
     ];
-    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+    let kinds = [
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutex,
+        LockKind::Glk,
+    ];
 
     let mut table = SeriesTable::new(
         "Figure 7: throughput normalized to the best lock per configuration",

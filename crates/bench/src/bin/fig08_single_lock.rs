@@ -14,8 +14,16 @@ use gls_workloads::report::SeriesTable;
 use gls_workloads::{make_locks, microbench, MicrobenchConfig};
 
 fn main() {
-    banner("Figure 8", "a single lock on varying contention (CS = 1024 cycles)");
-    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+    banner(
+        "Figure 8",
+        "a single lock on varying contention (CS = 1024 cycles)",
+    );
+    let kinds = [
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutex,
+        LockKind::Glk,
+    ];
     let monitor = Arc::new(SystemLoadMonitor::spawn(SystemLoadConfig::default()));
 
     let mut table = SeriesTable::new(

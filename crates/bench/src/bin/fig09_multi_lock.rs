@@ -18,7 +18,12 @@ fn main() {
         "Figure 9",
         "eight locks, zipfian selection (alpha = 0.9), CS = 1024 cycles",
     );
-    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+    let kinds = [
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutex,
+        LockKind::Glk,
+    ];
     let monitor = Arc::new(SystemLoadMonitor::spawn(SystemLoadConfig::default()));
 
     let mut table = SeriesTable::new(

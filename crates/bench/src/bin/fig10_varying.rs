@@ -11,16 +11,21 @@ use std::sync::Arc;
 use gls_bench::{banner, point_duration, setup_for};
 use gls_locks::LockKind;
 use gls_runtime::sysload::{SystemLoadConfig, SystemLoadMonitor};
+use gls_workloads::make_locks;
 use gls_workloads::phases::{paper_figure10_phases, run_phases};
 use gls_workloads::report::SeriesTable;
-use gls_workloads::make_locks;
 
 fn main() {
     banner(
         "Figure 10",
         "one lock under a 14-phase varying workload with 30 background threads",
     );
-    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+    let kinds = [
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutex,
+        LockKind::Glk,
+    ];
     // Each phase lasts one point-duration (the paper uses 0.5-1 s phases).
     let phases = paper_figure10_phases(point_duration());
     let background = 30;

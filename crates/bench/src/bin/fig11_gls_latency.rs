@@ -20,7 +20,12 @@ fn main() {
         "Figure 11",
         "GLS lock/unlock latency overhead over direct locking, single thread",
     );
-    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+    let kinds = [
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutex,
+        LockKind::Glk,
+    ];
     let lock_counts = [1usize, 512, 4096];
     let iterations = 50_000;
 

@@ -20,7 +20,12 @@ fn main() {
         "Figure 12",
         "throughput of GLS relative to direct locking, 10 threads, 1/512/4096 locks",
     );
-    let kinds = [LockKind::Ticket, LockKind::Mcs, LockKind::Mutex, LockKind::Glk];
+    let kinds = [
+        LockKind::Ticket,
+        LockKind::Mcs,
+        LockKind::Mutex,
+        LockKind::Glk,
+    ];
     let lock_counts = [1usize, 512, 4096];
     let threads = 10.min(gls_runtime::hardware_contexts().max(2));
     let monitor = Arc::new(SystemLoadMonitor::spawn(SystemLoadConfig::default()));
@@ -59,10 +64,16 @@ fn main() {
                 repetitions(),
             )
             .mops();
-            row.push(if direct > 0.0 { through_gls / direct } else { 0.0 });
+            row.push(if direct > 0.0 {
+                through_gls / direct
+            } else {
+                0.0
+            });
         }
         table.push_row(count.to_string(), row);
     }
     table.print();
-    println!("# paper shape: close to 1.0 under contention; the gap grows as locks become uncontended");
+    println!(
+        "# paper shape: close to 1.0 under contention; the gap grows as locks become uncontended"
+    );
 }

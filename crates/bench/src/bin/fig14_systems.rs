@@ -96,7 +96,7 @@ fn main() {
     let mut normalized_per_provider: Vec<Vec<f64>> = vec![Vec::new(); providers.len()];
     for (label, runner) in &cells {
         eprintln!("# running {label} ...");
-        let results: Vec<SystemResult> = providers.iter().map(|p| runner(p)).collect();
+        let results: Vec<SystemResult> = providers.iter().map(runner).collect();
         let baseline = &results[0];
         let row: Vec<f64> = results.iter().map(|r| r.normalized_to(baseline)).collect();
         for (i, v) in row.iter().enumerate() {

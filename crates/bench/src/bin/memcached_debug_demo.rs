@@ -51,6 +51,9 @@ fn main() {
     println!("# uninitialized-lock warnings: {uninitialized}");
     println!("# release-free-lock warnings:  {already_free}");
     assert!(uninitialized >= 1, "the stats_lock bug must be detected");
-    assert!(already_free >= 1, "the slabs_rebalance_lock bug must be detected");
+    assert!(
+        already_free >= 1,
+        "the slabs_rebalance_lock bug must be detected"
+    );
     println!("# both §5.1 issues detected, as in the paper");
 }

@@ -312,8 +312,9 @@ impl Clht {
     }
 
     fn wait_for_table_change(&self, old: *mut Table) {
+        let mut wait = gls_locks::SpinWait::new();
         while self.table.load(Ordering::Acquire) == old {
-            std::hint::spin_loop();
+            wait.spin();
         }
     }
 
@@ -532,7 +533,8 @@ mod tests {
                 })
             })
             .collect();
-        let all: Vec<Vec<(usize, usize)>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let all: Vec<Vec<(usize, usize)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
         for k in 1..=1_000usize {
             let winner = t.get(k).unwrap();
             for per_thread in &all {

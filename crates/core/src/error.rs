@@ -91,12 +91,19 @@ impl fmt::Display for GlsError {
                 write!(f, "[GLS]WARNING> LOCK {addr:#x} - Uninitialized lock")
             }
             GlsError::DoubleLock { addr, thread } => {
-                write!(f, "[GLS]WARNING> LOCK {addr:#x} - Double locking by {thread}")
+                write!(
+                    f,
+                    "[GLS]WARNING> LOCK {addr:#x} - Double locking by {thread}"
+                )
             }
             GlsError::ReleaseFreeLock { addr } => {
                 write!(f, "[GLS]WARNING> UNLOCK {addr:#x} - Already free")
             }
-            GlsError::WrongOwner { addr, owner, caller } => write!(
+            GlsError::WrongOwner {
+                addr,
+                owner,
+                caller,
+            } => write!(
                 f,
                 "[GLS]WARNING> UNLOCK {addr:#x} - Owned by {owner}, released by {caller}"
             ),

@@ -219,9 +219,7 @@ mod tests {
     fn monitor_handle_resolves() {
         let global = MonitorHandle::Global;
         let _ = global.monitor();
-        let custom = MonitorHandle::Custom(Arc::new(SystemLoadMonitor::manual(
-            Default::default(),
-        )));
+        let custom = MonitorHandle::Custom(Arc::new(SystemLoadMonitor::manual(Default::default())));
         assert_eq!(custom.monitor().registered_runnable(), 0);
     }
 }

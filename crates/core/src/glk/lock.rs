@@ -122,14 +122,12 @@ impl GlkLock {
             .unwrap_or_default()
     }
 
-    /// Number of threads currently holding or waiting for the lock, as seen
-    /// by the low-level lock of the current mode.
+    /// Number of threads currently holding or waiting for the lock, summed
+    /// over all three low-level locks: during a mode transition waiters are
+    /// still parked on the previous mode's lock, and they remain queuing
+    /// behind *this* GLK lock until they migrate.
     pub fn queue_length(&self) -> u64 {
-        match self.mode() {
-            GlkMode::Ticket => self.ticket.queue_length(),
-            GlkMode::Mcs => self.mcs.queue_length(),
-            GlkMode::Mutex => self.mutex.queue_length(),
-        }
+        self.ticket.queue_length() + self.mcs.queue_length() + self.mutex.queue_length()
     }
 
     #[inline]
@@ -217,17 +215,18 @@ impl GlkLock {
         let acquisitions = self.stats.record_acquisition();
 
         // Periodic queue sampling (paper: every 128 critical sections).
-        if acquisitions % self.config.sampling_period == 0 {
-            let queued = match current {
-                GlkMode::Ticket => self.ticket.queue_length(),
-                GlkMode::Mcs => self.mcs.queue_length(),
-                GlkMode::Mutex => self.mutex.queue_length(),
-            };
-            self.stats.record_queue_sample(queued);
+        // The sample sums all three low-level queues, not just the current
+        // mode's: right after a mode switch the waiters of the previous mode
+        // drain out of its queue one by one, and counting only the new lock
+        // would undercount contention during that migration — the EMA would
+        // collapse and bounce the mode straight back (most visible when
+        // context switches are slow relative to the adaptation period).
+        if acquisitions.is_multiple_of(self.config.sampling_period) {
+            self.stats.record_queue_sample(self.queue_length());
         }
 
         // Periodic adaptation (paper: every 4096 critical sections).
-        if acquisitions % self.config.adaptation_period != 0 {
+        if !acquisitions.is_multiple_of(self.config.adaptation_period) {
             return false;
         }
 
@@ -348,7 +347,11 @@ mod tests {
             lock.unlock();
         }
         assert_eq!(lock.acquisitions(), 100);
-        assert_eq!(lock.mode(), GlkMode::Ticket, "uncontended lock must stay ticket");
+        assert_eq!(
+            lock.mode(),
+            GlkMode::Ticket,
+            "uncontended lock must stay ticket"
+        );
     }
 
     #[test]

@@ -156,8 +156,7 @@ mod tests {
         let d = DebugState::new();
         // T0 waits A (owned by T1), T1 waits B (owned by T2), T2 waits C
         // (owned by T0).
-        let owners: HashMap<usize, ThreadId> =
-            [(0xa, tid(1)), (0xb, tid(2)), (0xc, tid(0))].into();
+        let owners: HashMap<usize, ThreadId> = [(0xa, tid(1)), (0xb, tid(2)), (0xc, tid(0))].into();
         d.set_waiting(tid(1), 0xb);
         d.set_waiting(tid(2), 0xc);
         let cycle = d
@@ -172,8 +171,7 @@ mod tests {
         // T1 and T2 deadlock with each other; T0 waits on a lock owned by T1
         // but is not part of the cycle, so detection from T0 reports nothing
         // (T0 cannot be the one to break it).
-        let owners: HashMap<usize, ThreadId> =
-            [(0xa, tid(1)), (0xb, tid(2)), (0xc, tid(1))].into();
+        let owners: HashMap<usize, ThreadId> = [(0xa, tid(1)), (0xb, tid(2)), (0xc, tid(1))].into();
         d.set_waiting(tid(1), 0xb);
         d.set_waiting(tid(2), 0xc);
         let cycle = d.detect_deadlock(tid(0), 0xa, |addr| owners.get(&addr).copied());

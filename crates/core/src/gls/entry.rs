@@ -3,8 +3,8 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use gls_locks::{
-    ClhLock, LockKind, McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TasLock,
-    TicketLock, TtasLock,
+    ClhLock, LockKind, McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TasLock, TicketLock,
+    TtasLock,
 };
 use gls_runtime::{LockStats, ThreadId};
 
@@ -15,6 +15,10 @@ use crate::glk::{GlkConfig, GlkLock, MonitorHandle};
 /// `gls_lock` (the default interface) creates [`AlgorithmLock::Glk`] entries;
 /// the explicit `gls_A_lock` interfaces create entries of the corresponding
 /// algorithm (paper Table 1).
+// One entry exists per distinct lock address and lives for the lock's whole
+// lifetime, so the GLK variant's size is not worth an extra indirection on
+// the acquisition fast path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub(crate) enum AlgorithmLock {
     /// Adaptive GLK lock (default).

@@ -386,9 +386,9 @@ impl GlsService {
                 break;
             }
             if window_start.elapsed() >= self.config.deadlock_check_after {
-                if let Some(cycle) =
-                    self.debug
-                        .detect_deadlock(me, addr, |a| self.owner_of_uncached(a))
+                if let Some(cycle) = self
+                    .debug
+                    .detect_deadlock(me, addr, |a| self.owner_of_uncached(a))
                 {
                     self.debug.clear_waiting(me);
                     let issue = GlsError::Deadlock { cycle };
@@ -488,9 +488,7 @@ impl GlsService {
             let acquired_at = entry.acquired_at();
             if acquired_at != 0 {
                 let now = cycles::now();
-                entry
-                    .stats
-                    .record_cs_latency(now.wrapping_sub(acquired_at));
+                entry.stats.record_cs_latency(now.wrapping_sub(acquired_at));
             }
         }
         entry.lock.unlock();
@@ -611,8 +609,11 @@ mod tests {
     #[test]
     fn many_threads_many_locks_mutual_exclusion() {
         let svc = Arc::new(GlsService::new());
-        let slots: Arc<Vec<std::sync::atomic::AtomicU64>> =
-            Arc::new((0..16).map(|_| std::sync::atomic::AtomicU64::new(0)).collect());
+        let slots: Arc<Vec<std::sync::atomic::AtomicU64>> = Arc::new(
+            (0..16)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+        );
         let handles: Vec<_> = (0..8)
             .map(|t| {
                 let svc = Arc::clone(&svc);

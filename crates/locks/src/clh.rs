@@ -17,6 +17,7 @@ use std::sync::Mutex;
 
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
+use crate::spin_wait::SpinWait;
 
 /// One CLH queue node.
 #[derive(Debug)]
@@ -70,7 +71,7 @@ impl Drop for NodePool {
 
 thread_local! {
     static POOL: std::cell::RefCell<NodePool> =
-        std::cell::RefCell::new(NodePool { nodes: Vec::new() });
+        const { std::cell::RefCell::new(NodePool { nodes: Vec::new() }) };
 }
 
 fn pool_acquire() -> *mut ClhNode {
@@ -163,8 +164,9 @@ impl RawLock for ClhLock {
         // spill discipline) and only we spin on it; it is recycled only by us
         // at unlock time.
         unsafe {
+            let mut wait = SpinWait::new();
             while (*pred).locked.load(Ordering::Acquire) {
-                std::hint::spin_loop();
+                wait.spin();
             }
         }
         self.state.owner_node.store(node, Ordering::Relaxed);
@@ -173,12 +175,18 @@ impl RawLock for ClhLock {
 
     #[inline]
     fn unlock(&self) {
-        let node = self.state.owner_node.swap(ptr::null_mut(), Ordering::Relaxed);
+        let node = self
+            .state
+            .owner_node
+            .swap(ptr::null_mut(), Ordering::Relaxed);
         if node.is_null() {
             // Releasing a free lock: tolerated; GLS debug mode reports it.
             return;
         }
-        let pred = self.state.owner_pred.swap(ptr::null_mut(), Ordering::Relaxed);
+        let pred = self
+            .state
+            .owner_pred
+            .swap(ptr::null_mut(), Ordering::Relaxed);
         if !pred.is_null() {
             // Our predecessor's node is no longer referenced by anyone.
             pool_release(pred);
@@ -225,8 +233,9 @@ impl RawTryLock for ClhLock {
                 // predecessor, which is bounded by one critical section.
                 // SAFETY: `pred` stays allocated for the process lifetime.
                 unsafe {
+                    let mut wait = SpinWait::new();
                     while (*pred).locked.load(Ordering::Acquire) {
-                        std::hint::spin_loop();
+                        wait.spin();
                     }
                 }
                 self.state.owner_node.store(node, Ordering::Relaxed);

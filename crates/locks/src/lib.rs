@@ -35,10 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod backoff;
 pub mod cache_padded;
-#[cfg(test)]
-pub(crate) mod test_support;
 pub mod clh;
 pub mod kind;
 pub mod lock;
@@ -46,11 +43,13 @@ pub mod mcs;
 pub mod mutex;
 pub mod raw;
 pub mod rwlock;
+pub mod spin_wait;
 pub mod tas;
+#[cfg(test)]
+pub(crate) mod test_support;
 pub mod ticket;
 pub mod ttas;
 
-pub use backoff::Backoff;
 pub use cache_padded::CachePadded;
 pub use clh::ClhLock;
 pub use kind::LockKind;
@@ -59,6 +58,7 @@ pub use mcs::McsLock;
 pub use mutex::MutexLock;
 pub use raw::{QueueInformed, RawLock, RawTryLock};
 pub use rwlock::{RwTtasLock, RwTtasReadGuard, RwTtasWriteGuard};
+pub use spin_wait::SpinWait;
 pub use tas::TasLock;
 pub use ticket::TicketLock;
 pub use ttas::TtasLock;

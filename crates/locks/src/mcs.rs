@@ -28,6 +28,7 @@ use std::sync::Mutex;
 
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
+use crate::spin_wait::SpinWait;
 
 /// One queue node; padded so that waiters spinning on `locked` do not share a
 /// cache line.
@@ -88,7 +89,7 @@ impl Drop for NodePool {
 
 thread_local! {
     static POOL: std::cell::RefCell<NodePool> =
-        std::cell::RefCell::new(NodePool { nodes: Vec::new() });
+        const { std::cell::RefCell::new(NodePool { nodes: Vec::new() }) };
 }
 
 fn pool_acquire() -> *mut McsNode {
@@ -180,8 +181,9 @@ impl RawLock for McsLock {
             // handed the lock over, and node memory is never deallocated.
             unsafe {
                 (*prev).next.store(node, Ordering::Release);
+                let mut wait = SpinWait::new();
                 while (*node).locked.load(Ordering::Acquire) {
-                    std::hint::spin_loop();
+                    wait.spin();
                 }
             }
         }
@@ -190,7 +192,10 @@ impl RawLock for McsLock {
 
     #[inline]
     fn unlock(&self) {
-        let node = self.state.owner_node.swap(ptr::null_mut(), Ordering::Relaxed);
+        let node = self
+            .state
+            .owner_node
+            .swap(ptr::null_mut(), Ordering::Relaxed);
         if node.is_null() {
             // Releasing a free lock: tolerated here; GLS debug mode reports it.
             return;
@@ -212,12 +217,13 @@ impl RawLock for McsLock {
                     return;
                 }
                 // A successor is in the middle of linking itself; wait for it.
+                let mut wait = SpinWait::new();
                 loop {
                     next = (*node).next.load(Ordering::Acquire);
                     if !next.is_null() {
                         break;
                     }
-                    std::hint::spin_loop();
+                    wait.spin();
                 }
             }
             (*next).locked.store(false, Ordering::Release);
@@ -357,7 +363,7 @@ mod tests {
         // The waiter may not have linked itself yet, so allow 1 or 2 but
         // never more.
         let seen = lock.traverse_queue(16);
-        assert!(seen >= 1 && seen <= 2, "unexpected traversal count {seen}");
+        assert!((1..=2).contains(&seen), "unexpected traversal count {seen}");
         lock.unlock();
         waiter.join().unwrap();
     }

@@ -11,9 +11,9 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
-use crate::backoff::Backoff;
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
+use crate::spin_wait::SpinWait;
 
 /// Lock states.
 const FREE: u32 = 0;
@@ -68,12 +68,14 @@ impl MutexLock {
     fn lock_slow(&self) {
         // Bounded spin phase: blocking through the OS costs far more than a
         // short critical section, so give the holder a chance to finish.
-        let mut backoff = Backoff::new();
+        // `spin_bounded` never yields — this lock's fallback for long waits
+        // is the sleep phase below, not donating the timeslice.
+        let mut wait = SpinWait::new();
         for _ in 0..SPIN_ATTEMPTS {
             if self.state.word.load(Ordering::Relaxed) == FREE && self.try_acquire_fast() {
                 return;
             }
-            backoff.spin();
+            wait.spin_bounded();
         }
         // Sleep phase: mark the lock contended and park until woken.
         let mut guard = self

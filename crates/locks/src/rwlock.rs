@@ -9,8 +9,8 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use crate::backoff::Backoff;
 use crate::cache_padded::CachePadded;
+use crate::spin_wait::SpinWait;
 
 /// Writer-held flag (high bit); the remaining bits count active readers.
 const WRITER: u32 = 1 << 31;
@@ -56,11 +56,11 @@ impl<T> RwTtasLock<T> {
 
     /// Acquires shared (read) access, spinning until no writer holds the lock.
     pub fn read(&self) -> RwTtasReadGuard<'_, T> {
-        let mut backoff = Backoff::new();
+        let mut wait = SpinWait::new();
         loop {
             let current = self.state.load(Ordering::Relaxed);
-            if current & WRITER == 0 {
-                if self
+            if current & WRITER == 0
+                && self
                     .state
                     .compare_exchange_weak(
                         current,
@@ -69,11 +69,10 @@ impl<T> RwTtasLock<T> {
                         Ordering::Relaxed,
                     )
                     .is_ok()
-                {
-                    return RwTtasReadGuard { lock: self };
-                }
+            {
+                return RwTtasReadGuard { lock: self };
             }
-            backoff.spin();
+            wait.spin();
         }
     }
 
@@ -92,7 +91,7 @@ impl<T> RwTtasLock<T> {
     /// Acquires exclusive (write) access, spinning until all readers and any
     /// writer have left.
     pub fn write(&self) -> RwTtasWriteGuard<'_, T> {
-        let mut backoff = Backoff::new();
+        let mut wait = SpinWait::new();
         loop {
             if self.state.load(Ordering::Relaxed) == 0
                 && self
@@ -102,7 +101,7 @@ impl<T> RwTtasLock<T> {
             {
                 return RwTtasWriteGuard { lock: self };
             }
-            backoff.spin();
+            wait.spin();
         }
     }
 

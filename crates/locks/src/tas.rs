@@ -9,6 +9,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
+use crate::spin_wait::SpinWait;
 
 /// A test-and-set (TAS) spinlock, padded to one cache line.
 ///
@@ -47,8 +48,9 @@ impl RawLock for TasLock {
     #[inline]
     fn lock(&self) {
         self.state.queued.fetch_add(1, Ordering::Relaxed);
+        let mut wait = SpinWait::new();
         while self.state.locked.swap(true, Ordering::Acquire) {
-            std::hint::spin_loop();
+            wait.spin();
         }
     }
 

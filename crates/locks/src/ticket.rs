@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
+use crate::spin_wait::SpinWait;
 
 /// A fair ticket spinlock, padded to one cache line.
 ///
@@ -61,8 +62,9 @@ impl RawLock for TicketLock {
         let my_ticket = self.state.ticket.fetch_add(1, Ordering::Relaxed);
         // Spin until it is our turn. Acquire on the load that observes our
         // ticket so the critical section cannot float above it.
+        let mut wait = SpinWait::new();
         while self.state.owner.load(Ordering::Acquire) != my_ticket {
-            std::hint::spin_loop();
+            wait.spin();
         }
     }
 
@@ -70,7 +72,9 @@ impl RawLock for TicketLock {
     fn unlock(&self) {
         // Only the holder increments `owner`, so a plain add is fine.
         let owner = self.state.owner.load(Ordering::Relaxed);
-        self.state.owner.store(owner.wrapping_add(1), Ordering::Release);
+        self.state
+            .owner
+            .store(owner.wrapping_add(1), Ordering::Release);
     }
 
     fn is_locked(&self) -> bool {
@@ -87,7 +91,12 @@ impl RawTryLock for TicketLock {
         // atomically grab that ticket.
         self.state
             .ticket
-            .compare_exchange(owner, owner.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                owner,
+                owner.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok()
     }
 }

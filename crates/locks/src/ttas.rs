@@ -8,9 +8,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use crate::backoff::Backoff;
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
+use crate::spin_wait::SpinWait;
 
 /// A test-and-test-and-set (TTAS) spinlock with exponential backoff.
 ///
@@ -47,16 +47,19 @@ impl RawLock for TtasLock {
     #[inline]
     fn lock(&self) {
         self.state.queued.fetch_add(1, Ordering::Relaxed);
-        let mut backoff = Backoff::new();
+        // One escalating waiter covers both the read-spin and the delay after
+        // a lost swap race; it keeps escalating across attempts instead of
+        // stacking two independent backoff schedules.
+        let mut wait = SpinWait::new();
         loop {
             // Spin on a plain read until the lock looks free.
             while self.state.locked.load(Ordering::Relaxed) {
-                std::hint::spin_loop();
+                wait.spin();
             }
             if !self.state.locked.swap(true, Ordering::Acquire) {
                 return;
             }
-            backoff.spin();
+            wait.spin();
         }
     }
 

@@ -156,7 +156,10 @@ mod tests {
     fn spin_for_waits_at_least_requested() {
         let want = 10_000;
         let (_, took) = measure(|| spin_for(want));
-        assert!(took >= want, "spun for {took} cycles, wanted at least {want}");
+        assert!(
+            took >= want,
+            "spun for {took} cycles, wanted at least {want}"
+        );
     }
 
     #[test]

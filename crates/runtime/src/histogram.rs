@@ -118,7 +118,11 @@ impl LatencyHistogram {
             seen += c;
             if seen >= target {
                 // Upper bound of bucket i.
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         self.max

@@ -242,10 +242,7 @@ pub struct RunnableGuard<'a> {
 
 impl Drop for RunnableGuard<'_> {
     fn drop(&mut self) {
-        self.monitor
-            .shared
-            .runnable
-            .fetch_sub(1, Ordering::Relaxed);
+        self.monitor.shared.runnable.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

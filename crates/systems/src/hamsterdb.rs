@@ -138,7 +138,7 @@ pub fn run(provider: &LockProvider, config: &HamsterConfig) -> SystemResult {
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.gen_range(0..keys);
-                    if rng.gen_range(0..100) < read_percent {
+                    if rng.gen_range(0u32..100) < read_percent {
                         let _ = db.get(key);
                     } else {
                         db.put(key, ops);

@@ -106,7 +106,10 @@ unsafe impl Send for KyotoHashDb {}
 impl KyotoHashDb {
     /// Creates a hash store of the given flavor.
     pub fn new(provider: &LockProvider, flavor: KyotoFlavor) -> Self {
-        assert!(flavor != KyotoFlavor::BTree, "use KyotoBTree for the tree flavor");
+        assert!(
+            flavor != KyotoFlavor::BTree,
+            "use KyotoBTree for the tree flavor"
+        );
         let (work_cycles, nesting) = match flavor {
             KyotoFlavor::Cache => (0, CACHE_NESTING),
             KyotoFlavor::HashDb => (2_000, 1),
@@ -116,7 +119,9 @@ impl KyotoHashDb {
             global: provider.new_rwlock(),
             bucket_locks: (0..BUCKET_GROUPS).map(|_| provider.new_mutex()).collect(),
             nested_locks: (0..CACHE_NESTING).map(|_| provider.new_mutex()).collect(),
-            buckets: (0..BUCKET_GROUPS).map(|_| UnsafeCell::new(HashMap::new())).collect(),
+            buckets: (0..BUCKET_GROUPS)
+                .map(|_| UnsafeCell::new(HashMap::new()))
+                .collect(),
             work_cycles,
             nesting,
         }

@@ -131,7 +131,11 @@ impl LockProvider {
             } => MutexImpl::Gls {
                 service: Arc::clone(service),
                 addr: fresh_addr(),
-                kind: Some(if contended { *contended_kind } else { *default_kind }),
+                kind: Some(if contended {
+                    *contended_kind
+                } else {
+                    *default_kind
+                }),
             },
         };
         AppMutex { inner }

@@ -125,7 +125,9 @@ impl Memcached {
     pub fn new(provider: &LockProvider, config: &MemcachedConfig) -> Self {
         let server = Self {
             item_locks: (0..ITEM_LOCKS).map(|_| provider.new_mutex()).collect(),
-            buckets: (0..BUCKETS).map(|_| UnsafeCell::new(HashMap::new())).collect(),
+            buckets: (0..BUCKETS)
+                .map(|_| UnsafeCell::new(HashMap::new()))
+                .collect(),
             // Every request touches the stats lock: the known-hot one.
             stats_lock: provider.new_contended_mutex(),
             stats: UnsafeCell::new(Stats::default()),
@@ -264,12 +266,12 @@ pub fn run(provider: &LockProvider, config: &MemcachedConfig) -> SystemResult {
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let key = zipf.sample(&mut rng) as u64;
-                    if rng.gen_range(0..100) < get_percent {
+                    if rng.gen_range(0u32..100) < get_percent {
                         let _ = server.get(key);
                     } else {
                         server.set(key, vec![0u8; 64]);
                     }
-                    if ops % 1024 == 0 {
+                    if ops.is_multiple_of(1024) {
                         server.rebalance();
                     }
                     ops += 1;

@@ -130,8 +130,12 @@ impl MysqlEngine {
             index_latches: (0..INDEX_LATCHES)
                 .map(|_| provider.new_contended_mutex())
                 .collect(),
-            nodes: (0..PAGES).map(|_| UnsafeCell::new(HashMap::new())).collect(),
-            edges: (0..PAGES).map(|_| UnsafeCell::new(HashMap::new())).collect(),
+            nodes: (0..PAGES)
+                .map(|_| UnsafeCell::new(HashMap::new()))
+                .collect(),
+            edges: (0..PAGES)
+                .map(|_| UnsafeCell::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -328,7 +332,11 @@ mod tests {
             nodes: 2_000,
             duration: Duration::from_millis(60),
         };
-        for provider in [LockProvider::mutex(), LockProvider::glk(), LockProvider::Direct(LockKind::Ticket)] {
+        for provider in [
+            LockProvider::mutex(),
+            LockProvider::glk(),
+            LockProvider::Direct(LockKind::Ticket),
+        ] {
             let result = run(&provider, &config);
             assert!(result.operations > 0, "{}", provider.label());
             assert_eq!(result.config, "SSD");

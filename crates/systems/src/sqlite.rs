@@ -104,13 +104,17 @@ impl SqliteDb {
     /// TPC-C-lite schema.
     pub fn new(provider: &LockProvider, connections: usize) -> Self {
         let db = Self {
-            connection_locks: (0..connections.max(1)).map(|_| provider.new_mutex()).collect(),
+            connection_locks: (0..connections.max(1))
+                .map(|_| provider.new_mutex())
+                .collect(),
             alloc_lock: provider.new_mutex(),
             // The page cache is the mutex that becomes contended as the
             // number of connections grows.
             cache_lock: provider.new_contended_mutex(),
             page_locks: (0..PAGE_GROUPS).map(|_| provider.new_rwlock()).collect(),
-            tables: (0..PAGE_GROUPS).map(|_| UnsafeCell::new(Tables::default())).collect(),
+            tables: (0..PAGE_GROUPS)
+                .map(|_| UnsafeCell::new(Tables::default()))
+                .collect(),
         };
         db.load();
         db
@@ -282,7 +286,11 @@ mod tests {
         let db = SqliteDb::new(&LockProvider::mutex(), 4);
         assert_eq!(db.total_orders(), 0);
         assert_eq!(db.total_ytd(), 0);
-        assert_eq!(db.stock_level(0, 0), 0, "fresh stock is all above the threshold");
+        assert_eq!(
+            db.stock_level(0, 0),
+            0,
+            "fresh stock is all above the threshold"
+        );
     }
 
     #[test]

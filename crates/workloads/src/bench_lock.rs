@@ -10,9 +10,7 @@ use std::sync::Arc;
 
 use gls::glk::{GlkConfig, GlkLock, MonitorHandle};
 use gls::{GlsConfig, GlsService};
-use gls_locks::{
-    ClhLock, LockKind, McsLock, MutexLock, RawLock, TasLock, TicketLock, TtasLock,
-};
+use gls_locks::{ClhLock, LockKind, McsLock, MutexLock, RawLock, TasLock, TicketLock, TtasLock};
 
 /// A lock as seen by the microbenchmark driver.
 pub trait BenchLock: Send + Sync {

@@ -26,11 +26,7 @@ pub struct CrosspointResult {
 
 /// Measures TICKET and MCS throughput on a single lock for each thread count
 /// in `2..=max_threads` and reports where MCS starts winning.
-pub fn find_crosspoint(
-    cs_cycles: u64,
-    max_threads: usize,
-    duration: Duration,
-) -> CrosspointResult {
+pub fn find_crosspoint(cs_cycles: u64, max_threads: usize, duration: Duration) -> CrosspointResult {
     let mut samples = Vec::new();
     let mut crosspoint = None;
     for threads in 2..=max_threads.max(2) {
@@ -46,7 +42,8 @@ pub fn find_crosspoint(
             &config,
         )
         .mops();
-        let mcs = microbench::run(&make_locks(&LockSetup::Direct(LockKind::Mcs), 1), &config).mops();
+        let mcs =
+            microbench::run(&make_locks(&LockSetup::Direct(LockKind::Mcs), 1), &config).mops();
         samples.push((threads, ticket, mcs));
         if crosspoint.is_none() && mcs > ticket {
             crosspoint = Some(threads);
@@ -74,7 +71,7 @@ mod tests {
             assert!(*mcs > 0.0);
         }
         if let Some(cp) = result.crosspoint {
-            assert!(cp >= 2 && cp <= 4);
+            assert!((2..=4).contains(&cp));
         }
     }
 }

@@ -92,7 +92,11 @@ mod tests {
 
     #[test]
     fn gls_adds_latency_over_direct_use() {
-        let direct = measure(&make_locks(&LockSetup::Direct(LockKind::Ticket), 64), 20_000, 2);
+        let direct = measure(
+            &make_locks(&LockSetup::Direct(LockKind::Ticket), 64),
+            20_000,
+            2,
+        );
         let through_gls = measure(
             &make_locks(
                 &LockSetup::Gls {

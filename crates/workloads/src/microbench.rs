@@ -96,7 +96,10 @@ impl MicrobenchResult {
 /// Panics if `locks` is empty or `config.threads` is zero.
 pub fn run(locks: &[Arc<dyn BenchLock>], config: &MicrobenchConfig) -> MicrobenchResult {
     assert!(!locks.is_empty(), "microbenchmark needs at least one lock");
-    assert!(config.threads > 0, "microbenchmark needs at least one thread");
+    assert!(
+        config.threads > 0,
+        "microbenchmark needs at least one thread"
+    );
 
     let stop = Arc::new(AtomicBool::new(false));
     let _spinners = BackgroundSpinners::start(config.background_spinners, config.monitor.clone());
@@ -163,8 +166,7 @@ pub fn run_median(
     repetitions: usize,
 ) -> MicrobenchResult {
     assert!(repetitions > 0, "need at least one repetition");
-    let mut results: Vec<MicrobenchResult> =
-        (0..repetitions).map(|_| run(locks, config)).collect();
+    let mut results: Vec<MicrobenchResult> = (0..repetitions).map(|_| run(locks, config)).collect();
     results.sort_by(|a, b| {
         a.mops()
             .partial_cmp(&b.mops())

@@ -43,7 +43,12 @@ pub struct PhaseResult {
 /// Generates a random phase schedule in the shape of the paper's Figure 10:
 /// `count` phases, each with 1..=`max_threads` worker threads and a
 /// critical-section length drawn from 300..1050 cycles.
-pub fn random_phases(count: usize, max_threads: usize, duration: Duration, seed: u64) -> Vec<Phase> {
+pub fn random_phases(
+    count: usize,
+    max_threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> Vec<Phase> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| Phase {
@@ -58,7 +63,9 @@ pub fn random_phases(count: usize, max_threads: usize, duration: Duration, seed:
 /// (threads, critical-section cycles), phases 0–13.
 pub fn paper_figure10_phases(duration: Duration) -> Vec<Phase> {
     const THREADS: [usize; 14] = [16, 7, 19, 2, 7, 21, 7, 19, 8, 11, 24, 19, 16, 8];
-    const CS: [u64; 14] = [971, 706, 658, 765, 525, 665, 388, 1004, 310, 678, 733, 589, 479, 675];
+    const CS: [u64; 14] = [
+        971, 706, 658, 765, 525, 665, 388, 1004, 310, 678, 733, 589, 479, 675,
+    ];
     THREADS
         .iter()
         .zip(CS.iter())

@@ -19,11 +19,7 @@ pub struct SeriesTable {
 
 impl SeriesTable {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),

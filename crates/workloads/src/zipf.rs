@@ -44,7 +44,9 @@ impl Zipfian {
             alpha >= 0.0 && alpha.is_finite(),
             "zipfian alpha must be a non-negative finite number"
         );
-        let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(alpha)).collect();
+        let weights: Vec<f64> = (1..=n)
+            .map(|rank| 1.0 / (rank as f64).powf(alpha))
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
@@ -118,8 +120,16 @@ mod tests {
         // "The two most busy locks serve 34% and 18% of the requests" for
         // 8 locks with alpha = 0.9.
         let z = Zipfian::new(8, 0.9);
-        assert!((z.probability(0) - 0.34).abs() < 0.02, "{}", z.probability(0));
-        assert!((z.probability(1) - 0.18).abs() < 0.02, "{}", z.probability(1));
+        assert!(
+            (z.probability(0) - 0.34).abs() < 0.02,
+            "{}",
+            z.probability(0)
+        );
+        assert!(
+            (z.probability(1) - 0.18).abs() < 0.02,
+            "{}",
+            z.probability(1)
+        );
     }
 
     #[test]
@@ -131,8 +141,8 @@ mod tests {
         for _ in 0..samples {
             counts[z.sample(&mut rng)] += 1;
         }
-        for rank in 0..8 {
-            let freq = counts[rank] as f64 / samples as f64;
+        for (rank, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / samples as f64;
             assert!(
                 (freq - z.probability(rank)).abs() < 0.01,
                 "rank {rank}: freq {freq} vs p {}",

@@ -8,7 +8,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p gls --release --example debug_deadlock
+//! cargo run --release --example debug_deadlock
 //! ```
 
 use std::sync::{Arc, Barrier};
@@ -73,7 +73,10 @@ fn main() {
         .flatten()
         .collect();
 
-    println!("debug_deadlock: {} thread(s) reported a deadlock", reports.len());
+    println!(
+        "debug_deadlock: {} thread(s) reported a deadlock",
+        reports.len()
+    );
     for report in &reports {
         println!("  {report}");
     }

@@ -9,7 +9,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p gls --release --example kv_store
+//! cargo run --release --example kv_store
 //! ```
 
 use std::cell::UnsafeCell;

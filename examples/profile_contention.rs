@@ -9,7 +9,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p gls --release --example profile_contention
+//! cargo run --release --example profile_contention
 //! ```
 
 use std::sync::Arc;

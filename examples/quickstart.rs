@@ -3,7 +3,7 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run -p gls --release --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use std::sync::Arc;

@@ -1,0 +1,3 @@
+//! Carrier package for the workspace-level integration tests (`tests/`) and
+//! runnable examples (`examples/`). All library code lives in the `crates/*`
+//! members; see `gls` (crates/core) for the public entry point.

@@ -26,11 +26,8 @@ fn two_thread_lock_order_inversion_is_detected() {
             svc.lock_addr(first).unwrap();
             barrier.wait();
             let result = svc.lock_addr(second);
-            match &result {
-                Ok(()) => {
-                    svc.unlock_addr(second).unwrap();
-                }
-                Err(_) => {}
+            if result.is_ok() {
+                svc.unlock_addr(second).unwrap();
             }
             svc.unlock_addr(first).unwrap();
             result

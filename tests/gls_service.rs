@@ -88,7 +88,11 @@ fn profiler_identifies_the_hot_lock() {
                     x ^= x >> 7;
                     x ^= x << 17;
                     // 70% of accesses hit the "global" lock at 0x100.
-                    let addr = if x % 10 < 7 { 0x100 } else { 0x200 + (x as usize % 8) * 8 };
+                    let addr = if x % 10 < 7 {
+                        0x100
+                    } else {
+                        0x200 + (x as usize % 8) * 8
+                    };
                     svc.lock_addr(addr).unwrap();
                     gls_runtime::spin_cycles(300);
                     svc.unlock_addr(addr).unwrap();
@@ -110,7 +114,10 @@ fn profiler_identifies_the_hot_lock() {
         .find(|l| l.addr == 0x100)
         .expect("hot lock must be profiled");
     assert!(
-        report.locks.iter().all(|l| l.acquisitions <= hot.acquisitions),
+        report
+            .locks
+            .iter()
+            .all(|l| l.acquisitions <= hot.acquisitions),
         "the skewed lock must have the most acquisitions"
     );
     assert!(hot.acquisitions > 0);
@@ -165,7 +172,9 @@ fn free_and_recreate_cycles_are_safe() {
 
 #[test]
 fn debug_mode_issue_log_accumulates_across_threads() {
-    let svc = Arc::new(GlsService::with_config(GlsConfig::default().with_mode(GlsMode::Debug)));
+    let svc = Arc::new(GlsService::with_config(
+        GlsConfig::default().with_mode(GlsMode::Debug),
+    ));
     let handles: Vec<_> = (0..4)
         .map(|t| {
             let svc = Arc::clone(&svc);

@@ -1,0 +1,296 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds fully offline, so this vendored crate provides the
+//! subset of criterion used by the `gls_bench` benches: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `throughput`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter` / `iter_custom`, `BenchmarkId` and `black_box`.
+//!
+//! Statistics are intentionally simple: each benchmark is warmed up, then
+//! measured in `sample_size` wall-time samples, and the mean/min time per
+//! iteration is printed. There are no plots, baselines or outlier analysis —
+//! the point is that `cargo bench` runs the real measurement loops offline.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    //! Measurement backends (wall time only).
+
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+use measurement::WallTime;
+
+/// Prevents the compiler from optimizing away a value computation.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+            default_warm_up: Duration::from_millis(100),
+            default_measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            throughput: None,
+            _criterion: PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a, M = WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: PhantomData<&'a M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.warm_up, self.measurement, self.sample_size);
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.warm_up, self.measurement, self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let Some((iters, elapsed)) = bencher.result else {
+            println!("{}/{}: no measurement recorded", self.name, id);
+            return;
+        };
+        let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    "  {:.0} elem/s",
+                    n as f64 * iters as f64 / elapsed.as_secs_f64()
+                )
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:.0} B/s",
+                    n as f64 * iters as f64 / elapsed.as_secs_f64()
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: {:>12} per iter ({} iters in {:.3} s){}",
+            self.name,
+            id,
+            format_ns(per_iter * 1e9),
+            iters,
+            elapsed.as_secs_f64(),
+            rate,
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Measures one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration, sample_size: usize) -> Self {
+        Self {
+            warm_up,
+            measurement,
+            sample_size,
+            result: None,
+        }
+    }
+
+    /// Times repeated calls of `f` over the measurement budget.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let warm_up_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_up_end {
+            black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let deadline = start + self.measurement;
+        loop {
+            // Amortize the clock read over small batches.
+            for _ in 0..64 {
+                black_box(f());
+            }
+            iters += 64;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+
+    /// Hands full timing control to `f`: it receives an iteration count and
+    /// must return the total elapsed time for that many iterations.
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        let iters = self.sample_size as u64;
+        let elapsed = f(iters);
+        self.result = Some((iters, elapsed));
+    }
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

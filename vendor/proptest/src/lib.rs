@@ -1,0 +1,147 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace builds fully offline, so this vendored crate reimplements
+//! the subset of proptest used by the GLS test pyramid:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` parameters and an
+//!   optional `#![proptest_config(..)]` header,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * range strategies over integers and floats, tuple strategies,
+//!   [`Strategy::prop_map`], [`prop_oneof!`],
+//! * [`collection::vec`] and [`collection::hash_set`].
+//!
+//! Design differences from real proptest, chosen for CI determinism:
+//!
+//! * **Fixed seeds.** Every test derives its RNG seed from its fully
+//!   qualified name (FNV-1a), so runs are reproducible across machines and
+//!   invocations. `GLS_PROPTEST_SEED` perturbs the seed for exploratory
+//!   fuzzing; `GLS_PROPTEST_CASES` overrides the case count.
+//! * **No shrinking.** On failure the offending inputs are printed in full
+//!   (they are small by construction) instead of being minimized.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(128))] // optional
+///
+///     /// docs and attributes pass through
+///     #[test]
+///     fn name(arg in strategy, arg2 in strategy2) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            // Strategies are built once; each case draws fresh values.
+            $(let $arg = $strat;)+
+            for case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&$arg, &mut rng);)+
+                let described = ::std::format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    ::std::panic!(
+                        "proptest {}: case {}/{} failed: {}\n  inputs: {}",
+                        stringify!($name), case + 1, cases, err, described,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Union::arm($strat) ),+
+        ])
+    };
+}

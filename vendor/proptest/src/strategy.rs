@@ -1,0 +1,140 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+/// Uniform choice between same-typed strategies; built by [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+}
+
+/// One type-erased generator arm of a [`Union`].
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+impl<V> Union<V> {
+    /// Builds a union from boxed generator arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+
+    /// Erases one strategy into a generator arm.
+    pub fn arm<S>(strategy: S) -> UnionArm<V>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Box::new(move |rng| strategy.new_value(rng))
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let index = rng.gen_range(0..self.arms.len());
+        (self.arms[index])(rng)
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic runner state: per-test RNG, config, case errors.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test. Overridable at runtime via the
+    /// `GLS_PROPTEST_CASES` environment variable.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The configured case count after applying environment overrides.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("GLS_PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The per-test random number generator.
+///
+/// Seeded deterministically from the test's fully qualified name so CI runs
+/// are reproducible; `GLS_PROPTEST_SEED` perturbs the seed for exploration.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = fnv1a(name.as_bytes());
+        if let Ok(extra) = std::env::var("GLS_PROPTEST_SEED") {
+            if let Ok(extra) = extra.parse::<u64>() {
+                seed ^= extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// FNV-1a over `bytes`: stable across platforms, processes and rustc
+/// versions, unlike `DefaultHasher`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}
