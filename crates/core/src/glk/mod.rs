@@ -25,7 +25,9 @@
 mod config;
 mod lock;
 mod mode;
+mod rw;
 
 pub use config::{GlkConfig, MonitorHandle};
 pub use lock::GlkLock;
 pub use mode::{GlkMode, ModeTransition};
+pub use rw::{GlkRwLock, GlkRwMode};

@@ -1,0 +1,522 @@
+//! GLK-RW: the adaptive reader-writer lock.
+//!
+//! Kyoto Cabinet and SQLite protect their main structures with reader-writer
+//! locks (§5.2), so rw locking deserves the same adaptivity GLK gives plain
+//! mutual exclusion. GLK-RW switches between two underlying implementations:
+//!
+//! * **spin** — the TTAS-based [`RwTtasRaw`] (the paper's pthread-rwlock
+//!   replacement, footnote 7) while the machine has spare hardware contexts;
+//! * **blocking** — the parking [`RwMutexLock`] when the system-load monitor
+//!   reports multiprogramming and the lock sees real contention, so waiters
+//!   release their contexts to the OS.
+//!
+//! The acquisition protocol mirrors [`GlkLock`](crate::glk::GlkLock)
+//! (paper Figure 4): read the mode, acquire that low-level lock, re-check the
+//! mode and retry if it changed. Only a *write* holder — momentarily
+//! exclusive — folds the sampled queue lengths into the EMA and flips the
+//! mode, so adaptation is race-free; readers only bump the shared counters.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use gls_locks::{QueueInformed, RawLock, RawRwLock, RawTryLock, RwMutexLock, RwTtasRaw};
+use gls_runtime::LockStats;
+
+use super::config::{GlkConfig, MonitorHandle};
+
+/// The two operating modes of [`GlkRwLock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlkRwMode {
+    /// TTAS-based spinning readers and writers.
+    Spin,
+    /// Parking readers and writers (multiprogrammed systems).
+    Blocking,
+}
+
+impl GlkRwMode {
+    pub(crate) fn as_raw(self) -> u8 {
+        match self {
+            GlkRwMode::Spin => 0,
+            GlkRwMode::Blocking => 1,
+        }
+    }
+
+    pub(crate) fn from_raw(raw: u8) -> Self {
+        match raw {
+            0 => GlkRwMode::Spin,
+            _ => GlkRwMode::Blocking,
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GlkRwMode::Spin => "rw-spin",
+            GlkRwMode::Blocking => "rw-blocking",
+        }
+    }
+}
+
+/// The adaptive reader-writer lock (GLK-RW).
+///
+/// # Example
+///
+/// ```
+/// use gls::glk::{GlkRwLock, GlkRwMode};
+///
+/// let lock = GlkRwLock::new();
+/// lock.read_lock();
+/// assert_eq!(lock.mode(), GlkRwMode::Spin); // fresh locks spin
+/// lock.read_unlock();
+/// lock.write_lock();
+/// lock.write_unlock();
+/// ```
+#[derive(Debug)]
+pub struct GlkRwLock {
+    /// Current mode (the rw counterpart of the paper's `lock_type`).
+    mode: AtomicU8,
+    /// Low-level lock used in [`GlkRwMode::Spin`].
+    spin: RwTtasRaw,
+    /// Low-level lock used in [`GlkRwMode::Blocking`].
+    blocking: RwMutexLock,
+    /// Acquisition counts and queue samples (reads and writes combined).
+    stats: LockStats,
+    /// Exponential moving average of per-window queue lengths (f64 bits).
+    ema_bits: AtomicU64,
+    /// Consecutive calm monitor observations required to leave blocking
+    /// mode; doubles after every departure, as for GLK's mutex mode.
+    required_calm: AtomicU64,
+    config: GlkConfig,
+    monitor: MonitorHandle,
+}
+
+impl Default for GlkRwLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlkRwLock {
+    /// Creates a GLK-RW lock with the paper-default configuration and the
+    /// process-wide system-load monitor.
+    pub fn new() -> Self {
+        Self::with_config(GlkConfig::default())
+    }
+
+    /// Creates a GLK-RW lock with a custom configuration.
+    pub fn with_config(config: GlkConfig) -> Self {
+        Self::with_config_and_monitor(config, MonitorHandle::Global)
+    }
+
+    /// Creates a GLK-RW lock with a custom configuration and system-load
+    /// monitor.
+    pub fn with_config_and_monitor(config: GlkConfig, monitor: MonitorHandle) -> Self {
+        Self {
+            mode: AtomicU8::new(GlkRwMode::Spin.as_raw()),
+            spin: RwTtasRaw::new(),
+            blocking: RwMutexLock::new(),
+            stats: LockStats::new(),
+            ema_bits: AtomicU64::new(0f64.to_bits()),
+            required_calm: AtomicU64::new(config.initial_calm_rounds),
+            config,
+            monitor,
+        }
+    }
+
+    /// The mode the lock currently operates in.
+    pub fn mode(&self) -> GlkRwMode {
+        GlkRwMode::from_raw(self.mode.load(Ordering::Acquire))
+    }
+
+    /// Acquisition and queuing statistics (reads and writes combined).
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    /// Number of completed acquisitions, shared and exclusive.
+    pub fn acquisitions(&self) -> u64 {
+        self.stats.acquisitions()
+    }
+
+    /// Smoothed queue length currently driving adaptation decisions.
+    pub fn smoothed_queue(&self) -> f64 {
+        f64::from_bits(self.ema_bits.load(Ordering::Relaxed))
+    }
+
+    /// Holders plus waiters over both low-level locks: during a mode
+    /// transition waiters still drain from the previous mode's lock yet keep
+    /// queuing behind *this* lock.
+    pub fn queue_length(&self) -> u64 {
+        self.spin.queue_length() + self.blocking.queue_length()
+    }
+
+    /// Whether some thread holds the lock in either mode (racy; diagnostics
+    /// only).
+    pub fn is_locked(&self) -> bool {
+        self.spin.is_locked() || self.blocking.is_locked()
+    }
+
+    #[inline]
+    fn read_lock_mode(&self, mode: GlkRwMode) {
+        match mode {
+            GlkRwMode::Spin => self.spin.read_lock(),
+            GlkRwMode::Blocking => self.blocking.read_lock(),
+        }
+    }
+
+    #[inline]
+    fn try_read_lock_mode(&self, mode: GlkRwMode) -> bool {
+        match mode {
+            GlkRwMode::Spin => self.spin.try_read_lock(),
+            GlkRwMode::Blocking => self.blocking.try_read_lock(),
+        }
+    }
+
+    #[inline]
+    fn read_unlock_mode(&self, mode: GlkRwMode) {
+        match mode {
+            GlkRwMode::Spin => self.spin.read_unlock(),
+            GlkRwMode::Blocking => self.blocking.read_unlock(),
+        }
+    }
+
+    #[inline]
+    fn write_lock_mode(&self, mode: GlkRwMode) {
+        match mode {
+            GlkRwMode::Spin => self.spin.lock(),
+            GlkRwMode::Blocking => self.blocking.lock(),
+        }
+    }
+
+    #[inline]
+    fn try_write_lock_mode(&self, mode: GlkRwMode) -> bool {
+        match mode {
+            GlkRwMode::Spin => self.spin.try_lock(),
+            GlkRwMode::Blocking => self.blocking.try_lock(),
+        }
+    }
+
+    #[inline]
+    fn write_unlock_mode(&self, mode: GlkRwMode) {
+        match mode {
+            GlkRwMode::Spin => self.spin.unlock(),
+            GlkRwMode::Blocking => self.blocking.unlock(),
+        }
+    }
+
+    /// Acquires shared (read) access.
+    pub fn read_lock(&self) {
+        loop {
+            let current = self.mode();
+            self.read_lock_mode(current);
+            if self.mode() == current {
+                // Readers never adapt (they are not exclusive); they only
+                // contribute to the acquisition count the writer-side
+                // adaptation is paced by.
+                self.stats.record_acquisition();
+                return;
+            }
+            self.read_unlock_mode(current);
+        }
+    }
+
+    /// Attempts to acquire shared access without waiting.
+    pub fn try_read_lock(&self) -> bool {
+        loop {
+            let current = self.mode();
+            if !self.try_read_lock_mode(current) {
+                return false;
+            }
+            if self.mode() == current {
+                self.stats.record_acquisition();
+                return true;
+            }
+            self.read_unlock_mode(current);
+        }
+    }
+
+    /// Releases shared access.
+    ///
+    /// A reader in its critical section pins the mode — flipping it requires
+    /// the write lock of the current mode — so reading the mode here always
+    /// names the lock the reader actually holds.
+    pub fn read_unlock(&self) {
+        self.read_unlock_mode(self.mode());
+    }
+
+    /// Acquires exclusive (write) access.
+    pub fn write_lock(&self) {
+        loop {
+            let current = self.mode();
+            self.write_lock_mode(current);
+            if self.mode() == current && !self.try_adapt(current) {
+                return;
+            }
+            self.write_unlock_mode(current);
+        }
+    }
+
+    /// Attempts to acquire exclusive access without waiting.
+    pub fn try_write_lock(&self) -> bool {
+        loop {
+            let current = self.mode();
+            if !self.try_write_lock_mode(current) {
+                return false;
+            }
+            if self.mode() == current && !self.try_adapt(current) {
+                return true;
+            }
+            self.write_unlock_mode(current);
+        }
+    }
+
+    /// Releases exclusive access. Only the write holder may have changed the
+    /// mode, and it did so *before* releasing, so the mode read here always
+    /// names the lock actually held.
+    pub fn write_unlock(&self) {
+        self.write_unlock_mode(self.mode());
+    }
+
+    /// Statistics collection and adaptation, performed by the thread that
+    /// just acquired the write lock of `current` (and therefore excludes
+    /// every reader and writer of that mode). Returns `true` if the mode was
+    /// changed, in which case the caller must release and retry.
+    fn try_adapt(&self, current: GlkRwMode) -> bool {
+        if self.config.adaptation_disabled() {
+            self.stats.record_acquisition();
+            return false;
+        }
+        let acquisitions = self.stats.record_acquisition();
+
+        if acquisitions.is_multiple_of(self.config.sampling_period) {
+            self.stats.record_queue_sample(self.queue_length());
+        }
+        if !acquisitions.is_multiple_of(self.config.adaptation_period) {
+            return false;
+        }
+
+        // Fold this window's average queuing into the EMA; the write holder
+        // is exclusive, so the read-modify-write below is race-free.
+        let window_avg = self.stats.average_queue();
+        let previous = self.smoothed_queue();
+        let smoothed = if self.stats.queue_samples() == 0 {
+            previous
+        } else if self.stats.acquisitions() <= self.config.adaptation_period {
+            window_avg
+        } else {
+            self.config.ema_alpha * window_avg + (1.0 - self.config.ema_alpha) * previous
+        };
+        self.ema_bits.store(smoothed.to_bits(), Ordering::Relaxed);
+        self.stats.reset_queue_window();
+
+        let monitor = self.monitor.monitor();
+        let target = self.decide_mode(current, smoothed, monitor);
+        if target == current {
+            return false;
+        }
+        self.stats.record_transition();
+        self.mode.store(target.as_raw(), Ordering::Release);
+        true
+    }
+
+    /// The adaptation policy: blocking under multiprogramming (for locks
+    /// with real contention), spinning otherwise, with the same exponential
+    /// calm requirement GLK uses to leave mutex mode without bouncing.
+    fn decide_mode(
+        &self,
+        current: GlkRwMode,
+        smoothed: f64,
+        monitor: &gls_runtime::SystemLoadMonitor,
+    ) -> GlkRwMode {
+        if monitor.is_multiprogrammed() {
+            return if smoothed >= self.config.min_queue_for_mutex {
+                GlkRwMode::Blocking
+            } else {
+                GlkRwMode::Spin
+            };
+        }
+        if current == GlkRwMode::Blocking {
+            let required = self.required_calm.load(Ordering::Relaxed);
+            if monitor.calm_ticks() < required {
+                return GlkRwMode::Blocking;
+            }
+            let next = required.saturating_mul(2).min(self.config.max_calm_rounds);
+            self.required_calm.store(next, Ordering::Relaxed);
+        }
+        GlkRwMode::Spin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gls_runtime::sysload::{SystemLoadConfig, SystemLoadMonitor};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn fast_config() -> GlkConfig {
+        GlkConfig::default()
+            .with_adaptation_period(256)
+            .with_sampling_period(16)
+    }
+
+    fn manual_monitor() -> Arc<SystemLoadMonitor> {
+        Arc::new(SystemLoadMonitor::manual(SystemLoadConfig::default()))
+    }
+
+    #[test]
+    fn starts_spinning_and_counts_acquisitions() {
+        let lock = GlkRwLock::new();
+        assert_eq!(lock.mode(), GlkRwMode::Spin);
+        for _ in 0..50 {
+            lock.read_lock();
+            lock.read_unlock();
+            lock.write_lock();
+            lock.write_unlock();
+        }
+        assert_eq!(lock.acquisitions(), 100);
+        assert_eq!(lock.mode(), GlkRwMode::Spin);
+    }
+
+    #[test]
+    fn try_variants_respect_holders() {
+        let lock = GlkRwLock::new();
+        assert!(lock.try_read_lock());
+        assert!(!lock.try_write_lock());
+        lock.read_unlock();
+        assert!(lock.try_write_lock());
+        assert!(!lock.try_read_lock());
+        assert!(!lock.try_write_lock());
+        lock.write_unlock();
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn queue_length_reports_holders() {
+        let lock = GlkRwLock::new();
+        assert_eq!(lock.queue_length(), 0);
+        lock.read_lock();
+        lock.read_lock();
+        assert_eq!(lock.queue_length(), 2);
+        lock.read_unlock();
+        lock.read_unlock();
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn switches_to_blocking_under_multiprogramming() {
+        let monitor = manual_monitor();
+        let hw = gls_runtime::hardware_contexts();
+        let guards: Vec<_> = (0..hw * 2 + 1).map(|_| monitor.runnable_guard()).collect();
+        monitor.poll_once();
+        assert!(monitor.is_multiprogrammed());
+
+        let lock = Arc::new(GlkRwLock::with_config_and_monitor(
+            fast_config(),
+            MonitorHandle::Custom(Arc::clone(&monitor)),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        if t % 2 == 0 {
+                            lock.write_lock();
+                            gls_runtime::spin_cycles(300);
+                            lock.write_unlock();
+                        } else {
+                            lock.read_lock();
+                            gls_runtime::spin_cycles(300);
+                            lock.read_unlock();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while lock.mode() != GlkRwMode::Blocking && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            lock.mode(),
+            GlkRwMode::Blocking,
+            "multiprogrammed contended rw lock must adapt to blocking (queue {:.2})",
+            lock.smoothed_queue()
+        );
+        drop(guards);
+    }
+
+    #[test]
+    fn readers_and_writers_stay_consistent_across_mode_flips() {
+        struct Shared(std::cell::UnsafeCell<(u64, u64)>);
+        unsafe impl Sync for Shared {}
+        // Aggressive adaptation so the test exercises the transition
+        // protocol; the monitor flips multiprogramming on and off.
+        let monitor = manual_monitor();
+        let lock = Arc::new(GlkRwLock::with_config_and_monitor(
+            GlkConfig::default()
+                .with_adaptation_period(64)
+                .with_sampling_period(8),
+            MonitorHandle::Custom(Arc::clone(&monitor)),
+        ));
+        let shared = Arc::new(Shared(std::cell::UnsafeCell::new((0, 0))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let flipper = {
+            let monitor = Arc::clone(&monitor);
+            let stop = Arc::clone(&stop);
+            let hw = gls_runtime::hardware_contexts();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let guards: Vec<_> =
+                        (0..hw * 2 + 1).map(|_| monitor.runnable_guard()).collect();
+                    monitor.poll_once();
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    drop(guards);
+                    monitor.poll_once();
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+            })
+        };
+        let writers: Vec<_> = (0..3)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        lock.write_lock();
+                        unsafe {
+                            (*shared.0.get()).0 += 1;
+                            (*shared.0.get()).1 += 1;
+                        }
+                        lock.write_unlock();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        lock.read_lock();
+                        let (a, b) = unsafe { *shared.0.get() };
+                        assert_eq!(a, b, "reader overlapped a writer across a mode flip");
+                        lock.read_unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        flipper.join().unwrap();
+        assert_eq!(unsafe { (*shared.0.get()).0 }, 15_000);
+    }
+}

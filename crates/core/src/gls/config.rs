@@ -39,8 +39,10 @@ pub struct GlsConfig {
     pub default_kind: LockKind,
     /// Configuration handed to every GLK lock created by this service.
     pub glk: GlkConfig,
-    /// How long a thread may wait behind a lock (in debug mode) before the
-    /// deadlock-detection procedure is triggered. Paper: "more than a
+    /// Grace period before a suspected deadlock is confirmed (debug mode).
+    /// A thread finding a waits-for cycle as it is about to block waits this
+    /// long and re-validates every edge: real deadlocks are frozen, phantom
+    /// cycles assembled from a racy walk dissolve. Paper: "more than a
     /// second".
     pub deadlock_check_after: Duration,
     /// Initial capacity (number of lock objects) of the address → lock table.

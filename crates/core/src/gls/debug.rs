@@ -2,11 +2,24 @@
 //!
 //! GLS implements deadlock detection by augmenting the hash table "with a
 //! waiting array that indicates which lock each thread is waiting on" (§4.2).
-//! When a thread has been stuck behind a lock for longer than the configured
-//! threshold, it walks owner → waits-for → owner relationships; a cycle that
-//! returns to the invoking thread is a deadlock.
+//! A thread about to block behind a lock first walks owner → waits-for →
+//! owner relationships; a cycle that returns to the invoking thread is a
+//! candidate deadlock, confirmed by re-validating every edge after the
+//! configured threshold (a real deadlock is frozen; phantom cycles assembled
+//! from a non-atomic walk dissolve).
+//!
+//! Reader-writer locks make the waits-for graph a multigraph: a lock can
+//! have several shared holders, and a waiting writer waits on *all* of them,
+//! so the walk is a depth-first search over every holder rather than a
+//! single owner chain.
+//!
+//! All bookkeeping uses `SeqCst`: when two threads close a cycle
+//! simultaneously, each publishes its waits-for edge before walking, and the
+//! total order guarantees at least one of them observes the other's edge —
+//! with weaker orderings both could miss and the deadlock would go
+//! unreported.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex as StdMutex;
 
 use gls_runtime::thread_id::MAX_THREADS;
@@ -14,40 +27,62 @@ use gls_runtime::ThreadId;
 
 use crate::error::GlsError;
 
+/// A candidate deadlock: the waits-for cycle plus the epoch at which every
+/// participating thread's waiting record was observed. Confirmation requires
+/// the records to still carry the same epochs — i.e. every thread has been
+/// waiting continuously since the walk.
+#[derive(Debug, Clone)]
+pub(crate) struct CycleCandidate {
+    /// `(thread, address the thread waits on)`, starting and ending with the
+    /// detecting thread.
+    pub(crate) cycle: Vec<(ThreadId, usize)>,
+    /// The waiting epoch observed for each entry of `cycle`.
+    epochs: Vec<u64>,
+}
+
 /// Debug bookkeeping shared by all operations of one service instance.
 #[derive(Debug)]
 pub(crate) struct DebugState {
     /// `waiting[tid]` = address the thread is currently waiting on (0: none).
     waiting: Box<[AtomicUsize]>,
+    /// Bumped on every `set_waiting`/`clear_waiting` of the thread, so a
+    /// cycle candidate can later prove the thread never stopped waiting.
+    epochs: Box<[AtomicU64]>,
     /// Detected issues, in detection order.
     issues: StdMutex<Vec<GlsError>>,
 }
 
 impl DebugState {
     pub(crate) fn new() -> Self {
-        let waiting: Vec<AtomicUsize> = (0..MAX_THREADS).map(|_| AtomicUsize::new(0)).collect();
         Self {
-            waiting: waiting.into_boxed_slice(),
+            waiting: (0..MAX_THREADS).map(|_| AtomicUsize::new(0)).collect(),
+            epochs: (0..MAX_THREADS).map(|_| AtomicU64::new(0)).collect(),
             issues: StdMutex::new(Vec::new()),
         }
     }
 
     /// Records that `thread` is waiting on `addr`.
     pub(crate) fn set_waiting(&self, thread: ThreadId, addr: usize) {
-        self.waiting[thread.as_usize()].store(addr, Ordering::Release);
+        self.epochs[thread.as_usize()].fetch_add(1, Ordering::SeqCst);
+        self.waiting[thread.as_usize()].store(addr, Ordering::SeqCst);
     }
 
     /// Clears the waits-for record of `thread`.
     pub(crate) fn clear_waiting(&self, thread: ThreadId) {
-        self.waiting[thread.as_usize()].store(0, Ordering::Release);
+        self.waiting[thread.as_usize()].store(0, Ordering::SeqCst);
+        self.epochs[thread.as_usize()].fetch_add(1, Ordering::SeqCst);
     }
 
     /// The address `thread` is waiting on, if any.
     pub(crate) fn waiting_on(&self, thread: ThreadId) -> Option<usize> {
-        match self.waiting[thread.as_usize()].load(Ordering::Acquire) {
+        match self.waiting[thread.as_usize()].load(Ordering::SeqCst) {
             0 => None,
             addr => Some(addr),
         }
+    }
+
+    fn epoch_of(&self, thread: ThreadId) -> u64 {
+        self.epochs[thread.as_usize()].load(Ordering::SeqCst)
     }
 
     /// Appends an issue to the log.
@@ -69,33 +104,111 @@ impl DebugState {
         }
     }
 
-    /// Runs the deadlock-detection procedure on behalf of `me`, which is
-    /// currently waiting on `wait_addr`. `owner_of` resolves the current
-    /// owner of a lock address.
+    /// Runs the deadlock-detection walk on behalf of `me`, which is about to
+    /// wait on `wait_addr`. `holders_of` resolves every current holder of a
+    /// lock address — the exclusive owner, or all shared readers of an rw
+    /// entry (a waiting writer waits on all of them).
     ///
-    /// Returns the waits-for cycle if one that includes `me` is found.
+    /// Returns a candidate cycle that includes `me`, if one is found. The
+    /// walk is not an atomic snapshot, so the candidate must be confirmed
+    /// with [`DebugState::still_deadlocked`] after a grace period.
     pub(crate) fn detect_deadlock(
         &self,
         me: ThreadId,
         wait_addr: usize,
-        owner_of: impl Fn(usize) -> Option<ThreadId>,
-    ) -> Option<Vec<(ThreadId, usize)>> {
-        let mut cycle = vec![(me, wait_addr)];
-        let mut wait_on = wait_addr;
-        // The chain cannot meaningfully be longer than the number of live
-        // threads; the bound also protects against concurrent mutation.
-        for _ in 0..MAX_THREADS {
-            let owner = owner_of(wait_on)?;
-            if owner == me {
-                // Cycle closed: owner of the last lock is the invoking thread.
-                cycle.push((me, wait_addr));
-                return Some(cycle);
-            }
-            let next = self.waiting_on(owner)?;
-            cycle.push((owner, next));
-            wait_on = next;
+        holders_of: impl Fn(usize) -> Vec<ThreadId>,
+    ) -> Option<CycleCandidate> {
+        let mut path: Vec<(ThreadId, usize)> = vec![(me, wait_addr)];
+        let mut epochs: Vec<u64> = vec![self.epoch_of(me)];
+        let mut visited: Vec<ThreadId> = vec![me];
+        if self.dfs(
+            me,
+            wait_addr,
+            &holders_of,
+            &mut path,
+            &mut epochs,
+            &mut visited,
+        ) {
+            path.push((me, wait_addr));
+            epochs.push(epochs[0]);
+            return Some(CycleCandidate {
+                cycle: path,
+                epochs,
+            });
         }
         None
+    }
+
+    /// Depth-first search for a holder chain from `addr` back to `me`.
+    /// Appends the discovered waits-for edges to `path`/`epochs` and returns
+    /// `true` when the cycle closes.
+    fn dfs(
+        &self,
+        me: ThreadId,
+        addr: usize,
+        holders_of: &impl Fn(usize) -> Vec<ThreadId>,
+        path: &mut Vec<(ThreadId, usize)>,
+        epochs: &mut Vec<u64>,
+        visited: &mut Vec<ThreadId>,
+    ) -> bool {
+        if path.len() > MAX_THREADS {
+            return false;
+        }
+        for holder in holders_of(addr) {
+            if holder == me {
+                // Cycle closed: a holder of the last lock is the invoking
+                // thread itself.
+                return true;
+            }
+            if visited.contains(&holder) {
+                continue;
+            }
+            visited.push(holder);
+            let Some(next) = self.waiting_on(holder) else {
+                continue;
+            };
+            // Capture the epoch *after* the address: if the record churns in
+            // between, confirmation later fails — erring towards silence.
+            let epoch = self.epoch_of(holder);
+            path.push((holder, next));
+            epochs.push(epoch);
+            if self.dfs(me, next, holders_of, path, epochs, visited) {
+                return true;
+            }
+            path.pop();
+            epochs.pop();
+        }
+        false
+    }
+
+    /// Confirms a candidate cycle: every waits-for edge must still be in
+    /// place and every participant must have been waiting *continuously*
+    /// since the walk (same epoch). Threads frozen in a real deadlock pass
+    /// this; phantom cycles assembled from stale reads do not, because any
+    /// progress bumps an epoch.
+    pub(crate) fn still_deadlocked(
+        &self,
+        candidate: &CycleCandidate,
+        holders_of: impl Fn(usize) -> Vec<ThreadId>,
+    ) -> bool {
+        // Ownership edges first: each waited-on lock is still held by the
+        // next thread in the cycle.
+        for window in candidate.cycle.windows(2) {
+            let (_, awaited) = window[0];
+            let (holder, _) = window[1];
+            if !holders_of(awaited).contains(&holder) {
+                return false;
+            }
+        }
+        // Waiting edges and epochs last: with every participant provably
+        // parked since before the ownership reads above, those reads form a
+        // consistent snapshot.
+        for (&(thread, addr), &epoch) in candidate.cycle.iter().zip(&candidate.epochs) {
+            if self.waiting_on(thread) != Some(addr) || self.epoch_of(thread) != epoch {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -106,6 +219,14 @@ mod tests {
 
     fn tid(n: u32) -> ThreadId {
         ThreadId::from_raw(n)
+    }
+
+    fn owners(pairs: &[(usize, u32)]) -> HashMap<usize, Vec<ThreadId>> {
+        pairs.iter().map(|&(a, t)| (a, vec![tid(t)])).collect()
+    }
+
+    fn lookup(map: &HashMap<usize, Vec<ThreadId>>) -> impl Fn(usize) -> Vec<ThreadId> + '_ {
+        move |addr| map.get(&addr).cloned().unwrap_or_default()
     }
 
     #[test]
@@ -132,23 +253,26 @@ mod tests {
     fn no_deadlock_when_chain_terminates() {
         let d = DebugState::new();
         // T0 waits on lock A owned by T1, which waits on nothing.
-        let owners: HashMap<usize, ThreadId> = [(0xa, tid(1))].into();
-        let cycle = d.detect_deadlock(tid(0), 0xa, |addr| owners.get(&addr).copied());
-        assert!(cycle.is_none());
+        let map = owners(&[(0xa, 1)]);
+        assert!(d.detect_deadlock(tid(0), 0xa, lookup(&map)).is_none());
     }
 
     #[test]
     fn detects_two_thread_cycle() {
         let d = DebugState::new();
         // T0 holds B and waits on A; T1 holds A and waits on B.
-        let owners: HashMap<usize, ThreadId> = [(0xa, tid(1)), (0xb, tid(0))].into();
+        let map = owners(&[(0xa, 1), (0xb, 0)]);
+        d.set_waiting(tid(0), 0xa);
         d.set_waiting(tid(1), 0xb);
-        let cycle = d
-            .detect_deadlock(tid(0), 0xa, |addr| owners.get(&addr).copied())
+        let candidate = d
+            .detect_deadlock(tid(0), 0xa, lookup(&map))
             .expect("cycle should be detected");
-        assert_eq!(cycle.first().unwrap().0, tid(0));
-        assert_eq!(cycle.last().unwrap().0, tid(0));
-        assert!(cycle.iter().any(|&(t, a)| t == tid(1) && a == 0xb));
+        assert_eq!(candidate.cycle.first().unwrap().0, tid(0));
+        assert_eq!(candidate.cycle.last().unwrap().0, tid(0));
+        assert!(candidate
+            .cycle
+            .iter()
+            .any(|&(t, a)| t == tid(1) && a == 0xb));
     }
 
     #[test]
@@ -156,13 +280,13 @@ mod tests {
         let d = DebugState::new();
         // T0 waits A (owned by T1), T1 waits B (owned by T2), T2 waits C
         // (owned by T0).
-        let owners: HashMap<usize, ThreadId> = [(0xa, tid(1)), (0xb, tid(2)), (0xc, tid(0))].into();
+        let map = owners(&[(0xa, 1), (0xb, 2), (0xc, 0)]);
         d.set_waiting(tid(1), 0xb);
         d.set_waiting(tid(2), 0xc);
-        let cycle = d
-            .detect_deadlock(tid(0), 0xa, |addr| owners.get(&addr).copied())
+        let candidate = d
+            .detect_deadlock(tid(0), 0xa, lookup(&map))
             .expect("three-way cycle should be detected");
-        assert!(cycle.len() >= 4);
+        assert!(candidate.cycle.len() >= 4);
     }
 
     #[test]
@@ -171,10 +295,56 @@ mod tests {
         // T1 and T2 deadlock with each other; T0 waits on a lock owned by T1
         // but is not part of the cycle, so detection from T0 reports nothing
         // (T0 cannot be the one to break it).
-        let owners: HashMap<usize, ThreadId> = [(0xa, tid(1)), (0xb, tid(2)), (0xc, tid(1))].into();
+        let map = owners(&[(0xa, 1), (0xb, 2), (0xc, 1)]);
         d.set_waiting(tid(1), 0xb);
         d.set_waiting(tid(2), 0xc);
-        let cycle = d.detect_deadlock(tid(0), 0xa, |addr| owners.get(&addr).copied());
-        assert!(cycle.is_none());
+        assert!(d.detect_deadlock(tid(0), 0xa, lookup(&map)).is_none());
+    }
+
+    #[test]
+    fn writer_waits_on_every_shared_holder() {
+        let d = DebugState::new();
+        // T0 (a writer) waits on rw lock A held by readers T1 and T2; only
+        // T2 waits on B, which T0 owns — the cycle runs through the *second*
+        // shared holder, so a single-owner walk would miss it.
+        let mut map: HashMap<usize, Vec<ThreadId>> = HashMap::new();
+        map.insert(0xa, vec![tid(1), tid(2)]);
+        map.insert(0xb, vec![tid(0)]);
+        d.set_waiting(tid(2), 0xb);
+        let candidate = d
+            .detect_deadlock(tid(0), 0xa, lookup(&map))
+            .expect("cycle through a shared holder must be found");
+        assert!(candidate
+            .cycle
+            .iter()
+            .any(|&(t, a)| t == tid(2) && a == 0xb));
+    }
+
+    #[test]
+    fn confirmation_requires_frozen_waiters() {
+        let d = DebugState::new();
+        let map = owners(&[(0xa, 1), (0xb, 0)]);
+        d.set_waiting(tid(0), 0xa);
+        d.set_waiting(tid(1), 0xb);
+        let candidate = d.detect_deadlock(tid(0), 0xa, lookup(&map)).unwrap();
+        // Nothing moved: the candidate is confirmed.
+        assert!(d.still_deadlocked(&candidate, lookup(&map)));
+        // T1 made progress (cleared and re-registered the same wait): the
+        // epoch changed, so the candidate is a phantom and must be dropped.
+        d.clear_waiting(tid(1));
+        d.set_waiting(tid(1), 0xb);
+        assert!(!d.still_deadlocked(&candidate, lookup(&map)));
+    }
+
+    #[test]
+    fn confirmation_requires_intact_ownership() {
+        let d = DebugState::new();
+        let map = owners(&[(0xa, 1), (0xb, 0)]);
+        d.set_waiting(tid(0), 0xa);
+        d.set_waiting(tid(1), 0xb);
+        let candidate = d.detect_deadlock(tid(0), 0xa, lookup(&map)).unwrap();
+        // The lock changed hands: the ownership edge is gone.
+        let map_after = owners(&[(0xa, 7), (0xb, 0)]);
+        assert!(!d.still_deadlocked(&candidate, lookup(&map_after)));
     }
 }

@@ -1,6 +1,7 @@
 //! The per-address lock object stored in the GLS hash table.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
 
 use gls_locks::{
     ClhLock, LockKind, McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TasLock, TicketLock,
@@ -8,7 +9,7 @@ use gls_locks::{
 };
 use gls_runtime::{LockStats, ThreadId};
 
-use crate::glk::{GlkConfig, GlkLock, MonitorHandle};
+use crate::glk::{GlkConfig, GlkLock, GlkRwLock, MonitorHandle};
 
 /// The concrete lock implementation behind a GLS entry.
 ///
@@ -35,6 +36,9 @@ pub(crate) enum AlgorithmLock {
     Clh(ClhLock),
     /// Blocking mutex.
     Mutex(MutexLock),
+    /// Adaptive reader-writer lock (the entry kind behind the rw interface;
+    /// exclusive `lock`/`unlock` calls acquire write access).
+    Rw(GlkRwLock),
 }
 
 impl AlgorithmLock {
@@ -50,6 +54,10 @@ impl AlgorithmLock {
             LockKind::Mcs => AlgorithmLock::Mcs(McsLock::new()),
             LockKind::Clh => AlgorithmLock::Clh(ClhLock::new()),
             LockKind::Mutex => AlgorithmLock::Mutex(MutexLock::new()),
+            LockKind::Rw => AlgorithmLock::Rw(GlkRwLock::with_config_and_monitor(
+                glk_config.clone(),
+                monitor.clone(),
+            )),
         }
     }
 
@@ -62,6 +70,7 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(_) => LockKind::Mcs,
             AlgorithmLock::Clh(_) => LockKind::Clh,
             AlgorithmLock::Mutex(_) => LockKind::Mutex,
+            AlgorithmLock::Rw(_) => LockKind::Rw,
         }
     }
 
@@ -74,6 +83,7 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(l) => l.lock(),
             AlgorithmLock::Clh(l) => l.lock(),
             AlgorithmLock::Mutex(l) => l.lock(),
+            AlgorithmLock::Rw(l) => l.write_lock(),
         }
     }
 
@@ -86,6 +96,7 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(l) => l.try_lock(),
             AlgorithmLock::Clh(l) => l.try_lock(),
             AlgorithmLock::Mutex(l) => l.try_lock(),
+            AlgorithmLock::Rw(l) => l.try_write_lock(),
         }
     }
 
@@ -98,7 +109,38 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(l) => l.unlock(),
             AlgorithmLock::Clh(l) => l.unlock(),
             AlgorithmLock::Mutex(l) => l.unlock(),
+            AlgorithmLock::Rw(l) => l.write_unlock(),
         }
+    }
+
+    /// Acquires shared access. Entries that are not reader-writer locks
+    /// degrade to exclusive access — safe, merely pessimistic.
+    pub(crate) fn read_lock(&self) {
+        match self {
+            AlgorithmLock::Rw(l) => l.read_lock(),
+            _ => self.lock(),
+        }
+    }
+
+    /// Attempts to acquire shared access without waiting.
+    pub(crate) fn try_read_lock(&self) -> bool {
+        match self {
+            AlgorithmLock::Rw(l) => l.try_read_lock(),
+            _ => self.try_lock(),
+        }
+    }
+
+    /// Releases shared access (exclusive access for non-rw entries).
+    pub(crate) fn read_unlock(&self) {
+        match self {
+            AlgorithmLock::Rw(l) => l.read_unlock(),
+            _ => self.unlock(),
+        }
+    }
+
+    /// Whether this entry is a reader-writer lock (shared holders possible).
+    pub(crate) fn is_rw(&self) -> bool {
+        matches!(self, AlgorithmLock::Rw(_))
     }
 
     pub(crate) fn queue_length(&self) -> u64 {
@@ -110,6 +152,7 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(l) => l.queue_length(),
             AlgorithmLock::Clh(l) => l.queue_length(),
             AlgorithmLock::Mutex(l) => l.queue_length(),
+            AlgorithmLock::Rw(l) => l.queue_length(),
         }
     }
 
@@ -132,7 +175,12 @@ pub(crate) struct LockEntry {
     /// The lock implementation.
     pub(crate) lock: AlgorithmLock,
     /// Owner thread id + 1, or 0 when free. Maintained only in debug mode.
+    /// SeqCst: the deadlock detector relies on every thread observing the
+    /// latest ownership and waits-for edges (see `DebugState`).
     owner: AtomicU32,
+    /// Threads currently holding shared (read) access. Maintained only in
+    /// debug mode, for rw entries; a waiting writer waits on *all* of them.
+    readers: StdMutex<Vec<ThreadId>>,
     /// Cycle timestamp of the last acquisition (profiler mode).
     acquired_at: AtomicU64,
     /// Profiler statistics: queuing, lock latency, critical-section latency.
@@ -145,6 +193,7 @@ impl LockEntry {
             addr,
             lock,
             owner: AtomicU32::new(0),
+            readers: StdMutex::new(Vec::new()),
             acquired_at: AtomicU64::new(0),
             stats: LockStats::new(),
         }
@@ -152,20 +201,60 @@ impl LockEntry {
 
     /// Records `thread` as the owner (debug mode).
     pub(crate) fn set_owner(&self, thread: ThreadId) {
-        self.owner.store(thread.as_u32() + 1, Ordering::Release);
+        self.owner.store(thread.as_u32() + 1, Ordering::SeqCst);
     }
 
     /// Clears ownership (debug mode).
     pub(crate) fn clear_owner(&self) {
-        self.owner.store(0, Ordering::Release);
+        self.owner.store(0, Ordering::SeqCst);
     }
 
     /// The current owner, if ownership tracking has recorded one.
     pub(crate) fn owner(&self) -> Option<ThreadId> {
-        match self.owner.load(Ordering::Acquire) {
+        match self.owner.load(Ordering::SeqCst) {
             0 => None,
             raw => Some(ThreadId::from_raw(raw - 1)),
         }
+    }
+
+    /// Records `thread` as a shared holder (debug mode, rw entries).
+    pub(crate) fn add_reader(&self, thread: ThreadId) {
+        if let Ok(mut readers) = self.readers.lock() {
+            readers.push(thread);
+        }
+    }
+
+    /// Removes one shared-holder record for `thread`; returns whether one
+    /// existed (debug mode, rw entries).
+    pub(crate) fn remove_reader(&self, thread: ThreadId) -> bool {
+        match self.readers.lock() {
+            Ok(mut readers) => match readers.iter().position(|&t| t == thread) {
+                Some(index) => {
+                    readers.swap_remove(index);
+                    true
+                }
+                None => false,
+            },
+            Err(_) => false,
+        }
+    }
+
+    /// Whether `thread` currently holds shared access (debug mode).
+    pub(crate) fn has_reader(&self, thread: ThreadId) -> bool {
+        self.readers
+            .lock()
+            .map(|r| r.contains(&thread))
+            .unwrap_or(false)
+    }
+
+    /// Every thread currently holding this entry: the exclusive owner and
+    /// all shared holders. This is what a waiting writer waits on.
+    pub(crate) fn holders(&self) -> Vec<ThreadId> {
+        let mut holders: Vec<ThreadId> = self.readers.lock().map(|r| r.clone()).unwrap_or_default();
+        if let Some(owner) = self.owner() {
+            holders.push(owner);
+        }
+        holders
     }
 
     /// Stamps the acquisition time (profiler mode).
@@ -224,6 +313,48 @@ mod tests {
         assert_eq!(entry.owner(), Some(me));
         entry.clear_owner();
         assert_eq!(entry.owner(), None);
+    }
+
+    #[test]
+    fn rw_entry_supports_shared_access() {
+        let lock = make(LockKind::Rw);
+        assert!(lock.is_rw());
+        lock.read_lock();
+        lock.read_lock();
+        assert_eq!(lock.queue_length(), 2);
+        assert!(!lock.try_lock(), "readers must exclude writers");
+        lock.read_unlock();
+        lock.read_unlock();
+        assert!(lock.try_lock());
+        assert!(!lock.try_read_lock(), "writer must exclude readers");
+        lock.unlock();
+    }
+
+    #[test]
+    fn non_rw_entries_degrade_shared_to_exclusive() {
+        let lock = make(LockKind::Ticket);
+        assert!(!lock.is_rw());
+        lock.read_lock();
+        assert!(!lock.try_read_lock(), "fallback shared access is exclusive");
+        lock.read_unlock();
+    }
+
+    #[test]
+    fn entry_reader_tracking() {
+        let entry = LockEntry::new(0x3000, make(LockKind::Rw));
+        let me = ThreadId::current();
+        assert!(entry.holders().is_empty());
+        entry.add_reader(me);
+        entry.add_reader(me);
+        assert!(entry.has_reader(me));
+        assert_eq!(entry.holders().len(), 2);
+        assert!(entry.remove_reader(me));
+        assert!(entry.remove_reader(me));
+        assert!(!entry.remove_reader(me), "no shared hold left to remove");
+        assert!(!entry.has_reader(me));
+        entry.set_owner(me);
+        assert_eq!(entry.holders(), vec![me]);
+        entry.clear_owner();
     }
 
     #[test]

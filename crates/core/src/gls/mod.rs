@@ -18,4 +18,4 @@ mod service;
 
 pub use config::{GlsConfig, GlsMode};
 pub use profiler::{LockProfile, ProfileReport};
-pub use service::{GlsGuard, GlsService};
+pub use service::{GlsGuard, GlsReadGuard, GlsService, GlsWriteGuard};

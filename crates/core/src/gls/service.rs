@@ -2,7 +2,6 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex as StdMutex, OnceLock};
-use std::time::Instant;
 
 use gls_clht::{Clht, ClhtStats};
 use gls_locks::LockKind;
@@ -28,6 +27,23 @@ static NEXT_SERVICE_ID: AtomicU64 = AtomicU64::new(1);
 /// per-thread lock cache. The default interface uses the adaptive GLK
 /// algorithm; explicit per-algorithm interfaces are available through
 /// [`GlsService::lock_with`] (paper Table 1).
+///
+/// # Interface summary (paper Table 1, extended with reader-writer locking)
+///
+/// | Interface | Methods | Entry algorithm |
+/// |---|---|---|
+/// | Default | [`lock`](Self::lock), [`try_lock`](Self::try_lock), [`unlock`](Self::unlock), [`guard`](Self::guard) | GLK (adaptive) |
+/// | Explicit | [`lock_with`](Self::lock_with), [`try_lock_with`](Self::try_lock_with), [`unlock_with`](Self::unlock_with) | caller-chosen [`LockKind`] |
+/// | Reader-writer | [`read_lock`](Self::read_lock), [`write_lock`](Self::write_lock), [`try_read_lock`](Self::try_read_lock), [`try_write_lock`](Self::try_write_lock), [`read_unlock`](Self::read_unlock), [`write_unlock`](Self::write_unlock), [`read_guard`](Self::read_guard), [`write_guard`](Self::write_guard) | GLK-RW (adaptive rw) |
+/// | Management | [`free`](Self::free), [`lock_count`](Self::lock_count), [`issues`](Self::issues), [`profile_report`](Self::profile_report) | — |
+///
+/// The rw interface shares everything the mutex interface has: address-based
+/// mapping, the per-thread lock cache, profiling (queue/latency statistics)
+/// and the debug mode — including deadlock detection that understands shared
+/// holders (a waiting writer waits on *all* current readers). Mixing the rw
+/// and mutex interfaces on one address degrades shared acquisitions of
+/// non-rw entries to exclusive ones (safe, merely pessimistic); the debug
+/// mode flags the mismatch.
 ///
 /// # Example
 ///
@@ -56,9 +72,11 @@ pub struct GlsService {
     table: Clht,
     config: GlsConfig,
     debug: DebugState,
-    /// Entries removed via `free`; kept allocated until the service is
-    /// dropped so concurrent (buggy) users can never observe freed memory.
-    retired: StdMutex<Vec<usize>>,
+    /// `(addr, entry)` pairs removed via `free`; kept allocated until the
+    /// service is dropped so concurrent (buggy) users can never observe
+    /// freed memory, and resurrected as-is when the same address is
+    /// re-created so lock/free churn does not leak.
+    retired: StdMutex<Vec<(usize, usize)>>,
 }
 
 impl Default for GlsService {
@@ -210,6 +228,139 @@ impl GlsService {
     }
 
     // ------------------------------------------------------------------
+    // Reader-writer interface (gls_read_lock / gls_write_lock / ...)
+    // ------------------------------------------------------------------
+
+    /// Acquires shared (read) access to the lock associated with `m`,
+    /// creating an adaptive reader-writer entry on first use.
+    ///
+    /// # Errors
+    ///
+    /// In debug mode, returns the detected issue (double locking, deadlock)
+    /// without acquiring. In normal and profile mode this never fails.
+    pub fn read_lock<T: ?Sized>(&self, m: &T) -> Result<(), GlsError> {
+        self.read_lock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::read_lock`] for a raw address.
+    pub fn read_lock_addr(&self, addr: usize) -> Result<(), GlsError> {
+        self.read_lock_impl(addr)
+    }
+
+    /// Acquires exclusive (write) access to the lock associated with `m`,
+    /// creating an adaptive reader-writer entry on first use.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::read_lock`].
+    pub fn write_lock<T: ?Sized>(&self, m: &T) -> Result<(), GlsError> {
+        self.write_lock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::write_lock`] for a raw address.
+    pub fn write_lock_addr(&self, addr: usize) -> Result<(), GlsError> {
+        // Exclusive access on an rw entry *is* the classic lock operation,
+        // so the write side reuses the whole lock/profile/debug machinery.
+        self.lock_impl(addr, LockKind::Rw)
+    }
+
+    /// Attempts to acquire shared access without waiting.
+    ///
+    /// # Errors
+    ///
+    /// In debug mode, returns the detected issue (e.g. double locking).
+    pub fn try_read_lock<T: ?Sized>(&self, m: &T) -> Result<bool, GlsError> {
+        self.try_read_lock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::try_read_lock`] for a raw address.
+    pub fn try_read_lock_addr(&self, addr: usize) -> Result<bool, GlsError> {
+        self.try_read_lock_impl(addr)
+    }
+
+    /// Attempts to acquire exclusive access without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::try_read_lock`].
+    pub fn try_write_lock<T: ?Sized>(&self, m: &T) -> Result<bool, GlsError> {
+        self.try_write_lock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::try_write_lock`] for a raw address.
+    pub fn try_write_lock_addr(&self, addr: usize) -> Result<bool, GlsError> {
+        self.try_lock_impl(addr, LockKind::Rw)
+    }
+
+    /// Releases shared access to the lock associated with `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlsError::UninitializedLock`] if the address was never
+    /// locked; in debug mode additionally detects releasing shared access
+    /// the calling thread does not hold.
+    pub fn read_unlock<T: ?Sized>(&self, m: &T) -> Result<(), GlsError> {
+        self.read_unlock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::read_unlock`] for a raw address.
+    pub fn read_unlock_addr(&self, addr: usize) -> Result<(), GlsError> {
+        self.read_unlock_impl(addr)
+    }
+
+    /// Releases exclusive access to the lock associated with `m`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::unlock`].
+    pub fn write_unlock<T: ?Sized>(&self, m: &T) -> Result<(), GlsError> {
+        self.write_unlock_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::write_unlock`] for a raw address.
+    pub fn write_unlock_addr(&self, addr: usize) -> Result<(), GlsError> {
+        self.unlock_impl(addr, None)
+    }
+
+    /// Acquires shared access to `m` and returns a guard releasing it on
+    /// drop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::read_lock`].
+    pub fn read_guard<'a, T: ?Sized>(&'a self, m: &T) -> Result<GlsReadGuard<'a>, GlsError> {
+        self.read_guard_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::read_guard`] for a raw address.
+    pub fn read_guard_addr(&self, addr: usize) -> Result<GlsReadGuard<'_>, GlsError> {
+        self.read_lock_addr(addr)?;
+        Ok(GlsReadGuard {
+            service: self,
+            addr,
+        })
+    }
+
+    /// Acquires exclusive access to `m` and returns a guard releasing it on
+    /// drop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::write_lock`].
+    pub fn write_guard<'a, T: ?Sized>(&'a self, m: &T) -> Result<GlsWriteGuard<'a>, GlsError> {
+        self.write_guard_addr(Self::address_of(m))
+    }
+
+    /// [`GlsService::write_guard`] for a raw address.
+    pub fn write_guard_addr(&self, addr: usize) -> Result<GlsWriteGuard<'_>, GlsError> {
+        self.write_lock_addr(addr)?;
+        Ok(GlsWriteGuard {
+            service: self,
+            addr,
+        })
+    }
+
+    // ------------------------------------------------------------------
     // Management, debugging, profiling
     // ------------------------------------------------------------------
 
@@ -223,17 +374,27 @@ impl GlsService {
     pub fn free_addr(&self, addr: usize) -> bool {
         match self.table.remove(addr) {
             Some(ptr) => {
-                // Invalidate every thread's cached mapping for this service;
-                // the allocation itself is reclaimed when the service drops,
-                // so racing users never observe freed memory.
+                // Invalidate every thread's cached mapping for this service.
+                // The allocation itself is never reclaimed (or reinitialized)
+                // while the service lives: it is parked here and resurrected
+                // as-is if the same address is re-created (see `entry_for`),
+                // so racing users never observe freed or repurposed memory.
                 self.generation.fetch_add(1, Ordering::Release);
                 if let Ok(mut retired) = self.retired.lock() {
-                    retired.push(ptr);
+                    retired.push((addr, ptr));
                 }
                 true
             }
             None => false,
         }
+    }
+
+    /// Number of retired (freed, not yet resurrected) lock entries parked in
+    /// the service: one per freed address that has not been re-created.
+    /// Lock/free churn over a working set of addresses therefore stays
+    /// bounded by that working set instead of growing per free.
+    pub fn retired_count(&self) -> usize {
+        self.retired.lock().map(|r| r.len()).unwrap_or(0)
     }
 
     /// Number of lock objects currently managed by the service.
@@ -306,9 +467,11 @@ impl GlsService {
 
     fn entry_ref<'a>(ptr: usize) -> &'a LockEntry {
         // SAFETY: entry allocations are only reclaimed when the service is
-        // dropped (free() retires but does not deallocate), so any pointer
-        // obtained from the table or the cache stays valid for the service
-        // lifetime, which outlives every `&self` borrow handing it out.
+        // dropped — free() retires the entry and entry_for() resurrects it
+        // untouched for the same address; neither deallocates or rewrites —
+        // so any pointer obtained from the table or the cache stays valid
+        // for the service lifetime, which outlives every `&self` borrow
+        // handing it out.
         unsafe { &*(ptr as *const LockEntry) }
     }
 
@@ -335,8 +498,24 @@ impl GlsService {
             return Self::entry_ref(ptr);
         }
         let ptr = self.table.put_if_absent(addr, || {
-            let lock = AlgorithmLock::new(kind, &self.config.glk, &self.config.monitor);
-            Box::into_raw(Box::new(LockEntry::new(addr, lock))) as usize
+            // Resurrect the retired entry for this address if one exists:
+            // the entry is reinserted *untouched* (its allocation is never
+            // dropped or rewritten while the service lives, so even a racing
+            // user — or the deadlock detector's owner walk — holding a stale
+            // pointer only ever sees a valid entry for this address). This
+            // keeps lock/free churn at a bounded footprint: repeated cycles
+            // reuse the same allocation instead of leaking one per free.
+            // Note the algorithm chosen at first creation is resurrected
+            // with it; as with `put_if_absent` generally, the first creation
+            // of an address wins and debug mode flags kind mismatches.
+            let recycled = self.retired.lock().ok().and_then(|mut retired| {
+                let index = retired.iter().position(|&(a, _)| a == addr)?;
+                Some(retired.swap_remove(index).1)
+            });
+            recycled.unwrap_or_else(|| {
+                let lock = AlgorithmLock::new(kind, &self.config.glk, &self.config.monitor);
+                Box::into_raw(Box::new(LockEntry::new(addr, lock))) as usize
+            })
         });
         cache::store(self.id, generation, addr, ptr);
         Self::entry_ref(ptr)
@@ -361,13 +540,129 @@ impl GlsService {
                 entry.stats.record_acquisition();
                 Ok(())
             }
-            GlsMode::Debug => self.debug_lock(entry, addr, kind),
+            GlsMode::Debug => self.debug_acquire(entry, addr, kind, false),
         }
     }
 
-    fn debug_lock(&self, entry: &LockEntry, addr: usize, kind: LockKind) -> Result<(), GlsError> {
+    fn read_lock_impl(&self, addr: usize) -> Result<(), GlsError> {
+        let entry = self.entry_for(addr, LockKind::Rw);
+        match self.config.mode {
+            GlsMode::Normal => {
+                entry.lock.read_lock();
+                Ok(())
+            }
+            GlsMode::Profile => {
+                entry.stats.record_queue_sample(entry.lock.queue_length());
+                let start = cycles::now();
+                entry.lock.read_lock();
+                let acquired = cycles::now();
+                entry
+                    .stats
+                    .record_lock_latency(acquired.wrapping_sub(start));
+                // No critical-section stamp: shared holders overlap, so a
+                // single per-entry timestamp would mix up their sections.
+                entry.stats.record_acquisition();
+                Ok(())
+            }
+            GlsMode::Debug => self.debug_acquire(entry, addr, LockKind::Rw, true),
+        }
+    }
+
+    fn try_read_lock_impl(&self, addr: usize) -> Result<bool, GlsError> {
+        let entry = self.entry_for(addr, LockKind::Rw);
+        match self.config.mode {
+            GlsMode::Normal => Ok(entry.lock.try_read_lock()),
+            GlsMode::Profile => {
+                entry.stats.record_queue_sample(entry.lock.queue_length());
+                let start = cycles::now();
+                let acquired = entry.lock.try_read_lock();
+                if acquired {
+                    let now = cycles::now();
+                    entry.stats.record_lock_latency(now.wrapping_sub(start));
+                    entry.stats.record_acquisition();
+                }
+                Ok(acquired)
+            }
+            GlsMode::Debug => {
+                let me = ThreadId::current();
+                if entry.owner() == Some(me) || entry.has_reader(me) {
+                    let issue = GlsError::DoubleLock { addr, thread: me };
+                    self.debug.record(issue.clone());
+                    return Err(issue);
+                }
+                let acquired = entry.lock.try_read_lock();
+                if acquired {
+                    entry.add_reader(me);
+                    entry.stats.record_acquisition();
+                }
+                Ok(acquired)
+            }
+        }
+    }
+
+    fn read_unlock_impl(&self, addr: usize) -> Result<(), GlsError> {
+        let Some(entry) = self.find_entry(addr) else {
+            let issue = GlsError::UninitializedLock { addr };
+            if self.config.mode == GlsMode::Debug {
+                self.debug.record(issue.clone());
+            }
+            return Err(issue);
+        };
+        if self.config.mode == GlsMode::Debug {
+            let me = ThreadId::current();
+            if !entry.remove_reader(me) {
+                // Non-rw entries degrade shared acquisitions to exclusive
+                // ones, recorded as ownership; release that instead.
+                if !entry.lock.is_rw() && entry.owner() == Some(me) {
+                    entry.clear_owner();
+                } else {
+                    let issue = match entry.holders().first() {
+                        Some(&holder) => GlsError::WrongOwner {
+                            addr,
+                            owner: holder,
+                            caller: me,
+                        },
+                        None => GlsError::ReleaseFreeLock { addr },
+                    };
+                    self.debug.record(issue.clone());
+                    return Err(issue);
+                }
+            }
+        }
+        entry.lock.read_unlock();
+        Ok(())
+    }
+
+    /// The debug-mode acquisition path, for exclusive (`shared == false`)
+    /// and shared (`shared == true`) requests alike.
+    ///
+    /// Deadlock detection piggybacks on the real blocking acquire instead of
+    /// polling `try_lock`, which would both destroy the FIFO admission order
+    /// of ticket/MCS/CLH entries and burn a hardware context:
+    ///
+    /// 1. publish the waits-for edge, then attempt a single `try_lock`;
+    /// 2. on contention, walk the owner/waits-for graph. A candidate cycle
+    ///    is re-validated after [`GlsConfig::deadlock_check_after`] — real
+    ///    deadlocks are frozen, phantom cycles assembled from a non-atomic
+    ///    walk dissolve — and only a confirmed cycle is reported;
+    /// 3. with no cycle in sight, commit to the lock's own blocking acquire
+    ///    (queue entry, spin-then-yield or parking — whatever the algorithm
+    ///    does). A deadlock formed *later* must be closed by another thread
+    ///    publishing its own waits-for edge, and that thread's walk — every
+    ///    edge store and load is SeqCst — sees this thread's edge and
+    ///    reports the cycle, breaking it by not blocking.
+    fn debug_acquire(
+        &self,
+        entry: &LockEntry,
+        addr: usize,
+        kind: LockKind,
+        shared: bool,
+    ) -> Result<(), GlsError> {
         let me = ThreadId::current();
-        if entry.owner() == Some(me) {
+        if entry.owner() == Some(me) || entry.has_reader(me) {
+            // Re-entry in any holder role is flagged: rw entries are
+            // writer-preferring, so even a recursive read can self-deadlock
+            // behind a writer that waits on the first read hold.
             let issue = GlsError::DoubleLock { addr, thread: me };
             self.debug.record(issue.clone());
             return Err(issue);
@@ -380,37 +675,66 @@ impl GlsService {
             });
         }
         self.debug.set_waiting(me, addr);
-        let mut window_start = Instant::now();
-        loop {
-            if entry.lock.try_lock() {
-                break;
+        let try_acquire = || {
+            if shared {
+                entry.lock.try_read_lock()
+            } else {
+                entry.lock.try_lock()
             }
-            if window_start.elapsed() >= self.config.deadlock_check_after {
-                if let Some(cycle) = self
+        };
+        if !try_acquire() {
+            loop {
+                let Some(candidate) = self
                     .debug
-                    .detect_deadlock(me, addr, |a| self.owner_of_uncached(a))
+                    .detect_deadlock(me, addr, |a| self.holders_of_uncached(a))
+                else {
+                    // No cycle in sight: hand over to the real blocking
+                    // acquire of the underlying algorithm.
+                    if shared {
+                        entry.lock.read_lock();
+                    } else {
+                        entry.lock.lock();
+                    }
+                    break;
+                };
+                std::thread::sleep(self.config.deadlock_check_after);
+                // The lock may have been released while we slept.
+                if try_acquire() {
+                    break;
+                }
+                if self
+                    .debug
+                    .still_deadlocked(&candidate, |a| self.holders_of_uncached(a))
                 {
                     self.debug.clear_waiting(me);
-                    let issue = GlsError::Deadlock { cycle };
+                    let issue = GlsError::Deadlock {
+                        cycle: candidate.cycle,
+                    };
                     self.debug.record(issue.clone());
                     return Err(issue);
                 }
-                window_start = Instant::now();
+                // Phantom cycle: something moved in the meantime; re-walk.
             }
-            std::thread::yield_now();
         }
         self.debug.clear_waiting(me);
-        entry.set_owner(me);
+        if shared {
+            entry.add_reader(me);
+        } else {
+            entry.set_owner(me);
+        }
         entry.stats.record_acquisition();
         Ok(())
     }
 
-    /// Owner lookup that bypasses the per-thread cache (the deadlock detector
-    /// inspects other threads' locks, which would otherwise evict the
-    /// caller's cached entry).
-    fn owner_of_uncached(&self, addr: usize) -> Option<ThreadId> {
-        let ptr = self.table.get(addr)?;
-        Self::entry_ref(ptr).owner()
+    /// Holder lookup that bypasses the per-thread cache (the deadlock
+    /// detector inspects other threads' locks, which would otherwise evict
+    /// the caller's cached entry). Returns every holder: the exclusive owner
+    /// or, for rw entries, all shared readers.
+    fn holders_of_uncached(&self, addr: usize) -> Vec<ThreadId> {
+        match self.table.get(addr) {
+            Some(ptr) => Self::entry_ref(ptr).holders(),
+            None => Vec::new(),
+        }
     }
 
     fn try_lock_impl(&self, addr: usize, kind: LockKind) -> Result<bool, GlsError> {
@@ -503,7 +827,7 @@ impl Drop for GlsService {
         let mut pointers = Vec::new();
         self.table.for_each(|_, ptr| pointers.push(ptr));
         if let Ok(mut retired) = self.retired.lock() {
-            pointers.append(&mut *retired);
+            pointers.extend(retired.drain(..).map(|(_, ptr)| ptr));
         }
         for ptr in pointers {
             // SAFETY: entries were allocated with Box::into_raw and each
@@ -536,11 +860,54 @@ impl Drop for GlsGuard<'_> {
     }
 }
 
+/// RAII guard for shared access, returned by [`GlsService::read_guard`];
+/// releases the read hold on drop.
+#[derive(Debug)]
+pub struct GlsReadGuard<'a> {
+    service: &'a GlsService,
+    addr: usize,
+}
+
+impl GlsReadGuard<'_> {
+    /// The address this guard protects.
+    pub fn addr(&self) -> usize {
+        self.addr
+    }
+}
+
+impl Drop for GlsReadGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.service.read_unlock_addr(self.addr);
+    }
+}
+
+/// RAII guard for exclusive access, returned by
+/// [`GlsService::write_guard`]; releases the write hold on drop.
+#[derive(Debug)]
+pub struct GlsWriteGuard<'a> {
+    service: &'a GlsService,
+    addr: usize,
+}
+
+impl GlsWriteGuard<'_> {
+    /// The address this guard protects.
+    pub fn addr(&self) -> usize {
+        self.addr
+    }
+}
+
+impl Drop for GlsWriteGuard<'_> {
+    fn drop(&mut self) {
+        let _ = self.service.write_unlock_addr(self.addr);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::glk::GlkConfig;
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn lock_unlock_arbitrary_values() {
@@ -732,6 +1099,167 @@ mod tests {
             !transitions.is_empty(),
             "contended GLK lock should have adapted at least once"
         );
+    }
+
+    #[test]
+    fn rw_interface_roundtrip_and_sharing() {
+        let svc = GlsService::new();
+        let data = [0u64; 4];
+        svc.read_lock(&data).unwrap();
+        svc.read_lock(&data).unwrap();
+        assert!(
+            !svc.try_write_lock(&data).unwrap(),
+            "readers exclude writers"
+        );
+        assert!(svc.try_read_lock(&data).unwrap(), "readers share");
+        svc.read_unlock(&data).unwrap();
+        svc.read_unlock(&data).unwrap();
+        svc.read_unlock(&data).unwrap();
+        svc.write_lock(&data).unwrap();
+        assert!(
+            !svc.try_read_lock(&data).unwrap(),
+            "writer excludes readers"
+        );
+        svc.write_unlock(&data).unwrap();
+        assert_eq!(
+            svc.algorithm_of(GlsService::address_of(&data)),
+            Some(LockKind::Rw)
+        );
+    }
+
+    #[test]
+    fn rw_guards_release_on_drop() {
+        let svc = GlsService::new();
+        {
+            let _r1 = svc.read_guard_addr(0x500).unwrap();
+            let _r2 = svc.read_guard_addr(0x500).unwrap();
+            assert!(!svc.try_write_lock_addr(0x500).unwrap());
+        }
+        {
+            let _w = svc.write_guard_addr(0x500).unwrap();
+            assert!(!svc.try_read_lock_addr(0x500).unwrap());
+        }
+        assert!(svc.try_write_lock_addr(0x500).unwrap());
+        svc.write_unlock_addr(0x500).unwrap();
+    }
+
+    #[test]
+    fn rw_read_unlock_of_unknown_address_reports_uninitialized() {
+        let svc = GlsService::new();
+        let err = svc.read_unlock_addr(0x7777).unwrap_err();
+        assert_eq!(err.category(), "uninitialized-lock");
+    }
+
+    #[test]
+    fn profile_mode_reports_rw_entries() {
+        let svc = GlsService::with_config(GlsConfig::profile());
+        for _ in 0..50 {
+            svc.read_lock_addr(0x600).unwrap();
+            svc.read_unlock_addr(0x600).unwrap();
+        }
+        for _ in 0..10 {
+            svc.write_lock_addr(0x600).unwrap();
+            gls_runtime::spin_cycles(200);
+            svc.write_unlock_addr(0x600).unwrap();
+        }
+        let report = svc.profile_report();
+        let rw = report
+            .locks
+            .iter()
+            .find(|l| l.addr == 0x600)
+            .expect("rw entry must appear in the profiler report");
+        assert_eq!(rw.algorithm, LockKind::Rw);
+        assert_eq!(rw.acquisitions, 60);
+        assert!(rw.avg_cs_latency > 0.0, "write sections are timed");
+    }
+
+    #[test]
+    fn debug_mode_detects_rw_misuse() {
+        let svc = GlsService::with_config(GlsConfig::debug());
+        svc.read_lock_addr(0x700).unwrap();
+        // Recursive read is flagged: rw entries are writer-preferring, so a
+        // second read hold can self-deadlock behind a waiting writer.
+        let err = svc.read_lock_addr(0x700).unwrap_err();
+        assert_eq!(err.category(), "double-lock");
+        svc.read_unlock_addr(0x700).unwrap();
+        // Releasing shared access nobody holds.
+        let err = svc.read_unlock_addr(0x700).unwrap_err();
+        assert_eq!(err.category(), "release-free-lock");
+        // A thread that holds nothing cannot release another's read hold.
+        let svc = Arc::new(svc);
+        svc.read_lock_addr(0x700).unwrap();
+        let svc2 = Arc::clone(&svc);
+        let err = std::thread::spawn(move || svc2.read_unlock_addr(0x700).unwrap_err())
+            .join()
+            .unwrap();
+        assert_eq!(err.category(), "wrong-owner");
+        svc.read_unlock_addr(0x700).unwrap();
+    }
+
+    #[test]
+    fn debug_mode_tracks_shared_holders_concurrently() {
+        let svc = Arc::new(GlsService::with_config(GlsConfig::debug()));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        svc.read_lock_addr(0x800).unwrap();
+                        svc.read_unlock_addr(0x800).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            svc.issues().is_empty(),
+            "well-formed shared locking must record no issues: {:?}",
+            svc.issues()
+        );
+    }
+
+    #[test]
+    fn repeated_lock_free_cycles_keep_retired_list_bounded() {
+        let svc = GlsService::new();
+        // Churn over a 7-address working set: the retired list may hold at
+        // most one parked entry per address, never one per free.
+        for round in 0..1_000usize {
+            let addr = 0x9000 + (round % 7) * 8;
+            svc.lock_addr(addr).unwrap();
+            svc.unlock_addr(addr).unwrap();
+            assert!(svc.free_addr(addr));
+            assert!(
+                svc.retired_count() <= 7,
+                "lock/free churn must resurrect entries, found {} retired after round {round}",
+                svc.retired_count()
+            );
+        }
+        assert_eq!(svc.lock_count(), 0);
+        // Re-creating the working set drains the retired list entirely.
+        for slot in 0..7usize {
+            svc.lock_addr(0x9000 + slot * 8).unwrap();
+            svc.unlock_addr(0x9000 + slot * 8).unwrap();
+        }
+        assert_eq!(svc.retired_count(), 0, "all parked entries resurrected");
+        assert_eq!(svc.lock_count(), 7);
+    }
+
+    #[test]
+    fn freed_address_resurrects_with_its_original_algorithm() {
+        // Resurrection reinserts the parked entry untouched, so the
+        // algorithm chosen at first creation survives a free/re-create
+        // cycle (first creation wins, as with put_if_absent generally).
+        let svc = GlsService::new();
+        svc.lock_with(LockKind::Mcs, 0xA000).unwrap();
+        svc.unlock_with(LockKind::Mcs, 0xA000).unwrap();
+        assert!(svc.free_addr(0xA000));
+        assert_eq!(svc.retired_count(), 1);
+        svc.lock_addr(0xA000).unwrap();
+        svc.unlock_addr(0xA000).unwrap();
+        assert_eq!(svc.algorithm_of(0xA000), Some(LockKind::Mcs));
+        assert_eq!(svc.retired_count(), 0, "parked entry was resurrected");
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //!   any address (in fact any non-zero value) to a lock object, so
 //!   programmers never declare, allocate, initialize or destroy locks. The
 //!   default interface uses GLK; explicit interfaces expose TAS, TTAS,
-//!   ticket, MCS, CLH and mutex locks. A debug mode detects the classic
-//!   locking bugs (including runtime deadlock detection) and a profiler mode
-//!   reports per-lock contention and latencies.
+//!   ticket, MCS, CLH and mutex locks, and a reader-writer interface
+//!   (`read_lock`/`write_lock` + guards) backed by the adaptive
+//!   [`GlkRwLock`]. A debug mode detects the classic locking bugs (including
+//!   runtime deadlock detection that understands shared holders) and a
+//!   profiler mode reports per-lock contention and latencies.
 //!
 //! ## Quick start
 //!
@@ -69,8 +71,11 @@ pub mod glk;
 pub mod gls;
 
 pub use error::GlsError;
-pub use glk::{GlkConfig, GlkLock, GlkMode, ModeTransition};
-pub use gls::{GlsConfig, GlsGuard, GlsMode, GlsService, LockProfile, ProfileReport};
+pub use glk::{GlkConfig, GlkLock, GlkMode, GlkRwLock, GlkRwMode, ModeTransition};
+pub use gls::{
+    GlsConfig, GlsGuard, GlsMode, GlsReadGuard, GlsService, GlsWriteGuard, LockProfile,
+    ProfileReport,
+};
 
 // Re-export the substrate types that appear in this crate's public API so
 // downstream users need only one dependency.

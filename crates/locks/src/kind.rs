@@ -29,6 +29,10 @@ pub enum LockKind {
     Mutex,
     /// The adaptive generic lock (GLK).
     Glk,
+    /// The adaptive reader-writer lock (GLK-RW): spinning TTAS-rw normally,
+    /// blocking rw mutex under multiprogramming. Exclusive (`lock`) calls on
+    /// such an entry acquire write access.
+    Rw,
 }
 
 impl LockKind {
@@ -42,8 +46,8 @@ impl LockKind {
         LockKind::Mutex,
     ];
 
-    /// All algorithms, including GLK.
-    pub const ALL: [LockKind; 7] = [
+    /// All algorithms, including the adaptive GLK and GLK-RW.
+    pub const ALL: [LockKind; 8] = [
         LockKind::Tas,
         LockKind::Ttas,
         LockKind::Ticket,
@@ -51,6 +55,7 @@ impl LockKind {
         LockKind::Clh,
         LockKind::Mutex,
         LockKind::Glk,
+        LockKind::Rw,
     ];
 
     /// Upper-case display name matching the paper's figures.
@@ -63,6 +68,7 @@ impl LockKind {
             LockKind::Clh => "CLH",
             LockKind::Mutex => "MUTEX",
             LockKind::Glk => "GLK",
+            LockKind::Rw => "RW",
         }
     }
 
@@ -109,6 +115,7 @@ impl FromStr for LockKind {
             "clh" => Ok(LockKind::Clh),
             "mutex" | "pthread" => Ok(LockKind::Mutex),
             "glk" | "adaptive" => Ok(LockKind::Glk),
+            "rw" | "rwlock" => Ok(LockKind::Rw),
             _ => Err(ParseLockKindError { input: s.into() }),
         }
     }
@@ -142,8 +149,10 @@ mod tests {
     }
 
     #[test]
-    fn concrete_excludes_glk() {
+    fn concrete_excludes_adaptive_kinds() {
         assert!(!LockKind::CONCRETE.contains(&LockKind::Glk));
+        assert!(!LockKind::CONCRETE.contains(&LockKind::Rw));
         assert!(LockKind::ALL.contains(&LockKind::Glk));
+        assert!(LockKind::ALL.contains(&LockKind::Rw));
     }
 }

@@ -6,7 +6,11 @@
 //! blocking mutex with a bounded busy-wait phase. This crate implements all
 //! of them behind two small traits, [`RawLock`] and [`RawTryLock`], plus a
 //! [`QueueInformed`] extension that exposes the queue length needed by GLK's
-//! contention statistics.
+//! contention statistics. Reader-writer locking (Kyoto Cabinet, SQLite —
+//! §5.2) is covered by the [`RawRwLock`] trait with a spinning
+//! ([`RwTtasRaw`]) and a blocking/parking ([`RwMutexLock`]) implementation,
+//! both writer-preferring via a writer-intent bit so reader streams cannot
+//! starve writers.
 //!
 //! All locks are padded to a cache line ([`CachePadded`]) exactly as the
 //! paper's methodology pads every lock to 64 bytes to avoid false sharing.
@@ -41,7 +45,10 @@ pub mod kind;
 pub mod lock;
 pub mod mcs;
 pub mod mutex;
+#[cfg(test)]
+mod proptests;
 pub mod raw;
+pub mod rw_mutex;
 pub mod rwlock;
 pub mod spin_wait;
 pub mod tas;
@@ -56,8 +63,9 @@ pub use kind::LockKind;
 pub use lock::{Lock, LockGuard};
 pub use mcs::McsLock;
 pub use mutex::MutexLock;
-pub use raw::{QueueInformed, RawLock, RawTryLock};
-pub use rwlock::{RwTtasLock, RwTtasReadGuard, RwTtasWriteGuard};
+pub use raw::{QueueInformed, RawLock, RawRwLock, RawTryLock};
+pub use rw_mutex::RwMutexLock;
+pub use rwlock::{RwTtasLock, RwTtasRaw, RwTtasReadGuard, RwTtasWriteGuard};
 pub use spin_wait::SpinWait;
 pub use tas::TasLock;
 pub use ticket::TicketLock;

@@ -1,0 +1,122 @@
+//! Model-based property tests for the reader-writer locks: under any
+//! sequence of guard acquisitions and releases, a writer and a reader must
+//! never be admitted concurrently, and the lock's reader count must always
+//! equal the number of live read guards.
+
+use proptest::prelude::*;
+
+use crate::raw::{QueueInformed, RawLock, RawRwLock, RawTryLock};
+use crate::rw_mutex::RwMutexLock;
+use crate::rwlock::RwTtasLock;
+
+/// One step of the single-threaded model: acquire or release shared or
+/// exclusive access through the non-blocking interface.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    TryRead,
+    DropRead,
+    TryWrite,
+    DropWrite,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::TryRead),
+        Just(Op::DropRead),
+        Just(Op::TryWrite),
+        Just(Op::DropWrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The data-carrying TTAS rwlock against a guard-counting model: reader
+    /// count tracks live guards exactly, writer and readers never coexist,
+    /// and try operations succeed precisely when the model says they may.
+    #[test]
+    fn ttas_guards_match_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let lock = RwTtasLock::new(0u64);
+        let mut read_guards = Vec::new();
+        let mut write_guard = None;
+        for op in ops {
+            match op {
+                Op::TryRead => {
+                    let admitted = lock.try_read();
+                    // Single-threaded: no pending writer intent, so a read
+                    // is admitted iff no write guard is live.
+                    prop_assert_eq!(admitted.is_some(), write_guard.is_none());
+                    read_guards.extend(admitted);
+                }
+                Op::DropRead => {
+                    read_guards.pop();
+                }
+                Op::TryWrite => {
+                    let admitted = lock.try_write();
+                    prop_assert_eq!(
+                        admitted.is_some(),
+                        write_guard.is_none() && read_guards.is_empty()
+                    );
+                    if let Some(g) = admitted {
+                        write_guard = Some(g);
+                    }
+                }
+                Op::DropWrite => {
+                    write_guard = None;
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(lock.reader_count() as usize, read_guards.len());
+            prop_assert_eq!(lock.is_write_locked(), write_guard.is_some());
+            prop_assert!(
+                !(lock.is_write_locked() && lock.reader_count() > 0),
+                "writer and readers admitted concurrently"
+            );
+            prop_assert_eq!(
+                lock.queue_length() as usize,
+                read_guards.len() + usize::from(write_guard.is_some())
+            );
+        }
+    }
+
+    /// The blocking rw mutex against the same model, through the raw
+    /// interface (manual lock/unlock pairing instead of guards).
+    #[test]
+    fn rw_mutex_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let lock = RwMutexLock::new();
+        let mut readers = 0u32;
+        let mut writer = false;
+        for op in ops {
+            match op {
+                Op::TryRead => {
+                    let admitted = lock.try_read_lock();
+                    prop_assert_eq!(admitted, !writer);
+                    if admitted {
+                        readers += 1;
+                    }
+                }
+                Op::DropRead => {
+                    if readers > 0 {
+                        lock.read_unlock();
+                        readers -= 1;
+                    }
+                }
+                Op::TryWrite => {
+                    let admitted = lock.try_lock();
+                    prop_assert_eq!(admitted, !writer && readers == 0);
+                    writer |= admitted;
+                }
+                Op::DropWrite => {
+                    if writer {
+                        lock.unlock();
+                        writer = false;
+                    }
+                }
+            }
+            prop_assert_eq!(lock.reader_count(), readers);
+            prop_assert_eq!(lock.is_write_locked(), writer);
+            prop_assert_eq!(lock.is_locked(), writer || readers > 0);
+            prop_assert_eq!(lock.queue_length(), u64::from(readers) + u64::from(writer));
+        }
+    }
+}

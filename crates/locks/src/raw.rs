@@ -35,6 +35,54 @@ pub trait RawTryLock: RawLock {
     fn try_lock(&self) -> bool;
 }
 
+/// A raw reader-writer lock: shared (read) and exclusive (write) access
+/// with no data attached.
+///
+/// The exclusive side *is* the [`RawLock`]/[`RawTryLock`] interface —
+/// `lock`/`unlock`/`try_lock` acquire and release write access — so every
+/// reader-writer lock can be used wherever a plain mutual-exclusion lock is
+/// expected (GLK, GLS entries, the benchmark harness). The `write_*` aliases
+/// below exist so call sites pairing with `read_*` read symmetrically.
+///
+/// # Contract
+///
+/// `read_unlock` must only be called by a thread holding shared access, and
+/// `write_unlock` by the thread holding exclusive access. Implementations in
+/// this crate are writer-preferring: a waiting writer blocks newly arriving
+/// readers (see [`RwTtasRaw`](crate::RwTtasRaw)), so a continuous reader
+/// stream cannot starve writers. The flip side is that a continuous stream
+/// of *writers* delays readers unboundedly — the right trade-off for the
+/// evaluated systems' structure locks (reads dominate, writes must land),
+/// but not a general fairness guarantee for read-mostly users.
+pub trait RawRwLock: RawTryLock {
+    /// Acquires shared (read) access, blocking until no writer holds or
+    /// awaits the lock.
+    fn read_lock(&self);
+
+    /// Attempts to acquire shared access without waiting; returns `true` on
+    /// success.
+    fn try_read_lock(&self) -> bool;
+
+    /// Releases shared access.
+    fn read_unlock(&self);
+
+    /// Acquires exclusive (write) access; equivalent to [`RawLock::lock`].
+    fn write_lock(&self) {
+        self.lock();
+    }
+
+    /// Attempts to acquire exclusive access without waiting; equivalent to
+    /// [`RawTryLock::try_lock`].
+    fn try_write_lock(&self) -> bool {
+        self.try_lock()
+    }
+
+    /// Releases exclusive access; equivalent to [`RawLock::unlock`].
+    fn write_unlock(&self) {
+        self.unlock();
+    }
+}
+
 /// A lock able to report how many threads are currently involved with it
 /// (the holder plus any waiters).
 ///
@@ -55,7 +103,9 @@ pub(crate) fn assert_send_sync<T: Send + Sync>() {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ClhLock, McsLock, MutexLock, TasLock, TicketLock, TtasLock};
+    use crate::{
+        ClhLock, McsLock, MutexLock, RwMutexLock, RwTtasRaw, TasLock, TicketLock, TtasLock,
+    };
 
     #[test]
     fn all_locks_are_send_sync() {
@@ -65,6 +115,8 @@ mod tests {
         assert_send_sync::<McsLock>();
         assert_send_sync::<ClhLock>();
         assert_send_sync::<MutexLock>();
+        assert_send_sync::<RwTtasRaw>();
+        assert_send_sync::<RwMutexLock>();
     }
 
     #[test]
@@ -76,6 +128,8 @@ mod tests {
             McsLock::NAME,
             ClhLock::NAME,
             MutexLock::NAME,
+            RwTtasRaw::NAME,
+            RwMutexLock::NAME,
         ];
         for (i, a) in names.iter().enumerate() {
             for b in names.iter().skip(i + 1) {

@@ -1,0 +1,316 @@
+//! Blocking reader-writer lock for multiprogrammed environments.
+//!
+//! The rw counterpart of [`MutexLock`](crate::MutexLock): when the machine
+//! is oversubscribed, spinning readers and writers would burn hardware
+//! contexts the lock holder needs, so waiters must release them to the OS.
+//! This lock parks waiters on condition variables; like the TTAS rwlock it
+//! is writer-preferring — arriving readers wait behind any announced writer,
+//! so writers cannot starve behind a reader stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::cache_padded::CachePadded;
+use crate::raw::{QueueInformed, RawLock, RawRwLock, RawTryLock};
+
+#[derive(Debug, Default)]
+struct RwInner {
+    /// Active readers.
+    readers: u32,
+    /// Whether a writer holds the lock.
+    writer: bool,
+    /// Writers parked (or about to park) on `can_write`.
+    writers_waiting: u32,
+}
+
+#[derive(Debug, Default)]
+struct RwMutexState {
+    inner: Mutex<RwInner>,
+    /// Readers park here while a writer holds or awaits the lock.
+    can_read: Condvar,
+    /// Writers park here while the lock is held at all.
+    can_write: Condvar,
+    /// Holders + waiters, for [`QueueInformed`].
+    queued: AtomicU64,
+}
+
+/// A blocking (parking) reader-writer lock.
+///
+/// # Example
+///
+/// ```
+/// use gls_locks::{RawRwLock, RwMutexLock};
+///
+/// let lock = RwMutexLock::new();
+/// lock.read_lock();
+/// assert!(!lock.try_write_lock());
+/// lock.read_unlock();
+/// lock.write_lock();
+/// lock.write_unlock();
+/// ```
+#[derive(Debug, Default)]
+pub struct RwMutexLock {
+    state: CachePadded<RwMutexState>,
+}
+
+impl RwMutexLock {
+    /// Creates an unlocked rw mutex.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a writer currently holds the lock (racy; diagnostics only).
+    pub fn is_write_locked(&self) -> bool {
+        self.state
+            .inner
+            .lock()
+            .map(|g| g.writer)
+            .unwrap_or_default()
+    }
+
+    /// Number of readers currently holding the lock (racy; diagnostics only).
+    pub fn reader_count(&self) -> u32 {
+        self.state
+            .inner
+            .lock()
+            .map(|g| g.readers)
+            .unwrap_or_default()
+    }
+
+    fn guard(&self) -> std::sync::MutexGuard<'_, RwInner> {
+        self.state.inner.lock().expect("rw parking lot poisoned")
+    }
+}
+
+impl RawRwLock for RwMutexLock {
+    fn read_lock(&self) {
+        self.state.queued.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.guard();
+        // Writer preference: park behind waiting writers, not only holders.
+        while inner.writer || inner.writers_waiting > 0 {
+            inner = self
+                .state
+                .can_read
+                .wait(inner)
+                .expect("rw parking lot poisoned");
+        }
+        inner.readers += 1;
+    }
+
+    fn try_read_lock(&self) -> bool {
+        let Ok(mut inner) = self.state.inner.try_lock() else {
+            return false;
+        };
+        if inner.writer || inner.writers_waiting > 0 {
+            return false;
+        }
+        inner.readers += 1;
+        self.state.queued.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn read_unlock(&self) {
+        let mut inner = self.guard();
+        debug_assert!(inner.readers > 0, "read_unlock without a reader");
+        inner.readers = inner.readers.saturating_sub(1);
+        let wake_writer = inner.readers == 0 && inner.writers_waiting > 0;
+        drop(inner);
+        if wake_writer {
+            self.state.can_write.notify_one();
+        }
+        self.state.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl RawLock for RwMutexLock {
+    const NAME: &'static str = "RW-MUTEX";
+
+    /// Acquires exclusive (write) access, parking until all holders leave.
+    fn lock(&self) {
+        self.state.queued.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.guard();
+        inner.writers_waiting += 1;
+        while inner.writer || inner.readers > 0 {
+            inner = self
+                .state
+                .can_write
+                .wait(inner)
+                .expect("rw parking lot poisoned");
+        }
+        inner.writers_waiting -= 1;
+        inner.writer = true;
+    }
+
+    fn unlock(&self) {
+        let mut inner = self.guard();
+        debug_assert!(inner.writer, "write unlock without a writer");
+        inner.writer = false;
+        let writers_waiting = inner.writers_waiting > 0;
+        drop(inner);
+        if writers_waiting {
+            self.state.can_write.notify_one();
+        } else {
+            self.state.can_read.notify_all();
+        }
+        self.state.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.state
+            .inner
+            .lock()
+            .map(|g| g.writer || g.readers > 0)
+            .unwrap_or_default()
+    }
+}
+
+impl RawTryLock for RwMutexLock {
+    fn try_lock(&self) -> bool {
+        let Ok(mut inner) = self.state.inner.try_lock() else {
+            return false;
+        };
+        if inner.writer || inner.readers > 0 {
+            return false;
+        }
+        inner.writer = true;
+        self.state.queued.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+impl QueueInformed for RwMutexLock {
+    fn queue_length(&self) -> u64 {
+        self.state.queued.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = RwMutexLock::new();
+        lock.read_lock();
+        lock.read_lock();
+        assert_eq!(lock.reader_count(), 2);
+        assert!(!lock.try_write_lock());
+        lock.read_unlock();
+        lock.read_unlock();
+        lock.write_lock();
+        assert!(lock.is_write_locked());
+        assert!(!lock.try_read_lock());
+        lock.write_unlock();
+        assert!(!lock.is_locked());
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn parked_writer_is_woken_by_last_reader() {
+        let lock = Arc::new(RwMutexLock::new());
+        lock.read_lock();
+        let writer = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                lock.write_lock();
+                lock.write_unlock();
+            })
+        };
+        // Give the writer time to park, then release the only read hold.
+        std::thread::sleep(Duration::from_millis(50));
+        lock.read_unlock();
+        writer.join().unwrap();
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn parked_readers_are_woken_by_writer() {
+        let lock = Arc::new(RwMutexLock::new());
+        lock.write_lock();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    lock.read_lock();
+                    lock.read_unlock();
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        lock.write_unlock();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn writer_completes_under_continuous_reader_churn() {
+        let lock = Arc::new(RwMutexLock::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.read_lock();
+                        lock.read_unlock();
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        lock.write_lock();
+        lock.write_unlock();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn readers_and_writers_interleave_consistently() {
+        struct Shared(std::cell::UnsafeCell<(u64, u64)>);
+        unsafe impl Sync for Shared {}
+        let lock = Arc::new(RwMutexLock::new());
+        let shared = Arc::new(Shared(std::cell::UnsafeCell::new((0, 0))));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.write_lock();
+                        unsafe {
+                            (*shared.0.get()).0 += 1;
+                            (*shared.0.get()).1 += 1;
+                        }
+                        lock.write_unlock();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.read_lock();
+                        let (a, b) = unsafe { *shared.0.get() };
+                        assert_eq!(a, b, "reader overlapped a writer");
+                        lock.read_unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe { (*shared.0.get()).0 }, 8_000);
+    }
+}

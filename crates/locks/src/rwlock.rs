@@ -3,22 +3,208 @@
 //! Several of the evaluated systems (Kyoto Cabinet, SQLite) protect their
 //! main data structure with reader-writer locks. The paper overloads the
 //! `pthread` reader-writer locks "with our custom TTAS-based implementation"
-//! (§5.2, footnote 7); this module is that implementation, carrying the data
-//! it protects like [`std::sync::RwLock`].
+//! (§5.2, footnote 7); this module is that implementation, in two forms:
+//!
+//! * [`RwTtasRaw`] — the raw lock (no data), implementing [`RawRwLock`] so
+//!   the GLS middleware can manage it like any other algorithm;
+//! * [`RwTtasLock<T>`] — the lock carrying the data it protects, like
+//!   [`std::sync::RwLock`], built on top of the raw lock.
+//!
+//! # Writer intent
+//!
+//! A naive TTAS rwlock admits any arriving reader while the reader count is
+//! non-zero, so a continuous stream of readers starves writers indefinitely.
+//! Both locks here keep a **writer-intent bit**: the first waiting writer
+//! raises it, newly arriving readers back off while it is set, the current
+//! readers drain, and the writer gets in. The bit is cleared on write
+//! acquisition; further waiting writers re-raise it. This makes the lock
+//! writer-preferring under contention — the usual choice for the structure
+//! locks of the evaluated systems, where writes are rare but must not be
+//! delayed unboundedly.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::cache_padded::CachePadded;
+use crate::raw::{QueueInformed, RawLock, RawRwLock, RawTryLock};
 use crate::spin_wait::SpinWait;
 
-/// Writer-held flag (high bit); the remaining bits count active readers.
+/// Writer-held flag (high bit).
 const WRITER: u32 = 1 << 31;
+/// Writer-intent flag: a writer is waiting; new readers back off.
+const INTENT: u32 = 1 << 30;
+/// The remaining bits count active readers.
+const READERS: u32 = INTENT - 1;
+
+/// The raw (data-less) TTAS reader-writer spinlock.
+///
+/// Waiting is TTAS-style busy waiting with exponential backoff
+/// ([`SpinWait`]). Writers announce themselves through the intent bit, so a
+/// stream of readers cannot starve them (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use gls_locks::{RawRwLock, RwTtasRaw};
+///
+/// let lock = RwTtasRaw::new();
+/// lock.read_lock();
+/// assert!(!lock.try_write_lock());
+/// lock.read_unlock();
+/// lock.write_lock();
+/// lock.write_unlock();
+/// ```
+#[derive(Debug, Default)]
+pub struct RwTtasRaw {
+    state: CachePadded<RwTtasState>,
+}
+
+#[derive(Debug, Default)]
+struct RwTtasState {
+    /// `WRITER | INTENT | reader count`.
+    word: AtomicU32,
+    /// Holders + waiters, for [`QueueInformed`].
+    queued: AtomicU64,
+}
+
+impl RwTtasRaw {
+    /// Creates an unlocked rwlock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a writer currently holds the lock.
+    pub fn is_write_locked(&self) -> bool {
+        self.state.word.load(Ordering::Relaxed) & WRITER != 0
+    }
+
+    /// Number of readers currently holding the lock.
+    pub fn reader_count(&self) -> u32 {
+        self.state.word.load(Ordering::Relaxed) & READERS
+    }
+
+    /// Whether a writer has announced intent (is waiting to acquire).
+    pub fn writer_pending(&self) -> bool {
+        self.state.word.load(Ordering::Relaxed) & INTENT != 0
+    }
+}
+
+impl RawRwLock for RwTtasRaw {
+    fn read_lock(&self) {
+        self.state.queued.fetch_add(1, Ordering::Relaxed);
+        let mut wait = SpinWait::new();
+        loop {
+            let current = self.state.word.load(Ordering::Relaxed);
+            // Back off while a writer holds the lock *or* waits for it: the
+            // intent bit is what lets writers through a reader stream.
+            if current & (WRITER | INTENT) == 0
+                && self
+                    .state
+                    .word
+                    .compare_exchange_weak(
+                        current,
+                        current + 1,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+            {
+                return;
+            }
+            wait.spin();
+        }
+    }
+
+    fn try_read_lock(&self) -> bool {
+        let current = self.state.word.load(Ordering::Relaxed);
+        if current & (WRITER | INTENT) != 0 {
+            return false;
+        }
+        let acquired = self
+            .state
+            .word
+            .compare_exchange(current, current + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if acquired {
+            self.state.queued.fetch_add(1, Ordering::Relaxed);
+        }
+        acquired
+    }
+
+    fn read_unlock(&self) {
+        self.state.word.fetch_sub(1, Ordering::Release);
+        self.state.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl RawLock for RwTtasRaw {
+    const NAME: &'static str = "RW-TTAS";
+
+    /// Acquires exclusive (write) access.
+    fn lock(&self) {
+        self.state.queued.fetch_add(1, Ordering::Relaxed);
+        let mut wait = SpinWait::new();
+        loop {
+            let current = self.state.word.load(Ordering::Relaxed);
+            if current & (WRITER | READERS) == 0 {
+                // Free (possibly intent-marked): claim it, consuming the
+                // intent bit. Other waiting writers re-raise it below.
+                if self
+                    .state
+                    .word
+                    .compare_exchange_weak(current, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return;
+                }
+            } else if current & INTENT == 0 {
+                // Announce before waiting so arriving readers back off and
+                // the current readers can drain.
+                self.state.word.fetch_or(INTENT, Ordering::Relaxed);
+            }
+            wait.spin();
+        }
+    }
+
+    /// Releases exclusive access, preserving any other writer's intent bit.
+    fn unlock(&self) {
+        self.state.word.fetch_and(!WRITER, Ordering::Release);
+        self.state.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.state.word.load(Ordering::Relaxed) & (WRITER | READERS) != 0
+    }
+}
+
+impl RawTryLock for RwTtasRaw {
+    fn try_lock(&self) -> bool {
+        let current = self.state.word.load(Ordering::Relaxed);
+        if current & (WRITER | READERS) != 0 {
+            return false;
+        }
+        let acquired = self
+            .state
+            .word
+            .compare_exchange(current, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok();
+        if acquired {
+            self.state.queued.fetch_add(1, Ordering::Relaxed);
+        }
+        acquired
+    }
+}
+
+impl QueueInformed for RwTtasRaw {
+    fn queue_length(&self) -> u64 {
+        self.state.queued.load(Ordering::Relaxed)
+    }
+}
 
 /// A spinning reader-writer lock protecting a value of type `T`.
 ///
-/// Readers share access; a writer excludes everyone. Waiting is TTAS-style
-/// busy waiting with exponential backoff.
+/// Readers share access; a writer excludes everyone. Built on [`RwTtasRaw`],
+/// so it inherits the writer-intent fairness described in the module docs.
 ///
 /// # Example
 ///
@@ -32,11 +218,12 @@ const WRITER: u32 = 1 << 31;
 /// ```
 #[derive(Debug, Default)]
 pub struct RwTtasLock<T> {
-    state: CachePadded<AtomicU32>,
+    raw: RwTtasRaw,
     data: UnsafeCell<T>,
 }
 
-// SAFETY: access to `data` is mediated by the reader/writer protocol below.
+// SAFETY: access to `data` is mediated by the reader/writer protocol of the
+// raw lock.
 unsafe impl<T: Send> Send for RwTtasLock<T> {}
 unsafe impl<T: Send + Sync> Sync for RwTtasLock<T> {}
 
@@ -44,7 +231,12 @@ impl<T> RwTtasLock<T> {
     /// Creates a new lock protecting `value`.
     pub const fn new(value: T) -> Self {
         Self {
-            state: CachePadded::new(AtomicU32::new(0)),
+            raw: RwTtasRaw {
+                state: CachePadded::new(RwTtasState {
+                    word: AtomicU32::new(0),
+                    queued: AtomicU64::new(0),
+                }),
+            },
             data: UnsafeCell::new(value),
         }
     }
@@ -54,73 +246,48 @@ impl<T> RwTtasLock<T> {
         self.data.into_inner()
     }
 
-    /// Acquires shared (read) access, spinning until no writer holds the lock.
+    /// Acquires shared (read) access, spinning while a writer holds — or
+    /// waits for — the lock.
     pub fn read(&self) -> RwTtasReadGuard<'_, T> {
-        let mut wait = SpinWait::new();
-        loop {
-            let current = self.state.load(Ordering::Relaxed);
-            if current & WRITER == 0
-                && self
-                    .state
-                    .compare_exchange_weak(
-                        current,
-                        current + 1,
-                        Ordering::Acquire,
-                        Ordering::Relaxed,
-                    )
-                    .is_ok()
-            {
-                return RwTtasReadGuard { lock: self };
-            }
-            wait.spin();
-        }
+        self.raw.read_lock();
+        RwTtasReadGuard { lock: self }
     }
 
-    /// Attempts to acquire shared access without waiting.
+    /// Attempts to acquire shared access without waiting. Fails while a
+    /// writer holds the lock or has announced intent.
     pub fn try_read(&self) -> Option<RwTtasReadGuard<'_, T>> {
-        let current = self.state.load(Ordering::Relaxed);
-        if current & WRITER != 0 {
-            return None;
-        }
-        self.state
-            .compare_exchange(current, current + 1, Ordering::Acquire, Ordering::Relaxed)
-            .ok()
-            .map(|_| RwTtasReadGuard { lock: self })
+        // `then` (not `then_some`): constructing a guard eagerly would run
+        // its release on the failure path via Drop.
+        self.raw
+            .try_read_lock()
+            .then(|| RwTtasReadGuard { lock: self })
     }
 
     /// Acquires exclusive (write) access, spinning until all readers and any
     /// writer have left.
     pub fn write(&self) -> RwTtasWriteGuard<'_, T> {
-        let mut wait = SpinWait::new();
-        loop {
-            if self.state.load(Ordering::Relaxed) == 0
-                && self
-                    .state
-                    .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
-                    .is_ok()
-            {
-                return RwTtasWriteGuard { lock: self };
-            }
-            wait.spin();
-        }
+        self.raw.lock();
+        RwTtasWriteGuard { lock: self }
     }
 
     /// Attempts to acquire exclusive access without waiting.
     pub fn try_write(&self) -> Option<RwTtasWriteGuard<'_, T>> {
-        self.state
-            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
-            .ok()
-            .map(|_| RwTtasWriteGuard { lock: self })
+        self.raw.try_lock().then(|| RwTtasWriteGuard { lock: self })
     }
 
     /// Whether a writer currently holds the lock.
     pub fn is_write_locked(&self) -> bool {
-        self.state.load(Ordering::Relaxed) & WRITER != 0
+        self.raw.is_write_locked()
     }
 
     /// Number of readers currently holding the lock.
     pub fn reader_count(&self) -> u32 {
-        self.state.load(Ordering::Relaxed) & !WRITER
+        self.raw.reader_count()
+    }
+
+    /// Holder + waiter count of the underlying raw lock.
+    pub fn queue_length(&self) -> u64 {
+        self.raw.queue_length()
     }
 
     /// Mutable access without locking; requires `&mut self`, so it is
@@ -147,7 +314,7 @@ impl<T> std::ops::Deref for RwTtasReadGuard<'_, T> {
 
 impl<T> Drop for RwTtasReadGuard<'_, T> {
     fn drop(&mut self) {
-        self.lock.state.fetch_sub(1, Ordering::Release);
+        self.lock.raw.read_unlock();
     }
 }
 
@@ -175,14 +342,16 @@ impl<T> std::ops::DerefMut for RwTtasWriteGuard<'_, T> {
 
 impl<T> Drop for RwTtasWriteGuard<'_, T> {
     fn drop(&mut self) {
-        self.lock.state.store(0, Ordering::Release);
+        self.lock.raw.unlock();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn read_write_roundtrip() {
@@ -220,6 +389,95 @@ mod tests {
         let mut lock = RwTtasLock::new(1u64);
         *lock.get_mut() = 9;
         assert_eq!(*lock.read(), 9);
+    }
+
+    #[test]
+    fn raw_lock_roundtrip_and_queue() {
+        let lock = RwTtasRaw::new();
+        assert_eq!(lock.queue_length(), 0);
+        lock.read_lock();
+        lock.read_lock();
+        assert_eq!(lock.queue_length(), 2);
+        assert_eq!(lock.reader_count(), 2);
+        assert!(!lock.try_lock());
+        lock.read_unlock();
+        lock.read_unlock();
+        lock.lock();
+        assert!(lock.is_write_locked());
+        assert_eq!(lock.queue_length(), 1);
+        assert!(!lock.try_read_lock());
+        lock.unlock();
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn write_unlock_preserves_other_writers_intent() {
+        let lock = RwTtasRaw::new();
+        lock.lock();
+        // Another writer announces while the first holds the lock.
+        lock.state.word.fetch_or(INTENT, Ordering::Relaxed);
+        lock.unlock();
+        assert!(lock.writer_pending(), "intent must survive a write unlock");
+        // Readers honor the surviving intent bit.
+        assert!(!lock.try_read_lock());
+    }
+
+    #[test]
+    fn pending_writer_blocks_new_readers() {
+        let lock = Arc::new(RwTtasLock::new(0u64));
+        let r = lock.read();
+        let writer = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                *lock.write() += 1;
+            })
+        };
+        // Wait for the writer to announce intent, then verify that a new
+        // reader backs off even though only readers hold the lock.
+        while !lock.raw.writer_pending() {
+            std::hint::spin_loop();
+        }
+        assert!(lock.try_read().is_none(), "intent bit must repel readers");
+        drop(r);
+        writer.join().unwrap();
+        assert_eq!(*lock.read(), 1);
+    }
+
+    /// Regression test for the writer-starvation bug: the old `write` path
+    /// required `state == 0` with no intent bit, so 8 readers re-acquiring in
+    /// a tight loop kept the reader count non-zero essentially forever and a
+    /// writer never got in. With the intent bit it must acquire quickly.
+    #[test]
+    fn writer_completes_under_continuous_reader_churn() {
+        let lock = Arc::new(RwTtasLock::new(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        sum = sum.wrapping_add(*lock.read());
+                    }
+                    sum
+                })
+            })
+            .collect();
+        // Let the reader storm establish itself.
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        *lock.write() += 1;
+        let waited = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*lock.read(), 1);
+        assert!(
+            waited < Duration::from_secs(10),
+            "writer starved for {waited:?} under reader churn"
+        );
     }
 
     #[test]

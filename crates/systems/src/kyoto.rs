@@ -425,6 +425,35 @@ mod tests {
     }
 
     #[test]
+    fn gls_provider_profiles_kyoto_rw_traffic() {
+        let provider = LockProvider::gls_profiling();
+        let result = run(
+            &provider,
+            &KyotoConfig {
+                threads: 2,
+                flavor: KyotoFlavor::Cache,
+                keys: 1_000,
+                duration: Duration::from_millis(60),
+            },
+        );
+        assert!(result.operations > 0);
+        let report = provider.service().unwrap().profile_report();
+        let rw_entries: Vec<_> = report
+            .locks
+            .iter()
+            .filter(|l| l.algorithm == LockKind::Rw)
+            .collect();
+        assert!(
+            !rw_entries.is_empty(),
+            "the global rwlock must be profiled through GLS: {report:?}"
+        );
+        assert!(
+            rw_entries.iter().any(|l| l.acquisitions > 0),
+            "rw entries must record acquisitions"
+        );
+    }
+
+    #[test]
     fn flavor_labels_match_the_paper() {
         assert_eq!(KyotoFlavor::Cache.label(), "CACHE");
         assert_eq!(KyotoFlavor::HashDb.label(), "HT DB");

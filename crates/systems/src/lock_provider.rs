@@ -81,6 +81,13 @@ impl LockProvider {
         LockProvider::Gls(Arc::new(GlsService::with_config(GlsConfig::default())))
     }
 
+    /// GLS provider whose service runs in profiler mode, so every mutex and
+    /// rwlock the system creates shows up in
+    /// [`GlsService::profile_report`] with queue and latency statistics.
+    pub fn gls_profiling() -> Self {
+        LockProvider::Gls(Arc::new(GlsService::with_config(GlsConfig::profile())))
+    }
+
     /// GLS provider with explicit per-purpose algorithms (MCS for contended
     /// locks, TICKET elsewhere — the choice §5.1 arrives at for Memcached).
     pub fn gls_specialized() -> Self {
@@ -141,15 +148,27 @@ impl LockProvider {
         AppMutex { inner }
     }
 
-    /// Creates a reader-writer lock. For every provider except the MUTEX
-    /// baseline this is the TTAS-based rwlock the paper substitutes for
-    /// `pthread_rwlock` (§5.2, footnote 7); the MUTEX baseline uses the
-    /// standard blocking rwlock.
+    /// Creates a reader-writer lock.
+    ///
+    /// * The MUTEX baseline uses the standard blocking rwlock.
+    /// * The GLS providers route it through the shared [`GlsService`] rw
+    ///   interface, so Kyoto/SQLite rw traffic gets address mapping,
+    ///   profiling, debug checking and GLK-RW adaptivity like every mutex.
+    /// * Every other provider uses the TTAS-based rwlock the paper
+    ///   substitutes for `pthread_rwlock` (§5.2, footnote 7) directly.
     pub fn new_rwlock(&self) -> AppRwLock {
         match self {
             LockProvider::Direct(LockKind::Mutex) => AppRwLock {
                 inner: RwImpl::Blocking(std::sync::RwLock::new(())),
             },
+            LockProvider::Gls(service) | LockProvider::GlsSpecialized { service, .. } => {
+                AppRwLock {
+                    inner: RwImpl::Gls {
+                        service: Arc::clone(service),
+                        addr: fresh_addr(),
+                    },
+                }
+            }
             _ => AppRwLock {
                 inner: RwImpl::Ttas(RwTtasLock::new(())),
             },
@@ -211,6 +230,23 @@ fn make_raw(kind: LockKind) -> Arc<dyn RawFacade> {
         LockKind::Clh => Arc::new(Raw(ClhLock::new())),
         LockKind::Mutex => Arc::new(Raw(MutexLock::new())),
         LockKind::Glk => Arc::new(GlkRaw(GlkLock::new())),
+        // A direct RW provider hands out the adaptive rwlock used in
+        // exclusive (write) mode.
+        LockKind::Rw => Arc::new(GlkRwRaw(gls::glk::GlkRwLock::new())),
+    }
+}
+
+struct GlkRwRaw(gls::glk::GlkRwLock);
+
+impl RawFacade for GlkRwRaw {
+    fn lock(&self) {
+        self.0.write_lock()
+    }
+    fn unlock(&self) {
+        self.0.write_unlock()
+    }
+    fn try_lock(&self) -> bool {
+        self.0.try_write_lock()
     }
 }
 
@@ -300,6 +336,10 @@ impl AppMutex {
 enum RwImpl {
     Blocking(std::sync::RwLock<()>),
     Ttas(RwTtasLock<()>),
+    Gls {
+        service: Arc<GlsService>,
+        addr: usize,
+    },
 }
 
 /// A reader-writer lock handle handed to the simulated systems.
@@ -312,12 +352,16 @@ impl fmt::Debug for AppRwLock {
         match &self.inner {
             RwImpl::Blocking(_) => write!(f, "AppRwLock(blocking)"),
             RwImpl::Ttas(_) => write!(f, "AppRwLock(ttas)"),
+            RwImpl::Gls { addr, .. } => write!(f, "AppRwLock(gls @ {addr:#x})"),
         }
     }
 }
 
 impl AppRwLock {
     /// Runs `f` while holding shared (read) access.
+    ///
+    /// For GLS-backed locks, debug-mode misuse is recorded in the service's
+    /// issue log and the call continues (see [`AppMutex::lock`]).
     pub fn with_read<R>(&self, f: impl FnOnce() -> R) -> R {
         match &self.inner {
             RwImpl::Blocking(l) => {
@@ -328,10 +372,19 @@ impl AppRwLock {
                 let _g = l.read();
                 f()
             }
+            RwImpl::Gls { service, addr } => {
+                let held = service.read_lock_addr(*addr).is_ok();
+                let out = f();
+                if held {
+                    let _ = service.read_unlock_addr(*addr);
+                }
+                out
+            }
         }
     }
 
-    /// Runs `f` while holding exclusive (write) access.
+    /// Runs `f` while holding exclusive (write) access. Debug-mode misuse of
+    /// GLS-backed locks is logged, not panicked on (see [`AppRwLock::with_read`]).
     pub fn with_write<R>(&self, f: impl FnOnce() -> R) -> R {
         match &self.inner {
             RwImpl::Blocking(l) => {
@@ -341,6 +394,14 @@ impl AppRwLock {
             RwImpl::Ttas(l) => {
                 let _g = l.write();
                 f()
+            }
+            RwImpl::Gls { service, addr } => {
+                let held = service.write_lock_addr(*addr).is_ok();
+                let out = f();
+                if held {
+                    let _ = service.write_unlock_addr(*addr);
+                }
+                out
             }
         }
     }
@@ -442,6 +503,63 @@ mod tests {
         };
         assert_eq!(service.algorithm_of(hot_addr), Some(LockKind::Mcs));
         assert_eq!(service.algorithm_of(cold_addr), Some(LockKind::Ticket));
+    }
+
+    #[test]
+    fn gls_providers_route_rwlocks_through_the_service() {
+        for provider in [LockProvider::gls(), LockProvider::gls_specialized()] {
+            let service = StdArc::clone(provider.service().unwrap());
+            let before = service.lock_count();
+            let rw = provider.new_rwlock();
+            rw.with_read(|| ());
+            rw.with_write(|| ());
+            assert_eq!(
+                service.lock_count(),
+                before + 1,
+                "{}: the rwlock must create a service entry",
+                provider.label()
+            );
+            let addr = match &rw.inner {
+                RwImpl::Gls { addr, .. } => *addr,
+                _ => panic!("{}: rwlock must be GLS-backed", provider.label()),
+            };
+            assert_eq!(service.algorithm_of(addr), Some(LockKind::Rw));
+        }
+    }
+
+    #[test]
+    fn direct_providers_keep_ttas_rwlocks() {
+        let rw = LockProvider::Direct(LockKind::Ticket).new_rwlock();
+        assert!(matches!(rw.inner, RwImpl::Ttas(_)));
+        let rw = LockProvider::mutex().new_rwlock();
+        assert!(matches!(rw.inner, RwImpl::Blocking(_)));
+    }
+
+    #[test]
+    fn profiling_provider_reports_rw_and_mutex_entries() {
+        let provider = LockProvider::gls_profiling();
+        let rw = provider.new_rwlock();
+        let m = provider.new_mutex();
+        for _ in 0..20 {
+            rw.with_read(|| ());
+            rw.with_write(|| ());
+            m.with(|| ());
+        }
+        let report = provider.service().unwrap().profile_report();
+        assert!(
+            report
+                .locks
+                .iter()
+                .any(|l| l.algorithm == LockKind::Rw && l.acquisitions == 40),
+            "profiler report must show the rw lock entry: {report:?}"
+        );
+        assert!(
+            report
+                .locks
+                .iter()
+                .any(|l| l.algorithm != LockKind::Rw && l.acquisitions == 20),
+            "profiler report must show the mutex entry: {report:?}"
+        );
     }
 
     #[test]

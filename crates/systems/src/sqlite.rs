@@ -342,6 +342,30 @@ mod tests {
     }
 
     #[test]
+    fn gls_provider_profiles_sqlite_page_rwlocks() {
+        let provider = LockProvider::gls_profiling();
+        let result = run(
+            &provider,
+            &SqliteConfig {
+                connections: 4,
+                duration: Duration::from_millis(60),
+            },
+        );
+        assert!(result.operations > 0);
+        let report = provider.service().unwrap().profile_report();
+        let rw_acquisitions: u64 = report
+            .locks
+            .iter()
+            .filter(|l| l.algorithm == gls_locks::LockKind::Rw)
+            .map(|l| l.acquisitions)
+            .sum();
+        assert!(
+            rw_acquisitions > 0,
+            "page-group rwlocks must be profiled through GLS: {report:?}"
+        );
+    }
+
+    #[test]
     fn paper_connection_sweep_is_8_to_64() {
         assert_eq!(SqliteConfig::paper_connection_counts(), [8, 16, 32, 64]);
     }

@@ -103,7 +103,24 @@ impl BenchLock for GlsBenchLock {
             LockKind::Tas => "GLS(TAS)",
             LockKind::Ttas => "GLS(TTAS)",
             LockKind::Clh => "GLS(CLH)",
+            LockKind::Rw => "GLS(RW)",
         }
+    }
+}
+
+/// The adaptive reader-writer lock measured as a plain mutex (exclusive
+/// mode), so rw entries can ride the same single-lock figures.
+struct RwAsMutex(gls::glk::GlkRwLock);
+
+impl BenchLock for RwAsMutex {
+    fn acquire(&self) {
+        self.0.write_lock()
+    }
+    fn release(&self) {
+        self.0.write_unlock()
+    }
+    fn label(&self) -> &'static str {
+        "RW"
     }
 }
 
@@ -176,6 +193,7 @@ fn make_direct(kind: LockKind) -> Arc<dyn BenchLock> {
         LockKind::Clh => Arc::new(ClhLock::new()),
         LockKind::Mutex => Arc::new(MutexLock::new()),
         LockKind::Glk => Arc::new(GlkLock::new()),
+        LockKind::Rw => Arc::new(RwAsMutex(gls::glk::GlkRwLock::new())),
     }
 }
 

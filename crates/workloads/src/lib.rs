@@ -20,7 +20,9 @@
 //! * [`multiprog`] — background spinner threads for oversubscription;
 //! * [`crosspoint`] — the ticket-vs-MCS crossover search of Figure 5;
 //! * [`latency`] — single-thread lock/unlock latency probes for Figure 11;
-//! * [`report`] — plain-text tables/series printed by the harness binaries.
+//! * [`report`] — plain-text tables/series printed by the harness binaries;
+//! * [`rw_bench`] — the read-ratio sweep over reader-writer locks
+//!   (raw TTAS-rw vs GLS-rw vs `std::sync::RwLock`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,9 +34,11 @@ pub mod microbench;
 pub mod multiprog;
 pub mod phases;
 pub mod report;
+pub mod rw_bench;
 pub mod zipf;
 
 pub use bench_lock::{make_locks, BenchLock, LockSetup};
 pub use microbench::{LockSelection, MicrobenchConfig, MicrobenchResult};
 pub use phases::{Phase, PhaseResult};
+pub use rw_bench::{RwBenchLock, RwLockSetup, RwSweepConfig, RwSweepResult};
 pub use zipf::Zipfian;
