@@ -1,0 +1,140 @@
+//! Figure 16 (extension): parking-lot scalability over many live locks.
+//!
+//! The space argument for the parking subsystem, measured: sweep the number
+//! of **live blocking locks** from 1k to 100k and compare
+//!
+//! * `MUTEX` — per-lock parking state ([`MutexLock`]: a cache-padded
+//!   `Mutex + Condvar` pair in every lock),
+//! * `FUTEX` — the word-sized [`FutexLock`] whose waiters park in the
+//!   shared, sharded parking lot, and
+//! * `STD` — `std::sync::Mutex<()>` as the system baseline.
+//!
+//! Worker threads (hardware contexts + 2, so the blocking paths are really
+//! exercised) pick locks zipfian-popular (α = 0.9: a hot head sees real
+//! contention and parking while the long tail stresses the footprint) and
+//! run a short critical section. Reported: throughput per working-set size
+//! plus the per-lock memory of each flavor — the futex lock stays at 4
+//! bytes no matter how many locks are live, which is what lets the
+//! middleware hold six-figure lock counts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gls_bench::{banner, point_duration};
+use gls_locks::{FutexLock, MutexLock, RawLock};
+use gls_runtime::spin_cycles;
+use gls_workloads::report::SeriesTable;
+use gls_workloads::Zipfian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One lock flavor under test.
+trait ParkBenchLock: Send + Sync + 'static {
+    fn section(&self, cs_cycles: u64);
+}
+
+impl ParkBenchLock for MutexLock {
+    fn section(&self, cs_cycles: u64) {
+        self.lock();
+        spin_cycles(cs_cycles);
+        self.unlock();
+    }
+}
+
+impl ParkBenchLock for FutexLock {
+    fn section(&self, cs_cycles: u64) {
+        self.lock();
+        spin_cycles(cs_cycles);
+        self.unlock();
+    }
+}
+
+impl ParkBenchLock for std::sync::Mutex<()> {
+    fn section(&self, cs_cycles: u64) {
+        let _g = self.lock().expect("bench mutex poisoned");
+        spin_cycles(cs_cycles);
+    }
+}
+
+/// Runs one (flavor, live-lock-count) point and returns Mops/s.
+fn run_point<L: ParkBenchLock>(make: impl Fn() -> L, live_locks: usize, threads: usize) -> f64 {
+    let locks: Arc<Vec<L>> = Arc::new((0..live_locks).map(|_| make()).collect());
+    let zipf = Arc::new(Zipfian::new(live_locks, 0.9));
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let locks = Arc::clone(&locks);
+            let zipf = Arc::clone(&zipf);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                // Register with the load monitor like every oversubscribed
+                // workload in the harness.
+                let _runnable = gls_runtime::SystemLoadMonitor::global().runnable_guard();
+                let mut rng = StdRng::seed_from_u64(0xF16 + t as u64);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let index = zipf.sample(&mut rng);
+                    locks[index].section(150);
+                    spin_cycles(50);
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    std::thread::sleep(point_duration());
+    stop.store(true, Ordering::Relaxed);
+    let ops: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    ops as f64 / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    banner(
+        "Figure 16 (parking)",
+        "per-lock-condvar parking vs the shared parking lot vs std, 1k-100k live locks",
+    );
+    // Two threads beyond the hardware contexts: enough oversubscription
+    // that blocked waiters must actually release their contexts.
+    let threads = gls_runtime::hardware_contexts() + 2;
+
+    println!(
+        "# per-lock state: MUTEX {} B | FUTEX {} B | STD {} B",
+        std::mem::size_of::<MutexLock>(),
+        std::mem::size_of::<FutexLock>(),
+        std::mem::size_of::<std::sync::Mutex<()>>(),
+    );
+
+    let mut table = SeriesTable::new(
+        format!(
+            "Figure 16: zipfian traffic over N live blocking locks, {threads} threads (Mops/s)"
+        ),
+        "locks",
+        vec!["MUTEX".to_string(), "FUTEX".to_string(), "STD".to_string()],
+    );
+    for live_locks in [1_000usize, 10_000, 100_000] {
+        let row = vec![
+            run_point(MutexLock::new, live_locks, threads),
+            run_point(FutexLock::new, live_locks, threads),
+            run_point(std::sync::Mutex::default, live_locks, threads),
+        ];
+        let label = if live_locks >= 1_000 {
+            format!("{}k", live_locks / 1_000)
+        } else {
+            live_locks.to_string()
+        };
+        table.push_row(label, row);
+        println!(
+            "# {live_locks} locks -> lock-state footprint: MUTEX {} kB | FUTEX {} kB",
+            live_locks * std::mem::size_of::<MutexLock>() / 1024,
+            live_locks * std::mem::size_of::<FutexLock>() / 1024,
+        );
+    }
+    table.print();
+    println!(
+        "# FUTEX keeps per-lock state at one word (wait queues live in the shared \
+         parking lot); MUTEX pays ~{}x the memory per live lock",
+        std::mem::size_of::<MutexLock>() / std::mem::size_of::<FutexLock>(),
+    );
+}

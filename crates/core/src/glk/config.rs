@@ -7,6 +7,24 @@ use gls_runtime::SystemLoadMonitor;
 
 use super::mode::GlkMode;
 
+/// Which blocking implementation GLK's mutex mode (and GLK-RW's blocking
+/// mode) uses when the lock must sleep instead of spin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockingBackend {
+    /// A `Mutex + Condvar` pair embedded in every lock
+    /// ([`MutexLock`](gls_locks::MutexLock) /
+    /// [`RwMutexLock`](gls_locks::RwMutexLock)): no shared state between
+    /// locks, ~2 cache lines of per-lock wait-queue state.
+    #[default]
+    PerLock,
+    /// Word-sized futex locks ([`FutexLock`](gls_locks::FutexLock) /
+    /// [`FutexRwLock`](gls_locks::FutexRwLock)) parked on the shared
+    /// [`ParkingLot`](gls_locks::ParkingLot): one `AtomicU32` per lock, all
+    /// wait queues held centrally — the right choice when a service manages
+    /// thousands to millions of live locks.
+    ParkingLot,
+}
+
 /// Configuration of a GLK lock.
 ///
 /// The defaults are the values chosen by the paper's sensitivity analysis
@@ -60,6 +78,8 @@ pub struct GlkConfig {
     /// How long the shared system-load monitor sleeps between polls (only
     /// used when this configuration spawns its own monitor).
     pub monitor_interval: Duration,
+    /// Which blocking implementation the lock's sleeping mode uses.
+    pub blocking_backend: BlockingBackend,
 }
 
 impl Default for GlkConfig {
@@ -76,6 +96,7 @@ impl Default for GlkConfig {
             initial_mode: GlkMode::Ticket,
             record_transitions: false,
             monitor_interval: Duration::from_micros(100),
+            blocking_backend: BlockingBackend::default(),
         }
     }
 }
@@ -130,6 +151,14 @@ impl GlkConfig {
         self
     }
 
+    /// Selects the blocking implementation used when the lock sleeps:
+    /// per-lock `Mutex + Condvar` state, or word-sized futex locks parked on
+    /// the shared parking lot.
+    pub fn with_blocking_backend(mut self, backend: BlockingBackend) -> Self {
+        self.blocking_backend = backend;
+        self
+    }
+
     /// Disables adaptation entirely: the lock stays in its initial mode.
     /// (Used by the paper's overhead experiments, Figure 7.)
     pub fn without_adaptation(mut self) -> Self {
@@ -179,6 +208,13 @@ mod tests {
         assert_eq!(c.mcs_to_ticket_queue, 2.0);
         assert_eq!(c.initial_mode, GlkMode::Ticket);
         assert_eq!(c.adaptation_period / c.sampling_period, 32);
+        assert_eq!(c.blocking_backend, BlockingBackend::PerLock);
+    }
+
+    #[test]
+    fn blocking_backend_is_selectable() {
+        let c = GlkConfig::default().with_blocking_backend(BlockingBackend::ParkingLot);
+        assert_eq!(c.blocking_backend, BlockingBackend::ParkingLot);
     }
 
     #[test]

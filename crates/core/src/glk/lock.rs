@@ -3,11 +3,69 @@
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex as StdMutex;
 
-use gls_locks::{McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TicketLock};
+use gls_locks::{FutexLock, McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TicketLock};
 use gls_runtime::LockStats;
 
-use super::config::{GlkConfig, MonitorHandle};
+use super::config::{BlockingBackend, GlkConfig, MonitorHandle};
 use super::mode::{GlkMode, ModeTransition};
+
+/// The low-level lock behind [`GlkMode::Mutex`], chosen by
+/// [`GlkConfig::blocking_backend`]: per-lock parking state or a word-sized
+/// futex lock sleeping in the shared parking lot.
+#[derive(Debug)]
+pub(crate) enum BlockingMutex {
+    /// `Mutex + Condvar` pair embedded in the lock.
+    PerLock(MutexLock),
+    /// One `AtomicU32`; waiters park in [`gls_locks::ParkingLot::global`].
+    Parking(FutexLock),
+}
+
+impl BlockingMutex {
+    pub(crate) fn new(backend: BlockingBackend) -> Self {
+        match backend {
+            BlockingBackend::PerLock => BlockingMutex::PerLock(MutexLock::new()),
+            BlockingBackend::ParkingLot => BlockingMutex::Parking(FutexLock::new()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn lock(&self) {
+        match self {
+            BlockingMutex::PerLock(l) => l.lock(),
+            BlockingMutex::Parking(l) => l.lock(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn try_lock(&self) -> bool {
+        match self {
+            BlockingMutex::PerLock(l) => l.try_lock(),
+            BlockingMutex::Parking(l) => l.try_lock(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn unlock(&self) {
+        match self {
+            BlockingMutex::PerLock(l) => l.unlock(),
+            BlockingMutex::Parking(l) => l.unlock(),
+        }
+    }
+
+    pub(crate) fn is_locked(&self) -> bool {
+        match self {
+            BlockingMutex::PerLock(l) => l.is_locked(),
+            BlockingMutex::Parking(l) => l.is_locked(),
+        }
+    }
+
+    pub(crate) fn queue_length(&self) -> u64 {
+        match self {
+            BlockingMutex::PerLock(l) => l.queue_length(),
+            BlockingMutex::Parking(l) => l.queue_length(),
+        }
+    }
+}
 
 /// The generic lock (GLK): a lock that adapts between ticket, MCS and mutex
 /// modes based on observed contention and system load.
@@ -36,8 +94,9 @@ pub struct GlkLock {
     ticket: TicketLock,
     /// Low-level lock used in [`GlkMode::Mcs`].
     mcs: McsLock,
-    /// Low-level lock used in [`GlkMode::Mutex`].
-    mutex: MutexLock,
+    /// Low-level lock used in [`GlkMode::Mutex`] (backend per
+    /// [`GlkConfig::blocking_backend`]).
+    mutex: BlockingMutex,
     /// `num_acquired` / `queue_total` and friends.
     stats: LockStats,
     /// Exponential moving average of per-window queue lengths (f64 bits).
@@ -78,7 +137,7 @@ impl GlkLock {
             mode: AtomicU8::new(config.initial_mode.as_raw()),
             ticket: TicketLock::new(),
             mcs: McsLock::new(),
-            mutex: MutexLock::new(),
+            mutex: BlockingMutex::new(config.blocking_backend),
             stats: LockStats::new(),
             ema_bits: AtomicU64::new(0f64.to_bits()),
             required_calm: AtomicU64::new(config.initial_calm_rounds),
@@ -568,6 +627,55 @@ mod tests {
         }
         assert_eq!(lock.mode(), GlkMode::Mcs);
         assert!(lock.transitions().is_empty());
+    }
+
+    #[test]
+    fn parking_backend_switches_to_mutex_and_excludes() {
+        use super::super::config::BlockingBackend;
+        let monitor = manual_monitor();
+        let hw = gls_runtime::hardware_contexts();
+        let _guards: Vec<_> = (0..hw * 2 + 1).map(|_| monitor.runnable_guard()).collect();
+        monitor.poll_once();
+        assert!(monitor.is_multiprogrammed());
+
+        let lock = Arc::new(GlkLock::with_config_and_monitor(
+            fast_config().with_blocking_backend(BlockingBackend::ParkingLot),
+            MonitorHandle::Custom(Arc::clone(&monitor)),
+        ));
+        assert!(matches!(lock.mutex, BlockingMutex::Parking(_)));
+        struct Shared(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Shared {}
+        let shared = Arc::new(Shared(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        lock.lock();
+                        // Non-atomic increment: lost updates reveal any
+                        // exclusion violation across mode switches into the
+                        // futex-backed mutex mode.
+                        unsafe { *shared.0.get() += 1 };
+                        gls_runtime::spin_cycles(100);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe { *shared.0.get() }, 60_000);
+        assert!(
+            lock.transitions()
+                .iter()
+                .any(|t| t.to == GlkMode::Mutex || t.from == GlkMode::Mutex),
+            "multiprogrammed contended lock should have visited mutex mode \
+             (smoothed queue {:.2}, transitions {:?})",
+            lock.smoothed_queue(),
+            lock.transitions()
+        );
     }
 
     #[test]

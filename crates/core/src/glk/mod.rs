@@ -27,7 +27,7 @@ mod lock;
 mod mode;
 mod rw;
 
-pub use config::{GlkConfig, MonitorHandle};
+pub use config::{BlockingBackend, GlkConfig, MonitorHandle};
 pub use lock::GlkLock;
 pub use mode::{GlkMode, ModeTransition};
 pub use rw::{GlkRwLock, GlkRwMode};

@@ -16,12 +16,95 @@
 //! exclusive — folds the sampled queue lengths into the EMA and flips the
 //! mode, so adaptation is race-free; readers only bump the shared counters.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
-use gls_locks::{QueueInformed, RawLock, RawRwLock, RawTryLock, RwMutexLock, RwTtasRaw};
+use gls_locks::{
+    FutexRwLock, QueueInformed, RawLock, RawRwLock, RawTryLock, RwMutexLock, RwTtasRaw,
+};
 use gls_runtime::LockStats;
 
-use super::config::{GlkConfig, MonitorHandle};
+use super::config::{BlockingBackend, GlkConfig, MonitorHandle};
+
+/// The low-level lock behind [`GlkRwMode::Blocking`], chosen by
+/// [`GlkConfig::blocking_backend`].
+#[derive(Debug)]
+enum BlockingRw {
+    /// Per-lock `Mutex + Condvar` parking state.
+    PerLock(RwMutexLock),
+    /// One `AtomicU32`; waiters park in [`gls_locks::ParkingLot::global`].
+    Parking(FutexRwLock),
+}
+
+impl BlockingRw {
+    fn new(backend: BlockingBackend) -> Self {
+        match backend {
+            BlockingBackend::PerLock => BlockingRw::PerLock(RwMutexLock::new()),
+            BlockingBackend::ParkingLot => BlockingRw::Parking(FutexRwLock::new()),
+        }
+    }
+
+    #[inline]
+    fn read_lock(&self) {
+        match self {
+            BlockingRw::PerLock(l) => l.read_lock(),
+            BlockingRw::Parking(l) => l.read_lock(),
+        }
+    }
+
+    #[inline]
+    fn try_read_lock(&self) -> bool {
+        match self {
+            BlockingRw::PerLock(l) => l.try_read_lock(),
+            BlockingRw::Parking(l) => l.try_read_lock(),
+        }
+    }
+
+    #[inline]
+    fn read_unlock(&self) {
+        match self {
+            BlockingRw::PerLock(l) => l.read_unlock(),
+            BlockingRw::Parking(l) => l.read_unlock(),
+        }
+    }
+
+    #[inline]
+    fn write_lock(&self) {
+        match self {
+            BlockingRw::PerLock(l) => l.lock(),
+            BlockingRw::Parking(l) => l.lock(),
+        }
+    }
+
+    #[inline]
+    fn try_write_lock(&self) -> bool {
+        match self {
+            BlockingRw::PerLock(l) => l.try_lock(),
+            BlockingRw::Parking(l) => l.try_lock(),
+        }
+    }
+
+    #[inline]
+    fn write_unlock(&self) {
+        match self {
+            BlockingRw::PerLock(l) => l.unlock(),
+            BlockingRw::Parking(l) => l.unlock(),
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        match self {
+            BlockingRw::PerLock(l) => l.is_locked(),
+            BlockingRw::Parking(l) => l.is_locked(),
+        }
+    }
+
+    fn queue_length(&self) -> u64 {
+        match self {
+            BlockingRw::PerLock(l) => l.queue_length(),
+            BlockingRw::Parking(l) => l.queue_length(),
+        }
+    }
+}
 
 /// The two operating modes of [`GlkRwLock`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,8 +159,9 @@ pub struct GlkRwLock {
     mode: AtomicU8,
     /// Low-level lock used in [`GlkRwMode::Spin`].
     spin: RwTtasRaw,
-    /// Low-level lock used in [`GlkRwMode::Blocking`].
-    blocking: RwMutexLock,
+    /// Low-level lock used in [`GlkRwMode::Blocking`] (backend per
+    /// [`GlkConfig::blocking_backend`]).
+    blocking: BlockingRw,
     /// Acquisition counts and queue samples (reads and writes combined).
     stats: LockStats,
     /// Exponential moving average of per-window queue lengths (f64 bits).
@@ -85,6 +169,11 @@ pub struct GlkRwLock {
     /// Consecutive calm monitor observations required to leave blocking
     /// mode; doubles after every departure, as for GLK's mutex mode.
     required_calm: AtomicU64,
+    /// Raised when the acquisition count crosses an adaptation boundary on
+    /// the *read* side; the next reader to win a try-acquired write slot on
+    /// release runs the adaptation check. Without this, a 100%-read
+    /// workload would never adapt (only write holders fold the EMA).
+    adapt_pending: AtomicBool,
     config: GlkConfig,
     monitor: MonitorHandle,
 }
@@ -113,10 +202,11 @@ impl GlkRwLock {
         Self {
             mode: AtomicU8::new(GlkRwMode::Spin.as_raw()),
             spin: RwTtasRaw::new(),
-            blocking: RwMutexLock::new(),
+            blocking: BlockingRw::new(config.blocking_backend),
             stats: LockStats::new(),
             ema_bits: AtomicU64::new(0f64.to_bits()),
             required_calm: AtomicU64::new(config.initial_calm_rounds),
+            adapt_pending: AtomicBool::new(false),
             config,
             monitor,
         }
@@ -183,7 +273,7 @@ impl GlkRwLock {
     fn write_lock_mode(&self, mode: GlkRwMode) {
         match mode {
             GlkRwMode::Spin => self.spin.lock(),
-            GlkRwMode::Blocking => self.blocking.lock(),
+            GlkRwMode::Blocking => self.blocking.write_lock(),
         }
     }
 
@@ -191,7 +281,7 @@ impl GlkRwLock {
     fn try_write_lock_mode(&self, mode: GlkRwMode) -> bool {
         match mode {
             GlkRwMode::Spin => self.spin.try_lock(),
-            GlkRwMode::Blocking => self.blocking.try_lock(),
+            GlkRwMode::Blocking => self.blocking.try_write_lock(),
         }
     }
 
@@ -199,7 +289,7 @@ impl GlkRwLock {
     fn write_unlock_mode(&self, mode: GlkRwMode) {
         match mode {
             GlkRwMode::Spin => self.spin.unlock(),
-            GlkRwMode::Blocking => self.blocking.unlock(),
+            GlkRwMode::Blocking => self.blocking.write_unlock(),
         }
     }
 
@@ -209,10 +299,10 @@ impl GlkRwLock {
             let current = self.mode();
             self.read_lock_mode(current);
             if self.mode() == current {
-                // Readers never adapt (they are not exclusive); they only
-                // contribute to the acquisition count the writer-side
-                // adaptation is paced by.
-                self.stats.record_acquisition();
+                // Readers never fold the EMA themselves (they are not
+                // exclusive); they pace the counter, sample the queue, and
+                // flag crossed adaptation boundaries for the release path.
+                self.note_read_acquisition();
                 return;
             }
             self.read_unlock_mode(current);
@@ -227,7 +317,7 @@ impl GlkRwLock {
                 return false;
             }
             if self.mode() == current {
-                self.stats.record_acquisition();
+                self.note_read_acquisition();
                 return true;
             }
             self.read_unlock_mode(current);
@@ -241,6 +331,49 @@ impl GlkRwLock {
     /// names the lock the reader actually holds.
     pub fn read_unlock(&self) {
         self.read_unlock_mode(self.mode());
+        // Reader-side adaptation: if a read acquisition crossed an
+        // adaptation boundary, the first released reader to win a
+        // try-acquired write slot runs the check. Without this, a 100%-read
+        // workload would never adapt — e.g. never switch to the blocking
+        // rwlock under oversubscription — because only write holders fold
+        // the EMA.
+        if self.adapt_pending.load(Ordering::Relaxed) {
+            self.adapt_from_reader();
+        }
+    }
+
+    /// Statistics bookkeeping done by every successful shared acquisition.
+    fn note_read_acquisition(&self) {
+        let acquisitions = self.stats.record_acquisition();
+        if self.config.adaptation_disabled() {
+            return;
+        }
+        if acquisitions.is_multiple_of(self.config.sampling_period) {
+            self.stats.record_queue_sample(self.queue_length());
+        }
+        if acquisitions.is_multiple_of(self.config.adaptation_period) {
+            self.adapt_pending.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Runs the adaptation check from the read-side release path, guarded by
+    /// a try-acquired write slot (which makes the caller momentarily
+    /// exclusive, so folding the EMA and flipping the mode stay race-free).
+    #[cold]
+    fn adapt_from_reader(&self) {
+        let current = self.mode();
+        if !self.try_write_lock_mode(current) {
+            // Another holder is active; the pending flag stays raised and a
+            // later release (or a real writer's boundary) picks it up.
+            return;
+        }
+        if self.mode() == current {
+            self.adapt_pending.store(false, Ordering::Relaxed);
+            self.adapt_exclusive(current);
+        }
+        // If the mode changed, `adapt_exclusive` stored it *before* this
+        // release, exactly like the write path: unlock the lock we hold.
+        self.write_unlock_mode(current);
     }
 
     /// Acquires exclusive (write) access.
@@ -293,9 +426,14 @@ impl GlkRwLock {
         if !acquisitions.is_multiple_of(self.config.adaptation_period) {
             return false;
         }
+        self.adapt_exclusive(current)
+    }
 
-        // Fold this window's average queuing into the EMA; the write holder
-        // is exclusive, so the read-modify-write below is race-free.
+    /// Folds the sampled window into the EMA and applies the mode decision.
+    /// The caller must hold the write lock of `current` (and therefore be
+    /// exclusive), making the read-modify-write below race-free. Returns
+    /// `true` if the mode changed (the caller must release and retry).
+    fn adapt_exclusive(&self, current: GlkRwMode) -> bool {
         let window_avg = self.stats.average_queue();
         let previous = self.smoothed_queue();
         let smoothed = if self.stats.queue_samples() == 0 {
@@ -449,6 +587,73 @@ mod tests {
             lock.smoothed_queue()
         );
         drop(guards);
+    }
+
+    #[test]
+    fn pure_read_workload_adapts_to_blocking_under_multiprogramming() {
+        // Regression test for the reader-side adaptation gap (ROADMAP PR 2):
+        // with only write holders running the adaptation check, a 100%-read
+        // oversubscribed workload never switches to the blocking rwlock.
+        // The reader-side trigger (boundary flag + try-acquired write slot
+        // on release) must flip it.
+        let monitor = manual_monitor();
+        let hw = gls_runtime::hardware_contexts();
+        let guards: Vec<_> = (0..hw * 2 + 1).map(|_| monitor.runnable_guard()).collect();
+        monitor.poll_once();
+        assert!(monitor.is_multiprogrammed());
+
+        let lock = Arc::new(GlkRwLock::with_config_and_monitor(
+            fast_config(),
+            MonitorHandle::Custom(Arc::clone(&monitor)),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.read_lock();
+                        gls_runtime::spin_cycles(300);
+                        lock.read_unlock();
+                    }
+                })
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while lock.mode() != GlkRwMode::Blocking && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            lock.mode(),
+            GlkRwMode::Blocking,
+            "100%-read oversubscribed workload must adapt via the reader-side \
+             trigger (smoothed queue {:.2})",
+            lock.smoothed_queue()
+        );
+        drop(guards);
+    }
+
+    #[test]
+    fn parking_backend_serves_blocking_mode() {
+        use super::super::config::BlockingBackend;
+        let lock = GlkRwLock::with_config(
+            fast_config().with_blocking_backend(BlockingBackend::ParkingLot),
+        );
+        assert!(matches!(lock.blocking, BlockingRw::Parking(_)));
+        // Exercise the blocking lock directly through the mode dispatchers.
+        lock.blocking.read_lock();
+        assert!(!lock.blocking.try_write_lock());
+        lock.blocking.read_unlock();
+        lock.blocking.write_lock();
+        assert!(lock.blocking.is_locked());
+        assert!(!lock.blocking.try_read_lock());
+        lock.blocking.write_unlock();
+        assert_eq!(lock.blocking.queue_length(), 0);
     }
 
     #[test]

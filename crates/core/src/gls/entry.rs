@@ -1,14 +1,15 @@
 //! The per-address lock object stored in the GLS hash table.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Mutex as StdMutex;
+use std::sync::OnceLock;
 
 use gls_locks::{
-    ClhLock, LockKind, McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TasLock, TicketLock,
-    TtasLock,
+    ClhLock, FutexLock, FutexRwLock, LockKind, McsLock, MutexLock, QueueInformed, RawLock,
+    RawRwLock, RawTryLock, TasLock, TicketLock, TtasLock,
 };
 use gls_runtime::{LockStats, ThreadId};
 
+use super::holders::HolderSet;
 use crate::glk::{GlkConfig, GlkLock, GlkRwLock, MonitorHandle};
 
 /// The concrete lock implementation behind a GLS entry.
@@ -36,6 +37,11 @@ pub(crate) enum AlgorithmLock {
     Clh(ClhLock),
     /// Blocking mutex.
     Mutex(MutexLock),
+    /// Word-sized blocking mutex parked on the shared parking lot.
+    Futex(FutexLock),
+    /// Word-sized blocking reader-writer lock parked on the shared parking
+    /// lot (exclusive `lock`/`unlock` calls acquire write access).
+    FutexRw(FutexRwLock),
     /// Adaptive reader-writer lock (the entry kind behind the rw interface;
     /// exclusive `lock`/`unlock` calls acquire write access).
     Rw(GlkRwLock),
@@ -54,6 +60,8 @@ impl AlgorithmLock {
             LockKind::Mcs => AlgorithmLock::Mcs(McsLock::new()),
             LockKind::Clh => AlgorithmLock::Clh(ClhLock::new()),
             LockKind::Mutex => AlgorithmLock::Mutex(MutexLock::new()),
+            LockKind::Futex => AlgorithmLock::Futex(FutexLock::new()),
+            LockKind::FutexRw => AlgorithmLock::FutexRw(FutexRwLock::new()),
             LockKind::Rw => AlgorithmLock::Rw(GlkRwLock::with_config_and_monitor(
                 glk_config.clone(),
                 monitor.clone(),
@@ -70,6 +78,8 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(_) => LockKind::Mcs,
             AlgorithmLock::Clh(_) => LockKind::Clh,
             AlgorithmLock::Mutex(_) => LockKind::Mutex,
+            AlgorithmLock::Futex(_) => LockKind::Futex,
+            AlgorithmLock::FutexRw(_) => LockKind::FutexRw,
             AlgorithmLock::Rw(_) => LockKind::Rw,
         }
     }
@@ -83,6 +93,8 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(l) => l.lock(),
             AlgorithmLock::Clh(l) => l.lock(),
             AlgorithmLock::Mutex(l) => l.lock(),
+            AlgorithmLock::Futex(l) => l.lock(),
+            AlgorithmLock::FutexRw(l) => l.lock(),
             AlgorithmLock::Rw(l) => l.write_lock(),
         }
     }
@@ -96,6 +108,8 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(l) => l.try_lock(),
             AlgorithmLock::Clh(l) => l.try_lock(),
             AlgorithmLock::Mutex(l) => l.try_lock(),
+            AlgorithmLock::Futex(l) => l.try_lock(),
+            AlgorithmLock::FutexRw(l) => l.try_lock(),
             AlgorithmLock::Rw(l) => l.try_write_lock(),
         }
     }
@@ -109,6 +123,8 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(l) => l.unlock(),
             AlgorithmLock::Clh(l) => l.unlock(),
             AlgorithmLock::Mutex(l) => l.unlock(),
+            AlgorithmLock::Futex(l) => l.unlock(),
+            AlgorithmLock::FutexRw(l) => l.unlock(),
             AlgorithmLock::Rw(l) => l.write_unlock(),
         }
     }
@@ -118,6 +134,7 @@ impl AlgorithmLock {
     pub(crate) fn read_lock(&self) {
         match self {
             AlgorithmLock::Rw(l) => l.read_lock(),
+            AlgorithmLock::FutexRw(l) => l.read_lock(),
             _ => self.lock(),
         }
     }
@@ -126,6 +143,7 @@ impl AlgorithmLock {
     pub(crate) fn try_read_lock(&self) -> bool {
         match self {
             AlgorithmLock::Rw(l) => l.try_read_lock(),
+            AlgorithmLock::FutexRw(l) => l.try_read_lock(),
             _ => self.try_lock(),
         }
     }
@@ -134,13 +152,14 @@ impl AlgorithmLock {
     pub(crate) fn read_unlock(&self) {
         match self {
             AlgorithmLock::Rw(l) => l.read_unlock(),
+            AlgorithmLock::FutexRw(l) => l.read_unlock(),
             _ => self.unlock(),
         }
     }
 
     /// Whether this entry is a reader-writer lock (shared holders possible).
     pub(crate) fn is_rw(&self) -> bool {
-        matches!(self, AlgorithmLock::Rw(_))
+        matches!(self, AlgorithmLock::Rw(_) | AlgorithmLock::FutexRw(_))
     }
 
     pub(crate) fn queue_length(&self) -> u64 {
@@ -152,6 +171,8 @@ impl AlgorithmLock {
             AlgorithmLock::Mcs(l) => l.queue_length(),
             AlgorithmLock::Clh(l) => l.queue_length(),
             AlgorithmLock::Mutex(l) => l.queue_length(),
+            AlgorithmLock::Futex(l) => l.queue_length(),
+            AlgorithmLock::FutexRw(l) => l.queue_length(),
             AlgorithmLock::Rw(l) => l.queue_length(),
         }
     }
@@ -180,7 +201,11 @@ pub(crate) struct LockEntry {
     owner: AtomicU32,
     /// Threads currently holding shared (read) access. Maintained only in
     /// debug mode, for rw entries; a waiting writer waits on *all* of them.
-    readers: StdMutex<Vec<ThreadId>>,
+    /// Sharded by thread id so heavy read concurrency in debug mode does
+    /// not serialize on one mutex, and allocated lazily on the first
+    /// recorded hold so the sharded set's footprint (~0.5 kB) is only paid
+    /// by entries that actually see debug-mode shared traffic.
+    readers: OnceLock<Box<HolderSet>>,
     /// Cycle timestamp of the last acquisition (profiler mode).
     acquired_at: AtomicU64,
     /// Profiler statistics: queuing, lock latency, critical-section latency.
@@ -193,7 +218,7 @@ impl LockEntry {
             addr,
             lock,
             owner: AtomicU32::new(0),
-            readers: StdMutex::new(Vec::new()),
+            readers: OnceLock::new(),
             acquired_at: AtomicU64::new(0),
             stats: LockStats::new(),
         }
@@ -219,38 +244,26 @@ impl LockEntry {
 
     /// Records `thread` as a shared holder (debug mode, rw entries).
     pub(crate) fn add_reader(&self, thread: ThreadId) {
-        if let Ok(mut readers) = self.readers.lock() {
-            readers.push(thread);
-        }
+        self.readers
+            .get_or_init(|| Box::new(HolderSet::new()))
+            .add(thread);
     }
 
     /// Removes one shared-holder record for `thread`; returns whether one
     /// existed (debug mode, rw entries).
     pub(crate) fn remove_reader(&self, thread: ThreadId) -> bool {
-        match self.readers.lock() {
-            Ok(mut readers) => match readers.iter().position(|&t| t == thread) {
-                Some(index) => {
-                    readers.swap_remove(index);
-                    true
-                }
-                None => false,
-            },
-            Err(_) => false,
-        }
+        self.readers.get().is_some_and(|r| r.remove(thread))
     }
 
     /// Whether `thread` currently holds shared access (debug mode).
     pub(crate) fn has_reader(&self, thread: ThreadId) -> bool {
-        self.readers
-            .lock()
-            .map(|r| r.contains(&thread))
-            .unwrap_or(false)
+        self.readers.get().is_some_and(|r| r.contains(thread))
     }
 
     /// Every thread currently holding this entry: the exclusive owner and
     /// all shared holders. This is what a waiting writer waits on.
     pub(crate) fn holders(&self) -> Vec<ThreadId> {
-        let mut holders: Vec<ThreadId> = self.readers.lock().map(|r| r.clone()).unwrap_or_default();
+        let mut holders = self.readers.get().map(|r| r.snapshot()).unwrap_or_default();
         if let Some(owner) = self.owner() {
             holders.push(owner);
         }
@@ -318,6 +331,21 @@ mod tests {
     #[test]
     fn rw_entry_supports_shared_access() {
         let lock = make(LockKind::Rw);
+        assert!(lock.is_rw());
+        lock.read_lock();
+        lock.read_lock();
+        assert_eq!(lock.queue_length(), 2);
+        assert!(!lock.try_lock(), "readers must exclude writers");
+        lock.read_unlock();
+        lock.read_unlock();
+        assert!(lock.try_lock());
+        assert!(!lock.try_read_lock(), "writer must exclude readers");
+        lock.unlock();
+    }
+
+    #[test]
+    fn futex_rw_entry_supports_shared_access() {
+        let lock = make(LockKind::FutexRw);
         assert!(lock.is_rw());
         lock.read_lock();
         lock.read_lock();

@@ -10,12 +10,15 @@
 //! latency.
 
 mod cache;
+mod condvar;
 mod config;
 mod debug;
 mod entry;
+mod holders;
 mod profiler;
 mod service;
 
+pub use condvar::{GlsCondvar, WaitOutcome};
 pub use config::{GlsConfig, GlsMode};
 pub use profiler::{LockProfile, ProfileReport};
 pub use service::{GlsGuard, GlsReadGuard, GlsService, GlsWriteGuard};

@@ -2,6 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex as StdMutex, OnceLock};
+use std::time::Duration;
 
 use gls_clht::{Clht, ClhtStats};
 use gls_locks::LockKind;
@@ -11,6 +12,7 @@ use crate::error::GlsError;
 use crate::glk::ModeTransition;
 
 use super::cache;
+use super::condvar::{GlsCondvar, WaitOutcome};
 use super::config::{GlsConfig, GlsMode};
 use super::debug::DebugState;
 use super::entry::{AlgorithmLock, LockEntry};
@@ -35,6 +37,7 @@ static NEXT_SERVICE_ID: AtomicU64 = AtomicU64::new(1);
 /// | Default | [`lock`](Self::lock), [`try_lock`](Self::try_lock), [`unlock`](Self::unlock), [`guard`](Self::guard) | GLK (adaptive) |
 /// | Explicit | [`lock_with`](Self::lock_with), [`try_lock_with`](Self::try_lock_with), [`unlock_with`](Self::unlock_with) | caller-chosen [`LockKind`] |
 /// | Reader-writer | [`read_lock`](Self::read_lock), [`write_lock`](Self::write_lock), [`try_read_lock`](Self::try_read_lock), [`try_write_lock`](Self::try_write_lock), [`read_unlock`](Self::read_unlock), [`write_unlock`](Self::write_unlock), [`read_guard`](Self::read_guard), [`write_guard`](Self::write_guard) | GLK-RW (adaptive rw) |
+/// | Condition variables | [`wait`](Self::wait), [`wait_timeout`](Self::wait_timeout) with a [`GlsCondvar`] | any mutex entry |
 /// | Management | [`free`](Self::free), [`lock_count`](Self::lock_count), [`issues`](Self::issues), [`profile_report`](Self::profile_report) | — |
 ///
 /// The rw interface shares everything the mutex interface has: address-based
@@ -358,6 +361,105 @@ impl GlsService {
             service: self,
             addr,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Condition variables (gls_wait / gls_wait_timeout)
+    // ------------------------------------------------------------------
+
+    /// Atomically releases the GLS mutex associated with `m` and parks the
+    /// calling thread on `cv` until notified, then re-acquires the mutex
+    /// before returning. The caller must hold the mutex; always re-check
+    /// the waited-on predicate in a loop (spurious wakeups are possible).
+    ///
+    /// In debug mode the sleeper is invisible to the deadlock detector (it
+    /// owns nothing and publishes no waits-for edge while parked), so a
+    /// condvar wait can never produce a phantom deadlock report; only the
+    /// re-acquisition runs the ordinary deadlock-checked lock path. In
+    /// profile mode the re-acquisition is profiled like any lock call.
+    ///
+    /// # Errors
+    ///
+    /// In debug mode, returns [`GlsError::WrongOwner`] or
+    /// [`GlsError::ReleaseFreeLock`] (recorded in the issue log) when the
+    /// calling thread does not hold the mutex — waiting with a lock you do
+    /// not own is the same class of bug as releasing one. Errors from the
+    /// re-acquisition are propagated.
+    pub fn wait<T: ?Sized>(&self, cv: &GlsCondvar, m: &T) -> Result<(), GlsError> {
+        self.wait_addr(cv, Self::address_of(m))
+    }
+
+    /// [`GlsService::wait`] for a raw address.
+    pub fn wait_addr(&self, cv: &GlsCondvar, addr: usize) -> Result<(), GlsError> {
+        self.wait_impl(cv, addr, None).map(|_| ())
+    }
+
+    /// Like [`GlsService::wait`], but gives up after `timeout` and reports
+    /// which way the wait ended. The mutex is re-acquired either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GlsService::wait`].
+    pub fn wait_timeout<T: ?Sized>(
+        &self,
+        cv: &GlsCondvar,
+        m: &T,
+        timeout: Duration,
+    ) -> Result<WaitOutcome, GlsError> {
+        self.wait_timeout_addr(cv, Self::address_of(m), timeout)
+    }
+
+    /// [`GlsService::wait_timeout`] for a raw address.
+    pub fn wait_timeout_addr(
+        &self,
+        cv: &GlsCondvar,
+        addr: usize,
+        timeout: Duration,
+    ) -> Result<WaitOutcome, GlsError> {
+        self.wait_impl(cv, addr, Some(timeout))
+    }
+
+    fn wait_impl(
+        &self,
+        cv: &GlsCondvar,
+        addr: usize,
+        timeout: Option<Duration>,
+    ) -> Result<WaitOutcome, GlsError> {
+        // Debug mode checks ownership *before* parking: once enqueued the
+        // unlock must not fail, or the thread would sleep still holding the
+        // mutex it promised to release.
+        if self.config.mode == GlsMode::Debug {
+            let me = ThreadId::current();
+            match self.find_entry(addr).and_then(|e| e.owner()) {
+                Some(owner) if owner == me => {}
+                Some(owner) => {
+                    let issue = GlsError::WrongOwner {
+                        addr,
+                        owner,
+                        caller: me,
+                    };
+                    self.debug.record(issue.clone());
+                    return Err(issue);
+                }
+                None => {
+                    let issue = GlsError::ReleaseFreeLock { addr };
+                    self.debug.record(issue.clone());
+                    return Err(issue);
+                }
+            }
+        }
+        let mut relock_result = Ok(());
+        // The mutex is released in `before_sleep`, i.e. *after* the waiter
+        // is enqueued under the condvar's address: a notifier that acquires
+        // the mutex after this release is guaranteed to see the waiter.
+        let outcome = cv.wait_with(
+            || {
+                let _ = self.unlock_addr(addr);
+            },
+            || relock_result = self.lock_addr(addr),
+            timeout,
+        );
+        relock_result.map(|()| outcome)
     }
 
     // ------------------------------------------------------------------

@@ -71,10 +71,10 @@ pub mod glk;
 pub mod gls;
 
 pub use error::GlsError;
-pub use glk::{GlkConfig, GlkLock, GlkMode, GlkRwLock, GlkRwMode, ModeTransition};
+pub use glk::{BlockingBackend, GlkConfig, GlkLock, GlkMode, GlkRwLock, GlkRwMode, ModeTransition};
 pub use gls::{
-    GlsConfig, GlsGuard, GlsMode, GlsReadGuard, GlsService, GlsWriteGuard, LockProfile,
-    ProfileReport,
+    GlsCondvar, GlsConfig, GlsGuard, GlsMode, GlsReadGuard, GlsService, GlsWriteGuard, LockProfile,
+    ProfileReport, WaitOutcome,
 };
 
 // Re-export the substrate types that appear in this crate's public API so

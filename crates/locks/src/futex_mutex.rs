@@ -1,0 +1,308 @@
+//! Word-sized blocking mutex parked on the shared parking lot.
+//!
+//! [`MutexLock`](crate::MutexLock) embeds a full `Mutex + Condvar` pair per
+//! lock — two cache lines of state for every lock the middleware manages.
+//! [`FutexLock`] is the space-efficient alternative the paper's middleware
+//! needs at scale: the entire lock is **one `AtomicU32`** (asserted by a
+//! size test), and all wait-queue state lives in the central
+//! [`ParkingLot`], keyed by the lock's address — the futex idiom, in
+//! userspace.
+//!
+//! The acquisition protocol is spin-then-park: a bounded
+//! [`SpinWait`] phase (blocking through the lot costs far more than a short
+//! critical section), then the waiter raises the `PARKED` bit and parks.
+//! Waiters wake in FIFO order ([`ParkingLot::unpark_one`]) but re-contend
+//! with arriving threads (barging), like a futex mutex — the paper's FIFO
+//! admission modes remain ticket/MCS/CLH.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::park::{ParkingLot, DEFAULT_PARK_TOKEN, DEFAULT_UNPARK_TOKEN};
+use crate::raw::{QueueInformed, RawLock, RawTryLock};
+use crate::spin_wait::SpinWait;
+
+/// The lock-held bit.
+const LOCKED: u32 = 1;
+/// Set while at least one waiter is (or is about to be) parked.
+const PARKED: u32 = 2;
+
+/// Number of bounded-spin rounds before a waiter parks.
+const SPIN_ATTEMPTS: u32 = 32;
+
+/// A word-sized blocking (spin-then-park) mutual-exclusion lock.
+///
+/// The whole lock is one `AtomicU32`; waiters sleep in the global
+/// [`ParkingLot`] keyed by this lock's address. Unlike the other locks in
+/// this crate it is deliberately **not** cache-padded: its reason to exist
+/// is density (millions of live locks), and callers that want padding can
+/// wrap it in [`CachePadded`](crate::CachePadded).
+///
+/// # Example
+///
+/// ```
+/// use gls_locks::{FutexLock, RawLock};
+///
+/// let lock = FutexLock::new();
+/// lock.lock();
+/// lock.unlock();
+/// assert_eq!(std::mem::size_of::<FutexLock>(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct FutexLock {
+    state: AtomicU32,
+}
+
+impl FutexLock {
+    /// Creates an unlocked futex mutex.
+    pub const fn new() -> Self {
+        Self {
+            state: AtomicU32::new(0),
+        }
+    }
+
+    /// The parking-lot key: the address of the lock word.
+    #[inline]
+    fn addr(&self) -> usize {
+        &self.state as *const AtomicU32 as usize
+    }
+
+    #[inline]
+    fn try_acquire_fast(&self) -> bool {
+        self.state
+            .compare_exchange_weak(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    #[cold]
+    fn lock_slow(&self) {
+        let lot = ParkingLot::global();
+        let mut wait = SpinWait::new();
+        let mut spins = 0u32;
+        loop {
+            let state = self.state.load(Ordering::Relaxed);
+            // Free (parked waiters or not): barge in.
+            if state & LOCKED == 0 {
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | LOCKED,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            // Bounded spin phase while nobody is parked yet; `spin_bounded`
+            // never yields — the fallback for long waits is parking below.
+            if state & PARKED == 0 {
+                if spins < SPIN_ATTEMPTS {
+                    spins += 1;
+                    wait.spin_bounded();
+                    continue;
+                }
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | PARKED,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
+            }
+            // Sleep until a release hands the parked bit to us. The
+            // validation re-check runs under the bucket lock, closing the
+            // race with a release that ran between our load and the park.
+            lot.park(
+                self.addr(),
+                DEFAULT_PARK_TOKEN,
+                || self.state.load(Ordering::Relaxed) == LOCKED | PARKED,
+                || {},
+                None,
+            );
+            // Woken (or the state changed): retry from the top.
+            wait.reset();
+            spins = 0;
+        }
+    }
+
+    #[cold]
+    fn unlock_slow(&self) {
+        // The parked bit is set: wake the longest-parked waiter. The state
+        // store happens in the callback, under the bucket lock, so a thread
+        // concurrently validating its park sees a consistent word.
+        ParkingLot::global().unpark_one(self.addr(), DEFAULT_UNPARK_TOKEN, |result| {
+            let state = if result.have_more { PARKED } else { 0 };
+            self.state.store(state, Ordering::Release);
+        });
+    }
+}
+
+impl RawLock for FutexLock {
+    const NAME: &'static str = "FUTEX";
+
+    #[inline]
+    fn lock(&self) {
+        if !self.try_acquire_fast() {
+            self.lock_slow();
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        if self
+            .state
+            .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            self.unlock_slow();
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & LOCKED != 0
+    }
+}
+
+impl RawTryLock for FutexLock {
+    #[inline]
+    fn try_lock(&self) -> bool {
+        // fetch_or also succeeds on a free-but-parked word (a waiter may be
+        // mid-park): barging is part of the protocol.
+        self.state.fetch_or(LOCKED, Ordering::Acquire) & LOCKED == 0
+    }
+}
+
+impl QueueInformed for FutexLock {
+    /// Holder plus *parked* waiters. Spinning waiters are invisible — their
+    /// wait is bounded to a few microseconds, so the sampled queue GLK uses
+    /// for adaptation is dominated by the parked population anyway.
+    fn queue_length(&self) -> u64 {
+        let held = u64::from(self.state.load(Ordering::Relaxed) & LOCKED != 0);
+        held + ParkingLot::global().parked_count(self.addr()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn raw_state_is_one_word() {
+        assert_eq!(std::mem::size_of::<FutexLock>(), 4);
+        assert_eq!(std::mem::align_of::<FutexLock>(), 4);
+    }
+
+    #[test]
+    fn lock_unlock_single_thread() {
+        let lock = FutexLock::new();
+        assert!(!lock.is_locked());
+        lock.lock();
+        assert!(lock.is_locked());
+        assert_eq!(lock.queue_length(), 1);
+        lock.unlock();
+        assert!(!lock.is_locked());
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn try_lock_semantics() {
+        let lock = FutexLock::new();
+        assert!(lock.try_lock());
+        assert!(!lock.try_lock());
+        lock.unlock();
+        assert!(lock.try_lock());
+        lock.unlock();
+    }
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        crate::test_support::check_mutual_exclusion::<FutexLock>(8, 20_000);
+    }
+
+    #[test]
+    fn parked_waiters_are_woken() {
+        // Hold the lock long enough that waiters exhaust the spin budget and
+        // park in the shared lot, then release and check they all finish.
+        let lock = Arc::new(FutexLock::new());
+        lock.lock();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    l.lock();
+                    l.unlock();
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(lock.queue_length() > 1, "waiters should have parked");
+        lock.unlock();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!lock.is_locked());
+        assert_eq!(lock.queue_length(), 0);
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0, "parked bit cleared");
+    }
+
+    #[test]
+    fn heavy_handover_does_not_deadlock() {
+        let lock = Arc::new(FutexLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        lock.lock();
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 60_000);
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn many_live_locks_share_the_lot() {
+        // The space story: 10k live futex locks are 40kB of lock state; all
+        // of them park through the same global lot without interference.
+        let locks: Arc<Vec<FutexLock>> = Arc::new((0..10_000).map(|_| FutexLock::new()).collect());
+        assert_eq!(std::mem::size_of_val(locks.as_slice()), 40_000);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let locks = Arc::clone(&locks);
+                std::thread::spawn(move || {
+                    for i in 0..10_000usize {
+                        let lock = &locks[(i * 31 + t * 7919) % locks.len()];
+                        lock.lock();
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for lock in locks.iter() {
+            assert!(!lock.is_locked());
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Word-sized blocking reader-writer lock parked on the shared parking lot.
+//!
+//! The rw counterpart of [`FutexLock`](crate::FutexLock): the whole lock is
+//! **one `AtomicU32`** (writer bit, writer-intent bit, parked bit, reader
+//! count), with all wait queues held centrally in the [`ParkingLot`]. Like
+//! the crate's other rw locks it is writer-preferring via the intent bit —
+//! a stream of readers cannot starve a writer — and like
+//! [`FutexLock`](crate::FutexLock) it is deliberately not cache-padded:
+//! density is the point.
+//!
+//! Readers and writers park on the same address with distinct park tokens;
+//! release uses [`ParkingLot::unpark_select`] to wake **the first parked
+//! writer if one exists, else every parked reader** — decided under the
+//! bucket lock, atomically with the parked-bit update, so the decision
+//! cannot race with newly parking waiters. Waking readers past a parked
+//! writer would be futile anyway (the writer's intent bit blocks them) and
+//! waking them *instead of* the writer would strand it forever.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::park::{ParkingLot, DEFAULT_UNPARK_TOKEN};
+use crate::raw::{QueueInformed, RawLock, RawRwLock, RawTryLock};
+use crate::spin_wait::SpinWait;
+
+/// Writer-held flag (high bit).
+const WRITER: u32 = 1 << 31;
+/// Writer-intent flag: a writer is waiting; new readers back off.
+const INTENT: u32 = 1 << 30;
+/// Set while at least one waiter is (or is about to be) parked.
+const PARKED: u32 = 1 << 29;
+/// The remaining bits count active readers.
+const READERS: u32 = PARKED - 1;
+
+/// Park token tagging a parked reader.
+const TOKEN_READER: usize = 0;
+/// Park token tagging a parked writer.
+const TOKEN_WRITER: usize = 1;
+
+/// Number of bounded-spin rounds before a waiter parks.
+const SPIN_ATTEMPTS: u32 = 32;
+
+/// A word-sized blocking (spin-then-park) reader-writer lock.
+///
+/// # Example
+///
+/// ```
+/// use gls_locks::{FutexRwLock, RawRwLock};
+///
+/// let lock = FutexRwLock::new();
+/// lock.read_lock();
+/// assert!(!lock.try_write_lock());
+/// lock.read_unlock();
+/// lock.write_lock();
+/// lock.write_unlock();
+/// assert_eq!(std::mem::size_of::<FutexRwLock>(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct FutexRwLock {
+    state: AtomicU32,
+}
+
+impl FutexRwLock {
+    /// Creates an unlocked futex rwlock.
+    pub const fn new() -> Self {
+        Self {
+            state: AtomicU32::new(0),
+        }
+    }
+
+    /// Whether a writer currently holds the lock.
+    pub fn is_write_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & WRITER != 0
+    }
+
+    /// Number of readers currently holding the lock.
+    pub fn reader_count(&self) -> u32 {
+        self.state.load(Ordering::Relaxed) & READERS
+    }
+
+    /// Whether a writer has announced intent (is waiting to acquire).
+    pub fn writer_pending(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & INTENT != 0
+    }
+
+    /// The parking-lot key: the address of the lock word.
+    #[inline]
+    fn addr(&self) -> usize {
+        &self.state as *const AtomicU32 as usize
+    }
+
+    #[cold]
+    fn read_lock_slow(&self) {
+        let lot = ParkingLot::global();
+        let mut wait = SpinWait::new();
+        let mut spins = 0u32;
+        loop {
+            let state = self.state.load(Ordering::Relaxed);
+            if state & (WRITER | INTENT) == 0 {
+                assert!(state & READERS != READERS, "reader count overflow");
+                if self
+                    .state
+                    .compare_exchange_weak(state, state + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            if state & PARKED == 0 {
+                if spins < SPIN_ATTEMPTS {
+                    spins += 1;
+                    wait.spin_bounded();
+                    continue;
+                }
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | PARKED,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
+            }
+            lot.park(
+                self.addr(),
+                TOKEN_READER,
+                || {
+                    let s = self.state.load(Ordering::Relaxed);
+                    s & (WRITER | INTENT) != 0 && s & PARKED != 0
+                },
+                || {},
+                None,
+            );
+            wait.reset();
+            spins = 0;
+        }
+    }
+
+    #[cold]
+    fn write_lock_slow(&self) {
+        let lot = ParkingLot::global();
+        let mut wait = SpinWait::new();
+        let mut spins = 0u32;
+        loop {
+            let state = self.state.load(Ordering::Relaxed);
+            if state & (WRITER | READERS) == 0 {
+                // Free: claim it, consuming the intent bit (other waiting
+                // writers re-raise it) and preserving the parked bit.
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        (state & PARKED) | WRITER,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            // Announce intent so the reader stream pauses for us.
+            if state & INTENT == 0 {
+                let _ = self.state.compare_exchange_weak(
+                    state,
+                    state | INTENT,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                continue;
+            }
+            if state & PARKED == 0 {
+                if spins < SPIN_ATTEMPTS {
+                    spins += 1;
+                    wait.spin_bounded();
+                    continue;
+                }
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | PARKED,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
+            }
+            lot.park(
+                self.addr(),
+                TOKEN_WRITER,
+                || {
+                    let s = self.state.load(Ordering::Relaxed);
+                    s & (WRITER | READERS) != 0 && s & PARKED != 0
+                },
+                || {},
+                None,
+            );
+            wait.reset();
+            spins = 0;
+        }
+    }
+
+    /// Wakes the first parked writer, or — if no writer is parked — every
+    /// parked reader; clears the parked bit when the queue drains. All of it
+    /// is decided under one bucket lock, atomic with park validation.
+    #[cold]
+    fn unpark_waiters(&self) {
+        ParkingLot::global().unpark_preferred(
+            self.addr(),
+            TOKEN_WRITER,
+            DEFAULT_UNPARK_TOKEN,
+            |result| {
+                if !result.have_more {
+                    self.state.fetch_and(!PARKED, Ordering::Relaxed);
+                }
+            },
+        );
+    }
+}
+
+impl RawRwLock for FutexRwLock {
+    #[inline]
+    fn read_lock(&self) {
+        let state = self.state.load(Ordering::Relaxed);
+        if state & (WRITER | INTENT) != 0
+            || self
+                .state
+                .compare_exchange_weak(state, state + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.read_lock_slow();
+        }
+    }
+
+    #[inline]
+    fn try_read_lock(&self) -> bool {
+        let mut state = self.state.load(Ordering::Relaxed);
+        loop {
+            if state & (WRITER | INTENT) != 0 {
+                return false;
+            }
+            match self.state.compare_exchange_weak(
+                state,
+                state + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => state = actual,
+            }
+        }
+    }
+
+    #[inline]
+    fn read_unlock(&self) {
+        let prev = self.state.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev & READERS > 0, "read_unlock without a reader");
+        // The last reader leaving wakes any parked waiters (a writer first).
+        if prev & READERS == 1 && prev & PARKED != 0 {
+            self.unpark_waiters();
+        }
+    }
+}
+
+impl RawLock for FutexRwLock {
+    const NAME: &'static str = "FUTEX-RW";
+
+    /// Acquires exclusive (write) access.
+    #[inline]
+    fn lock(&self) {
+        if self
+            .state
+            .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.write_lock_slow();
+        }
+    }
+
+    #[inline]
+    fn unlock(&self) {
+        if self
+            .state
+            .compare_exchange(WRITER, 0, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        // Intent and/or parked bits present: clear the writer bit, then wake.
+        let prev = self.state.fetch_and(!WRITER, Ordering::Release);
+        debug_assert!(prev & WRITER != 0, "write unlock without a writer");
+        if prev & PARKED != 0 {
+            self.unpark_waiters();
+        }
+    }
+
+    fn is_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & (WRITER | READERS) != 0
+    }
+}
+
+impl RawTryLock for FutexRwLock {
+    #[inline]
+    fn try_lock(&self) -> bool {
+        let mut state = self.state.load(Ordering::Relaxed);
+        loop {
+            if state & (WRITER | READERS) != 0 {
+                return false;
+            }
+            match self.state.compare_exchange_weak(
+                state,
+                (state & PARKED) | WRITER,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => state = actual,
+            }
+        }
+    }
+}
+
+impl QueueInformed for FutexRwLock {
+    /// Holders (readers or the writer) plus parked waiters; spinning waiters
+    /// are invisible, as for [`FutexLock`](crate::FutexLock).
+    fn queue_length(&self) -> u64 {
+        let state = self.state.load(Ordering::Relaxed);
+        let holders = u64::from(state & READERS) + u64::from(state & WRITER != 0);
+        holders + ParkingLot::global().parked_count(self.addr()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn raw_state_is_one_word() {
+        assert_eq!(std::mem::size_of::<FutexRwLock>(), 4);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let lock = FutexRwLock::new();
+        lock.read_lock();
+        lock.read_lock();
+        assert_eq!(lock.reader_count(), 2);
+        assert!(!lock.try_write_lock());
+        lock.read_unlock();
+        lock.read_unlock();
+        lock.write_lock();
+        assert!(lock.is_write_locked());
+        assert!(!lock.try_read_lock());
+        lock.write_unlock();
+        assert!(!lock.is_locked());
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn parked_writer_is_woken_by_last_reader() {
+        let lock = Arc::new(FutexRwLock::new());
+        lock.read_lock();
+        let writer = {
+            let lock = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                lock.write_lock();
+                lock.write_unlock();
+            })
+        };
+        // Give the writer time to exhaust its spin budget and park.
+        std::thread::sleep(Duration::from_millis(50));
+        lock.read_unlock();
+        writer.join().unwrap();
+        assert!(!lock.is_locked());
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0, "all bits cleared");
+    }
+
+    #[test]
+    fn parked_readers_are_woken_by_writer() {
+        let lock = Arc::new(FutexRwLock::new());
+        lock.write_lock();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    lock.read_lock();
+                    lock.read_unlock();
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        lock.write_unlock();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(lock.queue_length(), 0);
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn writer_completes_under_continuous_reader_churn() {
+        let lock = Arc::new(FutexRwLock::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.read_lock();
+                        lock.read_unlock();
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        lock.write_lock();
+        lock.write_unlock();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn readers_and_writers_interleave_consistently() {
+        struct Shared(std::cell::UnsafeCell<(u64, u64)>);
+        unsafe impl Sync for Shared {}
+        let lock = Arc::new(FutexRwLock::new());
+        let shared = Arc::new(Shared(std::cell::UnsafeCell::new((0, 0))));
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.write_lock();
+                        unsafe {
+                            (*shared.0.get()).0 += 1;
+                            (*shared.0.get()).1 += 1;
+                        }
+                        lock.write_unlock();
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.read_lock();
+                        let (a, b) = unsafe { *shared.0.get() };
+                        assert_eq!(a, b, "reader overlapped a writer");
+                        lock.read_unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe { (*shared.0.get()).0 }, 8_000);
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn mixed_churn_leaves_no_residue() {
+        // Heavy mixed traffic with forced parking (writers hold long enough
+        // for readers to park and vice versa); afterwards the word must be
+        // exactly zero and the lot free of this lock's waiters.
+        let lock = Arc::new(FutexRwLock::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for i in 0..3_000u64 {
+                        if (t + i as usize).is_multiple_of(3) {
+                            lock.write_lock();
+                            std::hint::spin_loop();
+                            lock.write_unlock();
+                        } else {
+                            lock.read_lock();
+                            std::hint::spin_loop();
+                            lock.read_unlock();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+        assert_eq!(lock.queue_length(), 0);
+    }
+}

@@ -12,8 +12,16 @@
 //! both writer-preferring via a writer-intent bit so reader streams cannot
 //! starve writers.
 //!
+//! Blocking at scale is served by the address-keyed **parking lot** ([`park`]):
+//! a global sharded table of FIFO wait buckets that holds all wait-queue
+//! state centrally, so the word-sized [`FutexLock`] and [`FutexRwLock`]
+//! need only a single `AtomicU32` of per-lock state — the layout that lets
+//! a production system keep hundreds of thousands of live blocking locks.
+//!
 //! All locks are padded to a cache line ([`CachePadded`]) exactly as the
-//! paper's methodology pads every lock to 64 bytes to avoid false sharing.
+//! paper's methodology pads every lock to 64 bytes to avoid false sharing —
+//! except the futex locks, whose entire point is density; wrap them in
+//! [`CachePadded`] explicitly where padding matters more than space.
 //!
 //! # Quick start
 //!
@@ -41,10 +49,13 @@
 
 pub mod cache_padded;
 pub mod clh;
+pub mod futex_mutex;
+pub mod futex_rwlock;
 pub mod kind;
 pub mod lock;
 pub mod mcs;
 pub mod mutex;
+pub mod park;
 #[cfg(test)]
 mod proptests;
 pub mod raw;
@@ -59,10 +70,13 @@ pub mod ttas;
 
 pub use cache_padded::CachePadded;
 pub use clh::ClhLock;
+pub use futex_mutex::FutexLock;
+pub use futex_rwlock::FutexRwLock;
 pub use kind::LockKind;
 pub use lock::{Lock, LockGuard};
 pub use mcs::McsLock;
 pub use mutex::MutexLock;
+pub use park::{ParkResult, ParkingLot, RequeueResult, UnparkResult};
 pub use raw::{QueueInformed, RawLock, RawRwLock, RawTryLock};
 pub use rw_mutex::RwMutexLock;
 pub use rwlock::{RwTtasLock, RwTtasRaw, RwTtasReadGuard, RwTtasWriteGuard};

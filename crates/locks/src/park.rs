@@ -1,0 +1,858 @@
+//! The address-keyed parking lot: central wait queues for word-sized locks.
+//!
+//! The paper's blocking locks need a way to put waiters to sleep and wake
+//! them on release. Embedding a `Mutex + Condvar` pair in every lock (as
+//! [`MutexLock`](crate::MutexLock) does) makes each lock ~2 cache lines —
+//! fine for a handful of hot locks, prohibitive for the address-keyed
+//! middleware whose whole point is that *any* of millions of addresses can
+//! be a lock. The parking lot inverts the layout, futex-style: lock state
+//! shrinks to a single word, and all wait-queue state lives centrally in a
+//! sharded hash table of buckets keyed by the lock's address. Threads that
+//! must block **park** themselves in the bucket for their lock's address;
+//! releasing threads **unpark** them from the same bucket.
+//!
+//! # Memory layout
+//!
+//! * One global table ([`ParkingLot::global`]) of [`BUCKETS`] cache-padded
+//!   buckets, each a mutex-protected FIFO queue of waiters. Lock addresses
+//!   hash onto buckets; distinct locks may share a bucket (waiters carry
+//!   their address, so sharing only contends the bucket mutex).
+//! * One parker (a `Mutex<bool>` + `Condvar` signal cell) per **thread**,
+//!   lazily created and reused for every park on any address. Space is
+//!   therefore O(threads + buckets), independent of the number of locks —
+//!   which is what lets [`FutexLock`](crate::FutexLock) be one `AtomicU32`.
+//!
+//! # Fairness and ordering guarantees
+//!
+//! * Waiters are queued and woken in **FIFO order per address**:
+//!   [`ParkingLot::unpark_one`] always wakes the longest-parked waiter, and
+//!   [`ParkingLot::unpark_all`] wakes in arrival order.
+//! * Parking is **not** admission order for the lock built on top: a woken
+//!   waiter re-contends with arriving threads (barging), exactly like a
+//!   futex-based mutex. Locks that need FIFO admission keep using the queue
+//!   locks (ticket/MCS/CLH).
+//! * The `validate` closure passed to [`ParkingLot::park`] runs under the
+//!   bucket lock, and so do the callbacks of the unpark primitives: a lock
+//!   implementation can therefore re-check its atomic word and update
+//!   wake-related bits (e.g. clear a "has parked waiters" flag) atomically
+//!   with respect to enqueueing, which is what closes the classic
+//!   lost-wakeup races without a per-lock mutex.
+//!
+//! [`park_timeout`](ParkingLot::park) (via the `timeout` parameter),
+//! [`unpark_requeue`](ParkingLot::unpark_requeue) (move waiters to another
+//! address without waking them) and [`unpark_select`](ParkingLot::unpark_select)
+//! (wake a caller-chosen subset, e.g. "first writer or else all readers")
+//! round out the primitive set condition variables and reader-writer locks
+//! are built from.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::cache_padded::CachePadded;
+
+/// Number of buckets in the global parking lot (a power of two). 64 buckets
+/// of one cache line each keep the whole table at 4 kB while making bucket
+/// collisions between simultaneously-contended locks unlikely.
+pub const BUCKETS: usize = 64;
+
+/// Park token used by callers that do not need to distinguish waiters.
+pub const DEFAULT_PARK_TOKEN: usize = 0;
+
+/// Unpark token used by wakers that do not need to pass information.
+pub const DEFAULT_UNPARK_TOKEN: usize = 0;
+
+/// Outcome of a [`ParkingLot::park`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkResult {
+    /// The thread was woken by an unpark primitive; carries the waker's
+    /// unpark token.
+    Unparked(usize),
+    /// The `validate` closure returned `false`; the thread never slept.
+    Invalid,
+    /// The timeout elapsed before any wake arrived.
+    TimedOut,
+}
+
+impl ParkResult {
+    /// Whether the thread was woken by an unpark (as opposed to timing out
+    /// or failing validation).
+    pub fn is_unparked(self) -> bool {
+        matches!(self, ParkResult::Unparked(_))
+    }
+}
+
+/// What an unpark primitive did, observed by its callback while the bucket
+/// is still locked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnparkResult {
+    /// Number of waiters woken by this call.
+    pub unparked: usize,
+    /// Whether waiters for the same address remain parked after this call.
+    pub have_more: bool,
+}
+
+/// What a requeue primitive did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequeueResult {
+    /// Number of waiters woken (up to `max_unpark`).
+    pub unparked: usize,
+    /// Number of waiters moved to the target address without waking.
+    pub requeued: usize,
+}
+
+/// The per-thread signal cell every park sleeps on. One exists per thread
+/// (lazily, in a thread-local) and is reused across parks on any address.
+#[derive(Debug, Default)]
+struct Parker {
+    state: Mutex<ParkerState>,
+    condvar: Condvar,
+    /// The address this parker is currently enqueued under; maintained under
+    /// the owning bucket's lock (updated by requeue) so a timed-out thread
+    /// can find the bucket it lives in *now*.
+    addr: AtomicUsize,
+}
+
+#[derive(Debug, Default)]
+struct ParkerState {
+    signaled: bool,
+    unpark_token: usize,
+}
+
+impl Parker {
+    /// Resets the signal before enqueueing. The park/unpark protocol pairs
+    /// every enqueue with exactly one consumed signal, so none can be
+    /// pending here.
+    fn prepare(&self, addr: usize) {
+        let state = self.state.lock().expect("parker poisoned");
+        debug_assert!(!state.signaled, "unconsumed unpark signal");
+        drop(state);
+        self.addr.store(addr, Ordering::Release);
+    }
+
+    /// Blocks until signaled; returns the unpark token.
+    fn park(&self) -> usize {
+        let mut state = self.state.lock().expect("parker poisoned");
+        while !state.signaled {
+            state = self.condvar.wait(state).expect("parker poisoned");
+        }
+        state.signaled = false;
+        state.unpark_token
+    }
+
+    /// Blocks until signaled or until `timeout` elapses; `None` on timeout.
+    fn park_timeout(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("parker poisoned");
+        while !state.signaled {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|r| !r.is_zero())?;
+            state = self
+                .condvar
+                .wait_timeout(state, remaining)
+                .expect("parker poisoned")
+                .0;
+        }
+        state.signaled = false;
+        Some(state.unpark_token)
+    }
+
+    /// Signals the parked thread. Called after the bucket lock is released.
+    fn unpark(&self, unpark_token: usize) {
+        let mut state = self.state.lock().expect("parker poisoned");
+        state.signaled = true;
+        state.unpark_token = unpark_token;
+        drop(state);
+        self.condvar.notify_one();
+    }
+}
+
+thread_local! {
+    static PARKER: Arc<Parker> = Arc::new(Parker::default());
+}
+
+/// One parked thread: its lock address, the token it parked with, and the
+/// signal cell to wake it through.
+#[derive(Debug)]
+struct Waiter {
+    addr: usize,
+    park_token: usize,
+    parker: Arc<Parker>,
+}
+
+/// A wait bucket: a FIFO queue of parked threads whose lock addresses hash
+/// here.
+#[derive(Debug, Default)]
+struct Bucket {
+    queue: Mutex<Vec<Waiter>>,
+}
+
+/// The sharded table of wait buckets. Use [`ParkingLot::global`] in
+/// production; dedicated instances exist for tests.
+#[derive(Debug)]
+pub struct ParkingLot {
+    buckets: Box<[CachePadded<Bucket>]>,
+}
+
+impl Default for ParkingLot {
+    fn default() -> Self {
+        Self::with_buckets(BUCKETS)
+    }
+}
+
+impl ParkingLot {
+    /// Creates a lot with `buckets` wait buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two.
+    pub fn with_buckets(buckets: usize) -> Self {
+        assert!(
+            buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
+        Self {
+            buckets: (0..buckets).map(|_| CachePadded::default()).collect(),
+        }
+    }
+
+    /// The process-wide parking lot shared by every futex-style lock.
+    pub fn global() -> &'static ParkingLot {
+        static GLOBAL: OnceLock<ParkingLot> = OnceLock::new();
+        GLOBAL.get_or_init(ParkingLot::default)
+    }
+
+    fn bucket_of(&self, addr: usize) -> &Bucket {
+        // Fibonacci hashing spreads the (cache-line-aligned, low-entropy)
+        // lock addresses over the buckets via the product's high bits.
+        let hash = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let bits = self.buckets.len().trailing_zeros();
+        let index = if bits == 0 {
+            0
+        } else {
+            hash >> (usize::BITS - bits)
+        };
+        &self.buckets[index]
+    }
+
+    fn queue_of(&self, addr: usize) -> MutexGuard<'_, Vec<Waiter>> {
+        self.bucket_of(addr)
+            .queue
+            .lock()
+            .expect("parking-lot bucket poisoned")
+    }
+
+    /// Parks the calling thread on `addr` until an unpark primitive wakes it
+    /// or `timeout` (if any) elapses.
+    ///
+    /// `validate` runs under the bucket lock *before* enqueueing: return
+    /// `false` to abort the park (the lock state changed and blocking is no
+    /// longer appropriate); no sleep happens and [`ParkResult::Invalid`] is
+    /// returned. `before_sleep` runs after the thread is enqueued and the
+    /// bucket lock is released, but before the thread blocks — this is where
+    /// a condition variable releases its mutex, guaranteeing any notifier
+    /// that acquires that mutex afterwards finds the waiter already queued.
+    ///
+    /// `park_token` is visible to [`ParkingLot::unpark_select`] filters
+    /// (e.g. to distinguish reader from writer waiters).
+    pub fn park(
+        &self,
+        addr: usize,
+        park_token: usize,
+        validate: impl FnOnce() -> bool,
+        before_sleep: impl FnOnce(),
+        timeout: Option<Duration>,
+    ) -> ParkResult {
+        let parker = PARKER.with(Arc::clone);
+        {
+            let mut queue = self.queue_of(addr);
+            if !validate() {
+                return ParkResult::Invalid;
+            }
+            parker.prepare(addr);
+            queue.push(Waiter {
+                addr,
+                park_token,
+                parker: Arc::clone(&parker),
+            });
+        }
+        before_sleep();
+        match timeout {
+            None => ParkResult::Unparked(parker.park()),
+            Some(timeout) => match parker.park_timeout(timeout) {
+                Some(token) => ParkResult::Unparked(token),
+                None => self.cancel_park(&parker),
+            },
+        }
+    }
+
+    /// Removes a timed-out waiter from whichever bucket it lives in now
+    /// (requeues may have moved it), or consumes the in-flight wake if an
+    /// unparker got to it first.
+    fn cancel_park(&self, parker: &Arc<Parker>) -> ParkResult {
+        loop {
+            let addr = parker.addr.load(Ordering::Acquire);
+            let mut queue = self.queue_of(addr);
+            if let Some(index) = queue
+                .iter()
+                .position(|w| Arc::ptr_eq(&w.parker, parker) && w.addr == addr)
+            {
+                queue.remove(index);
+                return ParkResult::TimedOut;
+            }
+            // Not in the bucket we expected. Either a requeue moved us (the
+            // recorded address changed: retry against the new bucket) or an
+            // unparker already dequeued us (the address is unchanged: the
+            // wake signal is in flight, wait for it).
+            if parker.addr.load(Ordering::Acquire) == addr {
+                drop(queue);
+                return ParkResult::Unparked(parker.park());
+            }
+        }
+    }
+
+    /// Wakes the longest-parked waiter on `addr`, if any. `callback` runs
+    /// while the bucket is still locked, after the waiter was dequeued —
+    /// update the lock word there (e.g. clear a parked bit when
+    /// [`UnparkResult::have_more`] is `false`) to stay atomic with respect
+    /// to concurrent `park` validation.
+    pub fn unpark_one(
+        &self,
+        addr: usize,
+        unpark_token: usize,
+        callback: impl FnOnce(&UnparkResult),
+    ) -> UnparkResult {
+        // Allocation-free: this runs on every contended unlock, while
+        // holding a bucket lock other colliding locks contend on.
+        let woken: Option<Arc<Parker>>;
+        let result;
+        {
+            let mut queue = self.queue_of(addr);
+            woken = queue
+                .iter()
+                .position(|w| w.addr == addr)
+                .map(|index| queue.remove(index).parker);
+            result = UnparkResult {
+                unparked: usize::from(woken.is_some()),
+                have_more: queue.iter().any(|w| w.addr == addr),
+            };
+            callback(&result);
+        }
+        if let Some(parker) = woken {
+            parker.unpark(unpark_token);
+        }
+        result
+    }
+
+    /// Wakes every waiter parked on `addr`, in FIFO order. Returns how many
+    /// were woken.
+    pub fn unpark_all(&self, addr: usize, unpark_token: usize) -> usize {
+        let mut woken: Vec<Arc<Parker>> = Vec::new();
+        {
+            let mut queue = self.queue_of(addr);
+            queue.retain(|w| {
+                if w.addr == addr {
+                    woken.push(Arc::clone(&w.parker));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for parker in &woken {
+            parker.unpark(unpark_token);
+        }
+        woken.len()
+    }
+
+    /// Wakes the longest-parked waiter that parked with `preferred_token`,
+    /// or — when none did — every waiter on `addr`, in FIFO order.
+    ///
+    /// This is the writer-preferring rw release policy ("first parked
+    /// writer, else all readers") as a single primitive: the decision, the
+    /// dequeues and the `callback` all happen under one bucket lock, atomic
+    /// with park validation, and the bucket critical section allocates at
+    /// most the woken list (nothing at all on the single-waiter path).
+    pub fn unpark_preferred(
+        &self,
+        addr: usize,
+        preferred_token: usize,
+        unpark_token: usize,
+        callback: impl FnOnce(&UnparkResult),
+    ) -> UnparkResult {
+        let mut woken: Vec<Arc<Parker>> = Vec::new();
+        let mut preferred: Option<Arc<Parker>> = None;
+        let result;
+        {
+            let mut queue = self.queue_of(addr);
+            if let Some(index) = queue
+                .iter()
+                .position(|w| w.addr == addr && w.park_token == preferred_token)
+            {
+                preferred = Some(queue.remove(index).parker);
+            } else {
+                queue.retain(|w| {
+                    if w.addr == addr {
+                        woken.push(Arc::clone(&w.parker));
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            result = UnparkResult {
+                unparked: usize::from(preferred.is_some()) + woken.len(),
+                have_more: queue.iter().any(|w| w.addr == addr),
+            };
+            callback(&result);
+        }
+        if let Some(parker) = preferred {
+            parker.unpark(unpark_token);
+        }
+        for parker in &woken {
+            parker.unpark(unpark_token);
+        }
+        result
+    }
+
+    /// Wakes a caller-selected subset of the waiters parked on `addr`.
+    ///
+    /// `select` receives the park tokens of every waiter on `addr` in FIFO
+    /// order and returns the indices to wake (out-of-range indices are
+    /// ignored; wakeups preserve FIFO order regardless of the order of the
+    /// returned indices). Both `select` and `callback` run under the bucket
+    /// lock; the actual wakeups happen after it is released.
+    ///
+    /// This is the primitive behind writer-preferring rw wakeup ("wake the
+    /// first parked writer, else all readers") where the decision must be
+    /// atomic with parked-bit maintenance — two separate `unpark_one` /
+    /// `unpark_all` calls would race with new waiters parking in between.
+    pub fn unpark_select(
+        &self,
+        addr: usize,
+        select: impl FnOnce(&[usize]) -> Vec<usize>,
+        unpark_token: usize,
+        callback: impl FnOnce(&UnparkResult),
+    ) -> UnparkResult {
+        let mut woken: Vec<Arc<Parker>> = Vec::new();
+        let result;
+        {
+            let mut queue = self.queue_of(addr);
+            let tokens: Vec<usize> = queue
+                .iter()
+                .filter(|w| w.addr == addr)
+                .map(|w| w.park_token)
+                .collect();
+            let mut chosen = select(&tokens);
+            chosen.sort_unstable();
+            chosen.dedup();
+            // Walk the queue once, mapping per-address positions back to
+            // queue positions; remove back-to-front to keep indices stable.
+            let mut matching = 0usize;
+            let mut remove: Vec<usize> = Vec::with_capacity(chosen.len());
+            for (queue_index, waiter) in queue.iter().enumerate() {
+                if waiter.addr != addr {
+                    continue;
+                }
+                if chosen.binary_search(&matching).is_ok() {
+                    remove.push(queue_index);
+                }
+                matching += 1;
+            }
+            for &queue_index in remove.iter().rev() {
+                woken.push(queue.remove(queue_index).parker);
+            }
+            woken.reverse(); // back-to-front removal reversed FIFO order
+            result = UnparkResult {
+                unparked: woken.len(),
+                have_more: queue.iter().any(|w| w.addr == addr),
+            };
+            callback(&result);
+        }
+        for parker in woken {
+            parker.unpark(unpark_token);
+        }
+        result
+    }
+
+    /// Wakes up to `max_unpark` waiters of `from` and moves up to
+    /// `max_requeue` of the remaining ones onto `to` without waking them
+    /// (they wake on a future unpark of `to`, FIFO behind its existing
+    /// waiters). `callback` runs while both buckets are locked.
+    pub fn unpark_requeue(
+        &self,
+        from: usize,
+        to: usize,
+        max_unpark: usize,
+        max_requeue: usize,
+        unpark_token: usize,
+        callback: impl FnOnce(&RequeueResult),
+    ) -> RequeueResult {
+        let mut woken: Vec<Arc<Parker>> = Vec::new();
+        let result;
+        {
+            let (mut from_queue, mut to_queue) = self.lock_pair(from, to);
+            let mut moved: Vec<Waiter> = Vec::new();
+            let mut unparked = 0usize;
+            let mut requeued = 0usize;
+            let mut index = 0;
+            while index < from_queue.len() {
+                if from_queue[index].addr != from {
+                    index += 1;
+                    continue;
+                }
+                if unparked < max_unpark {
+                    woken.push(from_queue.remove(index).parker);
+                    unparked += 1;
+                } else if requeued < max_requeue {
+                    let mut waiter = from_queue.remove(index);
+                    waiter.addr = to;
+                    // Keep the parker's recorded address in sync so a timed
+                    // -out waiter searches the right bucket (both buckets
+                    // are locked here, so the update is atomic to it).
+                    waiter.parker.addr.store(to, Ordering::Release);
+                    moved.push(waiter);
+                    requeued += 1;
+                } else {
+                    break;
+                }
+            }
+            match &mut to_queue {
+                Some(queue) => queue.extend(moved),
+                None => from_queue.extend(moved),
+            }
+            result = RequeueResult { unparked, requeued };
+            callback(&result);
+        }
+        for parker in woken {
+            parker.unpark(unpark_token);
+        }
+        result
+    }
+
+    /// Locks the buckets of `from` and `to` in a deadlock-free order.
+    /// Returns `(from_queue, Some(to_queue))`, or `(queue, None)` when both
+    /// addresses share a bucket.
+    #[allow(clippy::type_complexity)]
+    fn lock_pair(
+        &self,
+        from: usize,
+        to: usize,
+    ) -> (
+        MutexGuard<'_, Vec<Waiter>>,
+        Option<MutexGuard<'_, Vec<Waiter>>>,
+    ) {
+        let from_bucket = self.bucket_of(from) as *const Bucket;
+        let to_bucket = self.bucket_of(to) as *const Bucket;
+        if std::ptr::eq(from_bucket, to_bucket) {
+            (self.queue_of(from), None)
+        } else if (from_bucket as usize) < (to_bucket as usize) {
+            let first = self.queue_of(from);
+            let second = self.queue_of(to);
+            (first, Some(second))
+        } else {
+            let second = self.queue_of(to);
+            let first = self.queue_of(from);
+            (first, Some(second))
+        }
+    }
+
+    /// Number of threads currently parked on `addr` (racy; diagnostics and
+    /// queue-length reporting).
+    pub fn parked_count(&self, addr: usize) -> usize {
+        self.queue_of(addr)
+            .iter()
+            .filter(|w| w.addr == addr)
+            .count()
+    }
+
+    /// Total number of threads parked in this lot, over all addresses
+    /// (racy; tests and diagnostics).
+    pub fn total_parked(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|b| b.queue.lock().map(|q| q.len()).unwrap_or(0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    /// Spawns `n` threads that park on `addr` and records the order in which
+    /// they wake. Returns once all are enqueued.
+    fn park_squad(
+        lot: &Arc<ParkingLot>,
+        addr: usize,
+        n: usize,
+        wake_order: &Arc<Mutex<Vec<usize>>>,
+    ) -> Vec<std::thread::JoinHandle<ParkResult>> {
+        let enqueue_barrier = Arc::new(Barrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let lot = Arc::clone(lot);
+                let order = Arc::clone(wake_order);
+                let barrier = Arc::clone(&enqueue_barrier);
+                std::thread::spawn(move || {
+                    // Serialize enqueue order by index so FIFO is testable.
+                    loop {
+                        if lot.parked_count(addr) == i {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    let result = lot.park(
+                        addr,
+                        i, // park token = arrival index
+                        || true,
+                        || {
+                            barrier.wait();
+                        },
+                        None,
+                    );
+                    order.lock().unwrap().push(i);
+                    result
+                })
+            })
+            .collect();
+        while lot.parked_count(addr) < n {
+            std::thread::yield_now();
+        }
+        handles
+    }
+
+    #[test]
+    fn unpark_one_wakes_in_fifo_order() {
+        let lot = Arc::new(ParkingLot::with_buckets(4));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles = park_squad(&lot, 0x100, 3, &order);
+        for _ in 0..3 {
+            let before = order.lock().unwrap().len();
+            let result = lot.unpark_one(0x100, DEFAULT_UNPARK_TOKEN, |_| {});
+            assert_eq!(result.unparked, 1);
+            while order.lock().unwrap().len() == before {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            assert!(h.join().unwrap().is_unparked());
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2], "FIFO wake order");
+        assert_eq!(lot.total_parked(), 0);
+    }
+
+    #[test]
+    fn unpark_all_wakes_everyone_and_reports_counts() {
+        let lot = Arc::new(ParkingLot::with_buckets(4));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles = park_squad(&lot, 0x200, 4, &order);
+        assert_eq!(lot.parked_count(0x200), 4);
+        assert_eq!(lot.unpark_all(0x200, 7), 4);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), ParkResult::Unparked(7));
+        }
+        assert_eq!(lot.parked_count(0x200), 0);
+    }
+
+    #[test]
+    fn validate_failure_aborts_the_park() {
+        let lot = ParkingLot::with_buckets(4);
+        let result = lot.park(0x300, DEFAULT_PARK_TOKEN, || false, || {}, None);
+        assert_eq!(result, ParkResult::Invalid);
+        assert_eq!(lot.total_parked(), 0);
+    }
+
+    #[test]
+    fn park_timeout_expires_and_cleans_the_bucket() {
+        let lot = ParkingLot::with_buckets(4);
+        let start = Instant::now();
+        let result = lot.park(
+            0x400,
+            DEFAULT_PARK_TOKEN,
+            || true,
+            || {},
+            Some(Duration::from_millis(40)),
+        );
+        assert_eq!(result, ParkResult::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(40));
+        assert_eq!(lot.total_parked(), 0, "timed-out waiter must dequeue");
+    }
+
+    #[test]
+    fn unpark_token_reaches_the_parked_thread() {
+        let lot = Arc::new(ParkingLot::with_buckets(4));
+        let handle = {
+            let lot = Arc::clone(&lot);
+            std::thread::spawn(move || lot.park(0x500, DEFAULT_PARK_TOKEN, || true, || {}, None))
+        };
+        while lot.parked_count(0x500) == 0 {
+            std::thread::yield_now();
+        }
+        lot.unpark_one(0x500, 42, |result| {
+            assert_eq!(result.unparked, 1);
+            assert!(!result.have_more);
+        });
+        assert_eq!(handle.join().unwrap(), ParkResult::Unparked(42));
+    }
+
+    #[test]
+    fn requeue_moves_waiters_to_the_target_address() {
+        let lot = Arc::new(ParkingLot::with_buckets(4));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles = park_squad(&lot, 0x600, 3, &order);
+        // Wake one, requeue the other two onto 0x700.
+        let result = lot.unpark_requeue(0x600, 0x700, 1, usize::MAX, DEFAULT_UNPARK_TOKEN, |r| {
+            assert_eq!(r.unparked, 1);
+            assert_eq!(r.requeued, 2);
+        });
+        assert_eq!(result.unparked, 1);
+        assert_eq!(result.requeued, 2);
+        assert_eq!(lot.parked_count(0x600), 0);
+        assert_eq!(lot.parked_count(0x700), 2);
+        // The waiter woken by the requeue was the longest-parked one.
+        while order.lock().unwrap().is_empty() {
+            std::thread::yield_now();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0]);
+        // Unparks on the original address find nobody.
+        assert_eq!(lot.unpark_all(0x600, DEFAULT_UNPARK_TOKEN), 0);
+        // The requeued waiters wake on the target address.
+        assert_eq!(lot.unpark_all(0x700, DEFAULT_UNPARK_TOKEN), 2);
+        for h in handles {
+            assert!(h.join().unwrap().is_unparked());
+        }
+        let mut woken = order.lock().unwrap().clone();
+        woken.sort_unstable();
+        assert_eq!(woken, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn timed_park_survives_a_requeue() {
+        // A waiter parked with a timeout is requeued to another address and
+        // then times out there: it must remove itself from the bucket it
+        // lives in *now*, not the one it parked on.
+        let lot = Arc::new(ParkingLot::with_buckets(4));
+        let handle = {
+            let lot = Arc::clone(&lot);
+            std::thread::spawn(move || {
+                lot.park(
+                    0x800,
+                    DEFAULT_PARK_TOKEN,
+                    || true,
+                    || {},
+                    Some(Duration::from_millis(80)),
+                )
+            })
+        };
+        while lot.parked_count(0x800) == 0 {
+            std::thread::yield_now();
+        }
+        lot.unpark_requeue(0x800, 0x900, 0, usize::MAX, DEFAULT_UNPARK_TOKEN, |_| {});
+        assert_eq!(lot.parked_count(0x900), 1);
+        assert_eq!(handle.join().unwrap(), ParkResult::TimedOut);
+        assert_eq!(lot.total_parked(), 0);
+    }
+
+    #[test]
+    fn select_can_prefer_a_tagged_waiter() {
+        // Three waiters with tokens [0, 1, 0]; the selector picks the first
+        // waiter with token 1 — the rw "first parked writer" policy.
+        let lot = Arc::new(ParkingLot::with_buckets(4));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles = park_squad(&lot, 0xA00, 3, &order);
+        let result = lot.unpark_select(
+            0xA00,
+            |tokens| {
+                assert_eq!(tokens, &[0, 1, 2]);
+                vec![1]
+            },
+            DEFAULT_UNPARK_TOKEN,
+            |r| {
+                assert_eq!(r.unparked, 1);
+                assert!(r.have_more);
+            },
+        );
+        assert_eq!(result.unparked, 1);
+        while order.lock().unwrap().is_empty() {
+            std::thread::yield_now();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![1], "the tagged waiter woke");
+        assert_eq!(lot.unpark_all(0xA00, DEFAULT_UNPARK_TOKEN), 2);
+        for h in handles {
+            assert!(h.join().unwrap().is_unparked());
+        }
+    }
+
+    #[test]
+    fn unpark_preferred_wakes_tagged_waiter_else_everyone() {
+        // Tokens [0, 1, 0]: preferring token 1 wakes only the middle
+        // waiter; a second call (no tagged waiter left) wakes the rest.
+        let lot = Arc::new(ParkingLot::with_buckets(4));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles = park_squad(&lot, 0xB00, 3, &order);
+        let result = lot.unpark_preferred(0xB00, 1, DEFAULT_UNPARK_TOKEN, |r| {
+            assert_eq!(r.unparked, 1);
+            assert!(r.have_more);
+        });
+        assert_eq!(result.unparked, 1);
+        while order.lock().unwrap().is_empty() {
+            std::thread::yield_now();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![1], "the tagged waiter woke");
+        let rest = lot.unpark_preferred(0xB00, 1, DEFAULT_UNPARK_TOKEN, |r| {
+            assert_eq!(r.unparked, 2);
+            assert!(!r.have_more);
+        });
+        assert_eq!(rest.unparked, 2);
+        for h in handles {
+            assert!(h.join().unwrap().is_unparked());
+        }
+        assert_eq!(lot.total_parked(), 0);
+    }
+
+    #[test]
+    fn distinct_addresses_sharing_a_bucket_stay_separate() {
+        // With a single bucket every address collides; unparks must still
+        // only wake waiters of the matching address.
+        let lot = Arc::new(ParkingLot::with_buckets(1));
+        let woken_a = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = [(0x10usize, &woken_a), (0x20usize, &woken_a)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, (addr, counter))| {
+                let lot = Arc::clone(&lot);
+                let counter = Arc::clone(counter);
+                std::thread::spawn(move || {
+                    let r = lot.park(addr, DEFAULT_PARK_TOKEN, || true, || {}, None);
+                    if i == 0 {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    }
+                    r
+                })
+            })
+            .collect();
+        while lot.total_parked() < 2 {
+            std::thread::yield_now();
+        }
+        assert_eq!(lot.parked_count(0x10), 1);
+        assert_eq!(lot.parked_count(0x20), 1);
+        assert_eq!(lot.unpark_all(0x10, DEFAULT_UNPARK_TOKEN), 1);
+        while woken_a.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(lot.parked_count(0x20), 1, "other address undisturbed");
+        assert_eq!(lot.unpark_all(0x20, DEFAULT_UNPARK_TOKEN), 1);
+        for h in handles {
+            assert!(h.join().unwrap().is_unparked());
+        }
+    }
+
+    #[test]
+    fn global_lot_is_a_singleton() {
+        assert!(std::ptr::eq(ParkingLot::global(), ParkingLot::global()));
+    }
+}

@@ -1,7 +1,9 @@
 //! Model-based property tests for the reader-writer locks: under any
 //! sequence of guard acquisitions and releases, a writer and a reader must
 //! never be admitted concurrently, and the lock's reader count must always
-//! equal the number of live read guards.
+//! equal the number of live read guards. Plus a liveness/leak property for
+//! the parking lot: any randomized sequence of park/unpark/requeue
+//! operations must leave every wait bucket empty once the dust settles.
 
 use proptest::prelude::*;
 
@@ -26,6 +28,99 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         Just(Op::TryWrite),
         Just(Op::DropWrite),
     ]
+}
+
+/// One step of the parking-lot sequence: park a fresh thread on an address,
+/// wake one or all waiters of an address, or requeue between addresses.
+#[derive(Debug, Clone, Copy)]
+enum ParkOp {
+    Park(usize),
+    UnparkOne(usize),
+    UnparkAll(usize),
+    Requeue(usize, usize),
+}
+
+fn park_op_strategy() -> impl Strategy<Value = ParkOp> {
+    // Three addresses across a 2-bucket lot: collisions guaranteed, so the
+    // per-address filtering inside shared buckets is exercised too.
+    let addr = 1usize..4;
+    prop_oneof![
+        addr.clone().prop_map(ParkOp::Park),
+        addr.clone().prop_map(ParkOp::UnparkOne),
+        addr.clone().prop_map(ParkOp::UnparkAll),
+        (1usize..4, 1usize..4).prop_map(|(a, b)| ParkOp::Requeue(a, b)),
+    ]
+}
+
+proptest! {
+    // Fewer cases than the single-threaded models below: every case spawns
+    // real threads and may ride out a 200 ms park timeout.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any sequence of park/unpark/requeue operations leaves the parking
+    /// lot empty: every parked thread is eventually woken (or times out and
+    /// removes itself), no waiter record leaks into any bucket, and every
+    /// spawned thread observes a definite outcome.
+    #[test]
+    fn parking_lot_buckets_drain(ops in proptest::collection::vec(park_op_strategy(), 1..24)) {
+        use crate::park::{ParkResult, ParkingLot, DEFAULT_PARK_TOKEN, DEFAULT_UNPARK_TOKEN};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let lot = Arc::new(ParkingLot::with_buckets(2));
+        let mut handles = Vec::new();
+        for op in ops {
+            match op {
+                ParkOp::Park(addr) => {
+                    let parker_lot = Arc::clone(&lot);
+                    handles.push(std::thread::spawn(move || {
+                        // The timeout bounds the test: a waiter nobody wakes
+                        // removes itself instead of hanging the run.
+                        parker_lot.park(
+                            addr,
+                            DEFAULT_PARK_TOKEN,
+                            || true,
+                            || {},
+                            Some(Duration::from_millis(200)),
+                        )
+                    }));
+                    // Give the waiter a moment to enqueue so later ops can
+                    // see it; not required for the invariant, it just makes
+                    // the sequences denser.
+                    for _ in 0..100 {
+                        if lot.parked_count(addr) > 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+                ParkOp::UnparkOne(addr) => {
+                    lot.unpark_one(addr, DEFAULT_UNPARK_TOKEN, |_| {});
+                }
+                ParkOp::UnparkAll(addr) => {
+                    lot.unpark_all(addr, DEFAULT_UNPARK_TOKEN);
+                }
+                ParkOp::Requeue(from, to) => {
+                    lot.unpark_requeue(from, to, 0, usize::MAX, DEFAULT_UNPARK_TOKEN, |_| {});
+                }
+            }
+        }
+        // Drain: wake whatever is still parked, then collect every thread.
+        for addr in 1..4 {
+            lot.unpark_all(addr, DEFAULT_UNPARK_TOKEN);
+        }
+        for handle in handles {
+            let result = handle.join().expect("parked thread panicked");
+            prop_assert!(
+                matches!(result, ParkResult::Unparked(_) | ParkResult::TimedOut),
+                "every park ends in a wake or a timeout, got {result:?}"
+            );
+        }
+        prop_assert_eq!(lot.total_parked(), 0, "bucket state must drain");
+        for addr in 1..4 {
+            prop_assert_eq!(lot.parked_count(addr), 0);
+        }
+    }
 }
 
 proptest! {

@@ -104,7 +104,8 @@ pub(crate) fn assert_send_sync<T: Send + Sync>() {}
 mod tests {
     use super::*;
     use crate::{
-        ClhLock, McsLock, MutexLock, RwMutexLock, RwTtasRaw, TasLock, TicketLock, TtasLock,
+        ClhLock, FutexLock, FutexRwLock, McsLock, MutexLock, RwMutexLock, RwTtasRaw, TasLock,
+        TicketLock, TtasLock,
     };
 
     #[test]
@@ -115,6 +116,8 @@ mod tests {
         assert_send_sync::<McsLock>();
         assert_send_sync::<ClhLock>();
         assert_send_sync::<MutexLock>();
+        assert_send_sync::<FutexLock>();
+        assert_send_sync::<FutexRwLock>();
         assert_send_sync::<RwTtasRaw>();
         assert_send_sync::<RwMutexLock>();
     }
@@ -128,6 +131,8 @@ mod tests {
             McsLock::NAME,
             ClhLock::NAME,
             MutexLock::NAME,
+            FutexLock::NAME,
+            FutexRwLock::NAME,
             RwTtasRaw::NAME,
             RwMutexLock::NAME,
         ];

@@ -11,8 +11,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use std::time::Duration;
+
 use gls::glk::{GlkConfig, GlkLock, MonitorHandle};
-use gls::{GlsConfig, GlsService};
+use gls::{GlsCondvar, GlsConfig, GlsService, WaitOutcome};
 use gls_locks::{
     ClhLock, LockKind, McsLock, MutexLock, RawLock, RawTryLock, RwTtasLock, TasLock, TicketLock,
     TtasLock,
@@ -175,6 +177,17 @@ impl LockProvider {
         }
     }
 
+    /// Creates a condition variable usable with any [`AppMutex`] from this
+    /// provider. The condvar parks its waiters in the shared parking lot;
+    /// for GLS-backed mutexes the wait releases/re-acquires through the
+    /// service (full debug/profile integration), for direct locks through
+    /// the raw lock interface.
+    pub fn new_condvar(&self) -> AppCondvar {
+        AppCondvar {
+            cv: GlsCondvar::new(),
+        }
+    }
+
     /// The GLS service backing this provider, if any (used by the Memcached
     /// experiment to pull profiler reports and issue logs).
     pub fn service(&self) -> Option<&Arc<GlsService>> {
@@ -229,6 +242,8 @@ fn make_raw(kind: LockKind) -> Arc<dyn RawFacade> {
         LockKind::Mcs => Arc::new(Raw(McsLock::new())),
         LockKind::Clh => Arc::new(Raw(ClhLock::new())),
         LockKind::Mutex => Arc::new(Raw(MutexLock::new())),
+        LockKind::Futex => Arc::new(Raw(gls_locks::FutexLock::new())),
+        LockKind::FutexRw => Arc::new(Raw(gls_locks::FutexRwLock::new())),
         LockKind::Glk => Arc::new(GlkRaw(GlkLock::new())),
         // A direct RW provider hands out the adaptive rwlock used in
         // exclusive (write) mode.
@@ -330,6 +345,68 @@ impl AppMutex {
         let out = f();
         self.unlock();
         out
+    }
+}
+
+/// A condition variable handle handed to the simulated systems, pairing
+/// with the provider's [`AppMutex`]es (the real Memcached couples
+/// `slab_rebalance_cond` with its maintenance mutex the same way).
+#[derive(Debug, Default)]
+pub struct AppCondvar {
+    cv: GlsCondvar,
+}
+
+impl AppCondvar {
+    /// Releases `mutex`, parks until notified, re-acquires `mutex`. The
+    /// caller must hold `mutex`; re-check the predicate in a loop (spurious
+    /// wakeups are possible).
+    ///
+    /// GLS-backed mutexes wait through [`GlsService::wait_addr`], so debug
+    /// mode checks that the caller really holds the mutex (misuse is
+    /// recorded in the service's issue log and the wait becomes a no-op —
+    /// the "warn and continue" behaviour of every GLS-backed handle).
+    pub fn wait(&self, mutex: &AppMutex) {
+        match &mutex.inner {
+            MutexImpl::Gls { service, addr, .. } => {
+                let _ = service.wait_addr(&self.cv, *addr);
+            }
+            MutexImpl::Raw(_) => {
+                self.cv.wait_with(|| mutex.unlock(), || mutex.lock(), None);
+            }
+        }
+    }
+
+    /// Like [`AppCondvar::wait`] with a timeout; returns whether the wait
+    /// timed out. The mutex is re-acquired either way (a debug-mode misuse
+    /// that aborts the wait reports as a timeout, so predicate loops keep
+    /// re-checking).
+    pub fn wait_timeout(&self, mutex: &AppMutex, timeout: Duration) -> bool {
+        match &mutex.inner {
+            MutexImpl::Gls { service, addr, .. } => service
+                .wait_timeout_addr(&self.cv, *addr, timeout)
+                .map(|outcome| outcome.timed_out())
+                .unwrap_or(true),
+            MutexImpl::Raw(_) => {
+                self.cv
+                    .wait_with(|| mutex.unlock(), || mutex.lock(), Some(timeout))
+                    == WaitOutcome::TimedOut
+            }
+        }
+    }
+
+    /// Wakes one waiter, if any.
+    pub fn notify_one(&self) -> bool {
+        self.cv.notify_one()
+    }
+
+    /// Wakes every waiter; returns how many were woken.
+    pub fn notify_all(&self) -> usize {
+        self.cv.notify_all()
+    }
+
+    /// Number of threads currently parked on this condvar (diagnostics).
+    pub fn waiters(&self) -> u64 {
+        self.cv.waiters()
     }
 }
 
@@ -559,6 +636,68 @@ mod tests {
                 .iter()
                 .any(|l| l.algorithm != LockKind::Rw && l.acquisitions == 20),
             "profiler report must show the mutex entry: {report:?}"
+        );
+    }
+
+    #[test]
+    fn condvars_pair_with_every_provider_mutex() {
+        use std::sync::atomic::AtomicBool;
+        for provider in all_providers() {
+            let label = provider.label();
+            let m = StdArc::new(provider.new_mutex());
+            let cv = StdArc::new(provider.new_condvar());
+            // A timed wait with no notifier expires and re-acquires.
+            m.lock();
+            assert!(
+                cv.wait_timeout(&m, Duration::from_millis(20)),
+                "{label}: wait should time out"
+            );
+            assert!(!m.try_lock(), "{label}: mutex re-acquired after timeout");
+            m.unlock();
+            // A full wait/notify roundtrip.
+            let flag = StdArc::new(AtomicBool::new(false));
+            let waiter = {
+                let (m, cv, flag) = (StdArc::clone(&m), StdArc::clone(&cv), StdArc::clone(&flag));
+                std::thread::spawn(move || {
+                    m.lock();
+                    while !flag.load(Ordering::Relaxed) {
+                        cv.wait(&m);
+                    }
+                    m.unlock();
+                })
+            };
+            while cv.waiters() == 0 {
+                std::thread::yield_now();
+            }
+            m.lock();
+            flag.store(true, Ordering::Relaxed);
+            m.unlock();
+            cv.notify_one();
+            waiter.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn gls_condvar_wait_without_holding_is_flagged_in_debug_mode() {
+        let service = StdArc::new(GlsService::with_config(GlsConfig::debug()));
+        let provider = LockProvider::Gls(StdArc::clone(&service));
+        let m = provider.new_mutex();
+        let cv = provider.new_condvar();
+        // Initialize the entry, then wait without holding: the service-level
+        // ownership check must record the misuse instead of parking.
+        m.lock();
+        m.unlock();
+        assert!(
+            cv.wait_timeout(&m, Duration::from_millis(200)),
+            "aborted wait reports as a timeout"
+        );
+        assert!(
+            service
+                .issues()
+                .iter()
+                .any(|i| i.category() == "release-free-lock"),
+            "waiting without holding must be flagged: {:?}",
+            service.issues()
         );
     }
 

@@ -29,7 +29,7 @@ use rand::{Rng, SeedableRng};
 
 use gls_workloads::Zipfian;
 
-use crate::lock_provider::{AppMutex, LockProvider};
+use crate::lock_provider::{AppCondvar, AppMutex, LockProvider};
 use crate::result::SystemResult;
 
 /// Number of item-lock groups (Memcached uses a power of two depending on
@@ -103,6 +103,14 @@ pub struct Memcached {
     slabs_lock: AppMutex,
     lru_lock: AppMutex,
     slabs_rebalance_lock: AppMutex,
+    /// Signal flag for the background rebalancer, protected by
+    /// `slabs_rebalance_lock` (memcached's `slab_rebalance_signal`).
+    rebalance_requested: UnsafeCell<bool>,
+    /// The rebalancer's condition variable (memcached's
+    /// `slab_rebalance_cond`), paired with `slabs_rebalance_lock`.
+    rebalance_cond: AppCondvar,
+    /// Completed background rebalance steps.
+    rebalances: AtomicU64,
     allocated: AtomicU64,
 }
 
@@ -134,6 +142,9 @@ impl Memcached {
             slabs_lock: provider.new_mutex(),
             lru_lock: provider.new_mutex(),
             slabs_rebalance_lock: provider.new_mutex(),
+            rebalance_requested: UnsafeCell::new(false),
+            rebalance_cond: provider.new_condvar(),
+            rebalances: AtomicU64::new(0),
             allocated: AtomicU64::new(0),
         };
         if config.legacy_bugs {
@@ -219,11 +230,58 @@ impl Memcached {
         });
     }
 
-    /// Background slab-rebalance step.
+    /// Background slab-rebalance step (the foreground variant used before
+    /// the condvar-driven maintenance thread existed; kept for direct
+    /// benchmarking of the rebalance lock).
     pub fn rebalance(&self) {
         self.slabs_rebalance_lock.with(|| {
             gls_runtime::spin_cycles(200);
         });
+    }
+
+    /// Asks the background maintenance thread to run a rebalance step:
+    /// raise the signal flag under the rebalance lock, then notify its
+    /// condvar — the shape of memcached's `slabs_reassign` →
+    /// `slab_rebalance_cond` handoff.
+    pub fn request_rebalance(&self) {
+        self.slabs_rebalance_lock.with(|| {
+            // SAFETY: the rebalance lock is held.
+            unsafe { *self.rebalance_requested.get() = true };
+        });
+        self.rebalance_cond.notify_one();
+    }
+
+    /// The background maintenance loop: wait (with a timeout, so a stop
+    /// request can never be missed) for a rebalance signal, consume it,
+    /// and run the step. Runs until `stop` is raised; workers drive it
+    /// through [`Memcached::request_rebalance`].
+    pub fn rebalance_worker(&self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Relaxed) {
+            self.slabs_rebalance_lock.lock();
+            // SAFETY (here and below): the rebalance lock is held.
+            while !unsafe { *self.rebalance_requested.get() } && !stop.load(Ordering::Relaxed) {
+                self.rebalance_cond
+                    .wait_timeout(&self.slabs_rebalance_lock, Duration::from_millis(20));
+            }
+            let signaled = unsafe {
+                let requested = &mut *self.rebalance_requested.get();
+                std::mem::take(requested)
+            };
+            if signaled {
+                // The actual rebalance work, still under the rebalance lock
+                // like `slab_rebalance_move`.
+                gls_runtime::spin_cycles(200);
+            }
+            self.slabs_rebalance_lock.unlock();
+            if signaled {
+                self.rebalances.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Completed background rebalance steps.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances.load(Ordering::Relaxed)
     }
 
     /// A snapshot of the server statistics.
@@ -252,6 +310,14 @@ pub fn run(provider: &LockProvider, config: &MemcachedConfig) -> SystemResult {
     let stop = Arc::new(AtomicBool::new(false));
     let zipf = Arc::new(Zipfian::new(config.keys as usize, config.zipf_alpha));
     let start = Instant::now();
+    // Background maintenance: a dedicated thread sleeps on the rebalance
+    // condvar and runs the steps the workers request (memcached's
+    // slab-rebalance thread).
+    let rebalancer = {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || server.rebalance_worker(&stop))
+    };
     let handles: Vec<_> = (0..config.threads)
         .map(|t| {
             let server = Arc::clone(&server);
@@ -272,7 +338,7 @@ pub fn run(provider: &LockProvider, config: &MemcachedConfig) -> SystemResult {
                         server.set(key, vec![0u8; 64]);
                     }
                     if ops.is_multiple_of(1024) {
-                        server.rebalance();
+                        server.request_rebalance();
                     }
                     ops += 1;
                 }
@@ -283,6 +349,8 @@ pub fn run(provider: &LockProvider, config: &MemcachedConfig) -> SystemResult {
     std::thread::sleep(config.duration);
     stop.store(true, Ordering::Relaxed);
     let operations = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    // The rebalancer re-checks `stop` at least every wait-timeout tick.
+    rebalancer.join().unwrap();
 
     let label = match config.get_percent {
         p if p <= 25 => "SET",
@@ -398,6 +466,61 @@ mod tests {
         assert!(
             service.issues().is_empty(),
             "bug-free startup must not trigger the debug mode: {:?}",
+            service.issues()
+        );
+    }
+
+    #[test]
+    fn background_rebalancer_serves_requests() {
+        let server = Arc::new(Memcached::new(
+            &LockProvider::mutex(),
+            &MemcachedConfig::default(),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || server.rebalance_worker(&stop))
+        };
+        for _ in 0..10 {
+            server.request_rebalance();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.rebalances() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+        worker.join().unwrap();
+        assert!(
+            server.rebalances() > 0,
+            "the condvar-driven maintenance thread must have run"
+        );
+    }
+
+    #[test]
+    fn condvar_maintenance_is_clean_under_debug_mode() {
+        // The rebalancer sleeps on a condvar while workers hammer GLS
+        // locks in debug mode: the sleeping waiter must not surface as a
+        // deadlock (phantom or otherwise), and the ownership churn of
+        // wait's unlock/relock must be bug-free.
+        let service = Arc::new(GlsService::with_config(
+            gls::GlsConfig::default()
+                .with_mode(gls::GlsMode::Debug)
+                .with_deadlock_check_after(Duration::from_millis(50)),
+        ));
+        let provider = LockProvider::Gls(Arc::clone(&service));
+        let config = MemcachedConfig {
+            threads: 4,
+            keys: 2_000,
+            duration: Duration::from_millis(150),
+            ..Default::default()
+        };
+        let result = run(&provider, &config);
+        assert!(result.operations > 0);
+        assert!(
+            service.issues().is_empty(),
+            "condvar-driven maintenance must not trip the debug mode: {:?}",
             service.issues()
         );
     }

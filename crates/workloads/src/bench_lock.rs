@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use gls::glk::{GlkConfig, GlkLock, MonitorHandle};
 use gls::{GlsConfig, GlsService};
-use gls_locks::{ClhLock, LockKind, McsLock, MutexLock, RawLock, TasLock, TicketLock, TtasLock};
+use gls_locks::{
+    ClhLock, FutexLock, LockKind, McsLock, MutexLock, RawLock, TasLock, TicketLock, TtasLock,
+};
 
 /// A lock as seen by the microbenchmark driver.
 pub trait BenchLock: Send + Sync {
@@ -44,6 +46,7 @@ impl_bench_for_raw!(TicketLock);
 impl_bench_for_raw!(McsLock);
 impl_bench_for_raw!(ClhLock);
 impl_bench_for_raw!(MutexLock);
+impl_bench_for_raw!(FutexLock);
 
 impl BenchLock for GlkLock {
     fn acquire(&self) {
@@ -103,6 +106,8 @@ impl BenchLock for GlsBenchLock {
             LockKind::Tas => "GLS(TAS)",
             LockKind::Ttas => "GLS(TTAS)",
             LockKind::Clh => "GLS(CLH)",
+            LockKind::Futex => "GLS(FUTEX)",
+            LockKind::FutexRw => "GLS(FUTEX-RW)",
             LockKind::Rw => "GLS(RW)",
         }
     }
@@ -121,6 +126,21 @@ impl BenchLock for RwAsMutex {
     }
     fn label(&self) -> &'static str {
         "RW"
+    }
+}
+
+/// The futex rwlock measured as a plain mutex (exclusive mode).
+struct FutexRwAsMutex(gls_locks::FutexRwLock);
+
+impl BenchLock for FutexRwAsMutex {
+    fn acquire(&self) {
+        RawLock::lock(&self.0)
+    }
+    fn release(&self) {
+        RawLock::unlock(&self.0)
+    }
+    fn label(&self) -> &'static str {
+        <gls_locks::FutexRwLock as RawLock>::NAME
     }
 }
 
@@ -192,6 +212,8 @@ fn make_direct(kind: LockKind) -> Arc<dyn BenchLock> {
         LockKind::Mcs => Arc::new(McsLock::new()),
         LockKind::Clh => Arc::new(ClhLock::new()),
         LockKind::Mutex => Arc::new(MutexLock::new()),
+        LockKind::Futex => Arc::new(FutexLock::new()),
+        LockKind::FutexRw => Arc::new(FutexRwAsMutex(gls_locks::FutexRwLock::new())),
         LockKind::Glk => Arc::new(GlkLock::new()),
         LockKind::Rw => Arc::new(RwAsMutex(gls::glk::GlkRwLock::new())),
     }

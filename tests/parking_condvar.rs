@@ -1,0 +1,197 @@
+//! Cross-crate integration suite for the parking subsystem: futex locks
+//! reached through the GLS service, the condvar interface under every
+//! service mode, and the debug-mode guarantees (no phantom deadlock
+//! reports from sleeping waiters).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gls::glk::BlockingBackend;
+use gls::{GlkConfig, GlsCondvar, GlsConfig, GlsMode, GlsService};
+use gls_locks::{FutexLock, FutexRwLock, LockKind};
+
+#[test]
+fn futex_raw_state_is_one_word() {
+    // The acceptance criterion of the parking subsystem: the whole per-lock
+    // state of the futex locks is a single AtomicU32.
+    assert_eq!(std::mem::size_of::<FutexLock>(), 4);
+    assert_eq!(std::mem::size_of::<FutexRwLock>(), 4);
+}
+
+#[test]
+fn futex_locks_work_through_the_explicit_gls_interface() {
+    let svc = Arc::new(GlsService::new());
+    let counter = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for i in 0..5_000usize {
+                    let addr = 0xF000 + (i % 8) * 64;
+                    svc.lock_with(LockKind::Futex, addr).unwrap();
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    svc.unlock_addr(addr).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 30_000);
+    assert_eq!(svc.algorithm_of(0xF000), Some(LockKind::Futex));
+}
+
+#[test]
+fn futex_rw_entries_share_reads_through_the_service() {
+    let svc = GlsService::new();
+    svc.lock_with(LockKind::FutexRw, 0xF800).unwrap();
+    svc.unlock_with(LockKind::FutexRw, 0xF800).unwrap();
+    assert_eq!(svc.algorithm_of(0xF800), Some(LockKind::FutexRw));
+    // The rw read path routes shared acquisitions to the futex rwlock.
+    svc.read_lock_addr(0xF800).unwrap();
+    svc.read_lock_addr(0xF800).unwrap();
+    assert!(!svc.try_write_lock_addr(0xF800).unwrap());
+    svc.read_unlock_addr(0xF800).unwrap();
+    svc.read_unlock_addr(0xF800).unwrap();
+    assert!(svc.try_write_lock_addr(0xF800).unwrap());
+    svc.write_unlock_addr(0xF800).unwrap();
+}
+
+#[test]
+fn glk_with_parking_backend_keeps_exclusion_through_the_service() {
+    // The default GLK interface with the parking-lot blocking backend:
+    // word-sized mutex mode behind the full service machinery.
+    let svc = Arc::new(GlsService::with_config(
+        GlsConfig::default().with_glk(
+            GlkConfig::default()
+                .with_adaptation_period(128)
+                .with_sampling_period(16)
+                .with_blocking_backend(BlockingBackend::ParkingLot),
+        ),
+    ));
+    struct Cell(std::cell::UnsafeCell<u64>);
+    unsafe impl Sync for Cell {}
+    let value = Arc::new(Cell(std::cell::UnsafeCell::new(0)));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let value = Arc::clone(&value);
+            std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    svc.lock_addr(0xAB00).unwrap();
+                    unsafe { *value.0.get() += 1 };
+                    svc.unlock_addr(0xAB00).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(unsafe { *value.0.get() }, 40_000);
+}
+
+/// Multi-producer/multi-consumer condvar pipeline under the debug mode:
+/// the acceptance-critical integration test. Sleeping condvar waiters own
+/// nothing and publish no waits-for edges, so the deadlock detector — with
+/// an aggressive confirmation threshold — must stay silent.
+#[test]
+fn condvar_mpmc_under_debug_mode_reports_no_false_deadlocks() {
+    let service = Arc::new(GlsService::with_config(
+        GlsConfig::default()
+            .with_mode(GlsMode::Debug)
+            .with_deadlock_check_after(Duration::from_millis(40)),
+    ));
+    let config = gls_workloads::PcConfig {
+        producers: 3,
+        consumers: 3,
+        capacity: 4,
+        items_per_producer: 3_000,
+        wait_timeout: Duration::from_millis(25),
+    };
+    let result = gls_workloads::pc_bench::run(&service, &config);
+    assert_eq!(result.produced, 9_000);
+    assert_eq!(result.consumed, 9_000);
+    assert_eq!(
+        result.checksum,
+        gls_workloads::pc_bench::expected_checksum(&config),
+        "every item delivered exactly once"
+    );
+    assert!(
+        service.issues().is_empty(),
+        "condvar waits must never produce (phantom) debug reports: {:?}",
+        service.issues()
+    );
+}
+
+#[test]
+fn wait_timeout_expires_and_reacquires_the_mutex() {
+    let svc = GlsService::new();
+    let cv = GlsCondvar::new();
+    svc.lock_addr(0xCC00).unwrap();
+    let start = Instant::now();
+    let outcome = svc
+        .wait_timeout_addr(&cv, 0xCC00, Duration::from_millis(50))
+        .unwrap();
+    assert!(outcome.timed_out());
+    assert!(start.elapsed() >= Duration::from_millis(50));
+    // The mutex was re-acquired on the way out.
+    assert!(!svc.try_lock_addr(0xCC00).unwrap());
+    svc.unlock_addr(0xCC00).unwrap();
+    assert_eq!(cv.timeouts(), 1);
+}
+
+#[test]
+fn debug_mode_flags_waiting_without_holding() {
+    let svc = GlsService::with_config(GlsConfig::debug());
+    let cv = GlsCondvar::new();
+    // Waiting with a mutex that was never locked is the same class of bug
+    // as releasing it.
+    let err = svc
+        .wait_timeout_addr(&cv, 0xDD00, Duration::from_millis(10))
+        .unwrap_err();
+    assert_eq!(err.category(), "release-free-lock");
+    assert!(!svc.issues().is_empty());
+}
+
+#[test]
+fn notify_one_hands_over_fifo_and_notify_all_drains() {
+    let svc = Arc::new(GlsService::new());
+    let cv = Arc::new(GlsCondvar::new());
+    let woken = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let svc = Arc::clone(&svc);
+            let cv = Arc::clone(&cv);
+            let woken = Arc::clone(&woken);
+            std::thread::spawn(move || {
+                svc.lock_addr(0xEE00).unwrap();
+                svc.wait_addr(&cv, 0xEE00).unwrap();
+                svc.unlock_addr(0xEE00).unwrap();
+                woken.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    while cv.waiters() < 4 {
+        std::thread::yield_now();
+    }
+    assert!(cv.notify_one());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while woken.load(Ordering::SeqCst) < 1 && Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        woken.load(Ordering::SeqCst),
+        1,
+        "notify_one wakes exactly one"
+    );
+    assert_eq!(cv.notify_all(), 3);
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(woken.load(Ordering::SeqCst), 4);
+    assert_eq!(cv.waiters(), 0);
+}
