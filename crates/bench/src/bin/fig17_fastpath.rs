@@ -1,0 +1,386 @@
+//! Figure 17 (extension): what the GLS fast path costs next to a raw lock.
+//!
+//! The paper calls GLS "essentially a cache for locating the lock object
+//! that corresponds to an address" (§4.1); this harness measures exactly
+//! that claim. Every worker thread owns a **private** set of lock
+//! addresses (so the locks themselves are uncontended and the numbers
+//! isolate the address → entry mapping, not lock handover) and round-robins
+//! lock/unlock over them. Sweeping the per-thread working set across
+//! {1, 2, 8, 64} addresses exposes the cache geometry: a single-entry cache
+//! thrashes from 2 locks on, the set-associative cache holds up to
+//! `CACHE_SETS × CACHE_WAYS` mappings per thread.
+//!
+//! Four flavors per working-set size:
+//!
+//! * `raw_ttas`    — a plain [`TtasLock`] per address: the floor.
+//! * `gls_cached`  — GLS with TTAS entries, per-thread lock cache on.
+//! * `gls_uncached`— the same service with the cache disabled: every
+//!   operation pays the CLHT lookup. The gap to `gls_cached` is what the
+//!   cache buys; the gap to `raw_ttas` is the total service overhead.
+//! * `gls_profiled`— profile mode, measuring what enabling the profiler
+//!   costs on the fast path now that its stats are sharded per thread.
+//!
+//! A second, contended section compares normal vs profile mode on **one
+//! shared** lock across threads: pre-sharding, the profiler serialized
+//! contended acquirers on a shared stat cacheline before they even reached
+//! the lock word.
+//!
+//! Besides the human-readable tables, the harness writes machine-readable
+//! `BENCH_fastpath.json` (override with `--out PATH`) so the repository
+//! accumulates a fast-path perf trajectory PR over PR. `--smoke` shrinks
+//! the sweep for CI.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use gls::{
+    reset_thread_cache_stats, thread_cache_stats, CacheStats, GlsConfig, GlsMode, GlsService,
+    CACHE_SETS, CACHE_WAYS,
+};
+use gls_bench::{banner, point_duration};
+use gls_locks::{LockKind, RawLock, TtasLock};
+use gls_runtime::spin_cycles;
+use gls_workloads::report::SeriesTable;
+
+/// GLS service flavors measured against the raw lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    RawTtas,
+    GlsCached,
+    GlsUncached,
+    GlsProfiled,
+}
+
+impl Flavor {
+    const ALL: [Flavor; 4] = [
+        Flavor::RawTtas,
+        Flavor::GlsCached,
+        Flavor::GlsUncached,
+        Flavor::GlsProfiled,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Flavor::RawTtas => "raw_ttas",
+            Flavor::GlsCached => "gls_cached",
+            Flavor::GlsUncached => "gls_uncached",
+            Flavor::GlsProfiled => "gls_profiled",
+        }
+    }
+
+    fn service(self) -> Option<GlsService> {
+        // TTAS entries everywhere so every flavor pays the same lock
+        // algorithm and the delta is purely the service layer.
+        let base = GlsConfig::default().with_default_kind(LockKind::Ttas);
+        match self {
+            Flavor::RawTtas => None,
+            Flavor::GlsCached => Some(GlsService::with_config(base)),
+            Flavor::GlsUncached => Some(GlsService::with_config(base.with_lock_cache(false))),
+            Flavor::GlsProfiled => Some(GlsService::with_config(base.with_mode(GlsMode::Profile))),
+        }
+    }
+}
+
+/// One measured point of the private-locks matrix.
+struct Point {
+    flavor: &'static str,
+    threads: usize,
+    locks_per_thread: usize,
+    ns_per_op: f64,
+    ops: u64,
+    cache: CacheStats,
+}
+
+/// Runs [`run_private_point_once`] `GLS_BENCH_REPS` times and keeps the
+/// repetition with the median ns/op (latency floors are what the fast-path
+/// comparison is about; the median rejects runs polluted by background
+/// load).
+fn run_private_point(flavor: Flavor, threads: usize, locks_per_thread: usize) -> Point {
+    let mut runs: Vec<Point> = (0..gls_bench::repetitions())
+        .map(|_| run_private_point_once(flavor, threads, locks_per_thread))
+        .collect();
+    runs.sort_by(|a, b| a.ns_per_op.total_cmp(&b.ns_per_op));
+    runs.swap_remove(runs.len() / 2)
+}
+
+/// Runs `threads` workers, each round-robining lock/unlock over its own
+/// `locks_per_thread` private addresses. Returns ns/op plus the summed
+/// per-thread cache counters.
+fn run_private_point_once(flavor: Flavor, threads: usize, locks_per_thread: usize) -> Point {
+    let service = flavor.service().map(Arc::new);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let service = service.clone();
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Private, well-spread addresses: thread t uses the block
+                // [(t+1) << 24, ...) in cacheline steps.
+                let addrs: Vec<usize> = (0..locks_per_thread)
+                    .map(|i| ((t + 1) << 24) + i * 64)
+                    .collect();
+                let raw: Vec<TtasLock> = (0..locks_per_thread).map(|_| TtasLock::new()).collect();
+                // Warm the table and the cache out of the measurement.
+                if let Some(svc) = &service {
+                    for &a in &addrs {
+                        svc.lock_addr(a).unwrap();
+                        svc.unlock_addr(a).unwrap();
+                    }
+                }
+                reset_thread_cache_stats();
+                barrier.wait();
+                let mut ops = 0u64;
+                let mut i = 0usize;
+                match &service {
+                    None => {
+                        while !stop.load(Ordering::Relaxed) {
+                            raw[i].lock();
+                            raw[i].unlock();
+                            i += 1;
+                            if i == locks_per_thread {
+                                i = 0;
+                            }
+                            ops += 1;
+                        }
+                    }
+                    Some(svc) => {
+                        while !stop.load(Ordering::Relaxed) {
+                            svc.lock_addr(addrs[i]).unwrap();
+                            svc.unlock_addr(addrs[i]).unwrap();
+                            i += 1;
+                            if i == locks_per_thread {
+                                i = 0;
+                            }
+                            ops += 1;
+                        }
+                    }
+                }
+                (ops, thread_cache_stats())
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(point_duration());
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+    let mut ops = 0u64;
+    let mut cache = CacheStats::default();
+    for h in handles {
+        let (thread_ops, thread_cache) = h.join().unwrap();
+        ops += thread_ops;
+        cache = cache + thread_cache;
+    }
+    Point {
+        flavor: flavor.name(),
+        threads,
+        locks_per_thread,
+        ns_per_op: elapsed.as_nanos() as f64 * threads as f64 / ops.max(1) as f64,
+        ops,
+        cache,
+    }
+}
+
+/// One measured point of the shared-lock (contended) matrix.
+struct SharedPoint {
+    mode: &'static str,
+    threads: usize,
+    mops_per_sec: f64,
+}
+
+/// All threads hammer **one** shared GLS lock; compares normal mode against
+/// profile mode, i.e. what turning the profiler on costs under contention.
+fn run_shared_point(profiled: bool, threads: usize) -> SharedPoint {
+    let config = GlsConfig::default().with_default_kind(LockKind::Ttas);
+    let config = if profiled {
+        config.with_mode(GlsMode::Profile)
+    } else {
+        config
+    };
+    let service = Arc::new(GlsService::with_config(config));
+    const SHARED_ADDR: usize = 0x5EED_0000;
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    service.lock_addr(SHARED_ADDR).unwrap();
+                    spin_cycles(100);
+                    service.unlock_addr(SHARED_ADDR).unwrap();
+                    ops += 1;
+                }
+                ops
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(point_duration());
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+    let ops: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    SharedPoint {
+        mode: if profiled {
+            "gls_profiled"
+        } else {
+            "gls_normal"
+        },
+        threads,
+        mops_per_sec: ops as f64 / elapsed.as_secs_f64() / 1e6,
+    }
+}
+
+fn thread_counts(smoke: bool) -> Vec<usize> {
+    let max = gls_runtime::hardware_contexts();
+    let mut counts = if smoke {
+        vec![1, 2]
+    } else {
+        vec![1, max.div_ceil(2), max]
+    };
+    counts.dedup();
+    counts
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_fastpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        // Tiny points: prove the harness end to end, not a measurement.
+        std::env::set_var(gls_bench::BENCH_MS_ENV, "20");
+    }
+
+    banner(
+        "Figure 17 (fast path)",
+        "GLS address->entry mapping cost vs a raw TTAS lock",
+    );
+    println!(
+        "# per-thread lock cache: {CACHE_SETS} sets x {CACHE_WAYS} ways ({} entries)",
+        CACHE_SETS * CACHE_WAYS
+    );
+
+    let lpt_sweep: &[usize] = if smoke { &[1, 8] } else { &[1, 2, 8, 64] };
+    let threads = thread_counts(smoke);
+
+    let mut points = Vec::new();
+    for &n in &threads {
+        let mut table = SeriesTable::new(
+            format!("Figure 17: uncontended lock+unlock latency, {n} thread(s) (ns/op)"),
+            "locks/thread",
+            Flavor::ALL.iter().map(|f| f.name().to_string()).collect(),
+        );
+        for &lpt in lpt_sweep {
+            let row: Vec<Point> = Flavor::ALL
+                .iter()
+                .map(|&f| run_private_point(f, n, lpt))
+                .collect();
+            table.push_row(lpt.to_string(), row.iter().map(|p| p.ns_per_op).collect());
+            points.extend(row);
+        }
+        table.print();
+        println!();
+    }
+
+    let mut shared_points = Vec::new();
+    let mut shared_table = SeriesTable::new(
+        "Figure 17b: one shared lock, profiler off vs on (Mops/s)",
+        "threads",
+        vec!["gls_normal".to_string(), "gls_profiled".to_string()],
+    );
+    for &n in &threads {
+        let normal = run_shared_point(false, n);
+        let profiled = run_shared_point(true, n);
+        shared_table.push_row(
+            n.to_string(),
+            vec![normal.mops_per_sec, profiled.mops_per_sec],
+        );
+        shared_points.push(normal);
+        shared_points.push(profiled);
+    }
+    shared_table.print();
+
+    // ------------------------------------------------------------------
+    // Machine-readable artifact.
+    // ------------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"figure\": \"fig17_fastpath\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_contexts\": {},",
+        gls_runtime::hardware_contexts()
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache_geometry\": {{\"sets\": {CACHE_SETS}, \"ways\": {CACHE_WAYS}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"point_duration_ms\": {},",
+        point_duration().as_millis()
+    );
+    json.push_str("  \"private_locks_ns_per_op\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"flavor\": \"{}\", \"threads\": {}, \"locks_per_thread\": {}, \
+             \"ns_per_op\": {:.2}, \"ops\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_hit_rate\": {:.4}}}",
+            json_escape_free(p.flavor),
+            p.threads,
+            p.locks_per_thread,
+            p.ns_per_op,
+            p.ops,
+            p.cache.hits,
+            p.cache.misses,
+            p.cache.hit_rate(),
+        );
+        json.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"shared_lock_mops\": [\n");
+    for (i, p) in shared_points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"mops_per_sec\": {:.4}}}",
+            json_escape_free(p.mode),
+            p.threads,
+            p.mops_per_sec,
+        );
+        json.push_str(if i + 1 == shared_points.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("writing the JSON artifact");
+    println!("\n# wrote {out_path}");
+}

@@ -1,104 +1,405 @@
 //! The per-thread lock cache (§4.1, "Lock-cache Optimization").
 //!
 //! The most common locking pattern acquires and then releases the *same*
-//! lock, and locks show strong temporal locality per thread. GLS therefore
-//! keeps a single-entry per-thread cache mapping the most recently used
-//! address to its lock object, avoiding the hash-table lookup entirely on a
-//! hit. A generation counter invalidates every thread's cache when any lock
-//! is removed from the service.
+//! lock, and locks show strong temporal locality per thread — but real
+//! services rarely touch exactly one lock: a request path typically walks a
+//! handful of them. The cache is therefore **set-associative**: a small
+//! per-thread table of [`CACHE_SETS`] sets × [`CACHE_WAYS`] ways,
+//! direct-indexed by an address hash, with MRU-protecting round-robin
+//! replacement inside a set (LRU-ish at a fraction of true LRU's
+//! bookkeeping). A working set of up to `CACHE_SETS × CACHE_WAYS` locks per
+//! thread hits without ever touching the CLHT.
+//!
+//! Invalidation is **precise**: every cached slot carries the epoch of the
+//! entry it maps to (see `LockEntry::epoch`), stamped at store time and
+//! re-validated on every hit. `free` bumps only the freed entry's epoch, so
+//! freeing lock A never evicts cached mappings for lock B — on any thread.
+//! The hit path is load → compare → deref → load → compare: no atomic
+//! read-modify-write, no shared-memory store. The slots use a
+//! structure-of-arrays layout so probing a set compares packed addresses
+//! and only touches the payload of the matching way.
+//!
+//! Hit/miss/invalidation counters are kept per thread (plain `Cell`s, so
+//! they cost nothing on the hot path) and exposed through
+//! [`thread_cache_stats`] for tests, benchmarks and profiling.
 
 use std::cell::Cell;
 
-/// One cached `(service, generation, address, entry)` association.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct CachedLock {
-    service_id: u64,
-    generation: u64,
-    addr: usize,
-    entry: usize,
+/// Number of sets in the per-thread cache (a power of two: set selection is
+/// a multiply and a shift).
+pub const CACHE_SETS: usize = 16;
+
+/// Associativity of each set.
+pub const CACHE_WAYS: usize = 4;
+
+/// The per-way metadata of one set, in structure-of-arrays layout: probes
+/// scan `addrs` (one load + compare per way) and read the other arrays only
+/// for the matching way.
+struct CacheSet {
+    /// Cached addresses; 0 marks an empty way (GLS rejects address 0).
+    addrs: [Cell<usize>; CACHE_WAYS],
+    /// Id of the service each way belongs to.
+    services: [Cell<u64>; CACHE_WAYS],
+    /// The cached entry pointers.
+    entries: [Cell<usize>; CACHE_WAYS],
+    /// Entry epochs at store time; a hit is valid only while the entry
+    /// still carries its stored epoch.
+    epochs: [Cell<u64>; CACHE_WAYS],
+    /// Most-recently-used way, protected from eviction.
+    mru: Cell<u8>,
+}
+
+impl CacheSet {
+    // A template for initializing the (thread-local, never shared) cache
+    // arrays — each use site gets its own fresh cells.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY: CacheSet = CacheSet {
+        addrs: [const { Cell::new(0) }; CACHE_WAYS],
+        services: [const { Cell::new(0) }; CACHE_WAYS],
+        entries: [const { Cell::new(0) }; CACHE_WAYS],
+        epochs: [const { Cell::new(0) }; CACHE_WAYS],
+        mru: Cell::new(0),
+    };
+
+    fn clear_way(&self, way: usize) {
+        self.addrs[way].set(0);
+        self.services[way].set(0);
+        self.entries[way].set(0);
+        self.epochs[way].set(0);
+    }
+}
+
+struct ThreadCache {
+    sets: [CacheSet; CACHE_SETS],
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    invalidations: Cell<u64>,
 }
 
 thread_local! {
-    static CACHE: Cell<Option<CachedLock>> = const { Cell::new(None) };
+    static CACHE: ThreadCache = const {
+        ThreadCache {
+            sets: [CacheSet::EMPTY; CACHE_SETS],
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            invalidations: Cell::new(0),
+        }
+    };
+}
+
+/// Fibonacci-hash set selection: addresses are pointers (aligned, shared
+/// low bits), so mix before taking the top bits.
+#[inline]
+fn set_index(addr: usize) -> usize {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    ((addr as u64).wrapping_mul(GOLDEN) >> (64 - CACHE_SETS.trailing_zeros() as u64)) as usize
+        & (CACHE_SETS - 1)
+}
+
+#[cfg(test)]
+pub(crate) fn set_index_for(addr: usize) -> usize {
+    set_index(addr)
 }
 
 /// Looks up `addr` in the calling thread's cache.
 ///
-/// Returns the raw entry pointer (as `usize`) if the cache holds a mapping
-/// for this service, this generation and this address.
-pub(crate) fn lookup(service_id: u64, generation: u64, addr: usize) -> Option<usize> {
-    CACHE.with(|slot| match slot.get() {
-        Some(cached)
-            if cached.service_id == service_id
-                && cached.generation == generation
-                && cached.addr == addr =>
-        {
-            Some(cached.entry)
+/// `validate(entry, epoch)` is called on a candidate slot and must return
+/// whether the cached mapping is still current (the service compares the
+/// cached epoch against the entry's live epoch). A slot that fails
+/// validation is cleared and counted as an invalidation; a validated hit
+/// marks its way most-recently-used and returns the entry pointer.
+#[inline]
+pub(crate) fn lookup(
+    service_id: u64,
+    addr: usize,
+    validate: impl FnOnce(usize, u64) -> bool,
+) -> Option<usize> {
+    CACHE.with(|cache| {
+        let set = &cache.sets[set_index(addr)];
+        for way in 0..CACHE_WAYS {
+            if set.addrs[way].get() == addr && set.services[way].get() == service_id {
+                let entry = set.entries[way].get();
+                if validate(entry, set.epochs[way].get()) {
+                    set.mru.set(way as u8);
+                    cache.hits.set(cache.hits.get() + 1);
+                    return Some(entry);
+                }
+                // The entry was freed (or freed and resurrected) since this
+                // way was stored: drop the stale mapping. Only this one
+                // address on this one thread pays; every other slot is
+                // untouched.
+                set.clear_way(way);
+                cache.invalidations.set(cache.invalidations.get() + 1);
+                cache.misses.set(cache.misses.get() + 1);
+                return None;
+            }
         }
-        _ => None,
+        cache.misses.set(cache.misses.get() + 1);
+        None
     })
 }
 
-/// Replaces the calling thread's cached association.
-pub(crate) fn store(service_id: u64, generation: u64, addr: usize, entry: usize) {
-    CACHE.with(|slot| {
-        slot.set(Some(CachedLock {
-            service_id,
-            generation,
-            addr,
-            entry,
-        }))
+/// Stores an `(addr → entry)` association observed at `epoch`, evicting a
+/// non-MRU way of the address's set (round-robin) if the set is full.
+pub(crate) fn store(service_id: u64, addr: usize, entry: usize, epoch: u64) {
+    CACHE.with(|cache| {
+        let set = &cache.sets[set_index(addr)];
+        // Prefer the way already mapping this (service, addr), then an
+        // empty way, then the way after the MRU one (round-robin that never
+        // evicts the most recently hit mapping).
+        let mut victim = usize::MAX;
+        for way in 0..CACHE_WAYS {
+            let cached = set.addrs[way].get();
+            if cached == addr && set.services[way].get() == service_id {
+                victim = way;
+                break;
+            }
+            if victim == usize::MAX && cached == 0 {
+                victim = way;
+            }
+        }
+        if victim == usize::MAX {
+            victim = (set.mru.get() as usize + 1) % CACHE_WAYS;
+        }
+        set.addrs[victim].set(addr);
+        set.services[victim].set(service_id);
+        set.entries[victim].set(entry);
+        set.epochs[victim].set(epoch);
+        set.mru.set(victim as u8);
     });
 }
 
 /// Clears the calling thread's cache (used in tests; production code relies
-/// on the generation counter for invalidation instead).
+/// on per-entry epoch validation for invalidation instead).
 #[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn clear() {
-    CACHE.with(|slot| slot.set(None));
+    CACHE.with(|cache| {
+        for set in &cache.sets {
+            for way in 0..CACHE_WAYS {
+                set.clear_way(way);
+            }
+            set.mru.set(0);
+        }
+    });
+}
+
+/// Hit/miss counters of the calling thread's lock cache.
+///
+/// The counters are thread-local and span every [`GlsService`] the thread
+/// talks to. An epoch-validation failure (the cached entry was freed) counts
+/// as both an invalidation and a miss.
+///
+/// [`GlsService`]: crate::GlsService
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Validated cache hits.
+    pub hits: u64,
+    /// Lookups that fell through to the hash table.
+    pub misses: u64,
+    /// Hits discarded because the cached entry's epoch changed (the address
+    /// was freed, or freed and re-created, since the slot was stored).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`0.0` if none yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+}
+
+/// Returns the calling thread's lock-cache counters.
+pub fn thread_cache_stats() -> CacheStats {
+    CACHE.with(|cache| CacheStats {
+        hits: cache.hits.get(),
+        misses: cache.misses.get(),
+        invalidations: cache.invalidations.get(),
+    })
+}
+
+/// Zeroes the calling thread's lock-cache counters (the cached mappings
+/// themselves are kept).
+pub fn reset_thread_cache_stats() {
+    CACHE.with(|cache| {
+        cache.hits.set(0);
+        cache.misses.set(0);
+        cache.invalidations.set(0);
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const LIVE: u64 = 0;
+
+    fn always_valid(_entry: usize, _epoch: u64) -> bool {
+        true
+    }
+
+    fn probe(service: u64, addr: usize) -> Option<usize> {
+        lookup(service, addr, always_valid)
+    }
+
+    /// CACHE_WAYS + 1 distinct addresses that all land in one set.
+    fn same_set_addrs() -> Vec<usize> {
+        let mut addrs = Vec::new();
+        let mut addr = 0x40;
+        let target = set_index_for(addr);
+        while addrs.len() < CACHE_WAYS + 1 {
+            if set_index_for(addr) == target {
+                addrs.push(addr);
+            }
+            addr += 0x40;
+        }
+        addrs
+    }
+
     #[test]
     fn miss_on_empty_cache() {
         clear();
-        assert_eq!(lookup(1, 0, 0x100), None);
+        assert_eq!(probe(1, 0x100), None);
     }
 
     #[test]
     fn hit_after_store() {
         clear();
-        store(1, 0, 0x100, 0xdead);
-        assert_eq!(lookup(1, 0, 0x100), Some(0xdead));
+        store(1, 0x100, 0xdead, LIVE);
+        assert_eq!(probe(1, 0x100), Some(0xdead));
     }
 
     #[test]
-    fn miss_on_other_address_service_or_generation() {
+    fn miss_on_other_address_or_service() {
         clear();
-        store(1, 5, 0x100, 0xdead);
-        assert_eq!(lookup(1, 5, 0x200), None, "different address");
-        assert_eq!(lookup(2, 5, 0x100), None, "different service");
-        assert_eq!(lookup(1, 6, 0x100), None, "different generation");
+        store(1, 0x100, 0xdead, LIVE);
+        assert_eq!(probe(1, 0x200), None, "different address");
+        assert_eq!(probe(2, 0x100), None, "different service");
     }
 
     #[test]
-    fn store_replaces_previous_entry() {
+    fn failed_validation_clears_the_slot_and_counts() {
         clear();
-        store(1, 0, 0x100, 0xaaaa);
-        store(1, 0, 0x300, 0xbbbb);
-        assert_eq!(lookup(1, 0, 0x100), None, "single-entry cache evicts");
-        assert_eq!(lookup(1, 0, 0x300), Some(0xbbbb));
+        reset_thread_cache_stats();
+        store(1, 0x100, 0xdead, LIVE);
+        // The validator sees exactly what was stored.
+        let seen = Cell::new((0usize, u64::MAX));
+        let got = lookup(1, 0x100, |entry, epoch| {
+            seen.set((entry, epoch));
+            false
+        });
+        assert_eq!(got, None);
+        assert_eq!(seen.get(), (0xdead, LIVE));
+        // The slot is gone: the next lookup is a plain miss, not another
+        // invalidation.
+        assert_eq!(probe(1, 0x100), None);
+        let stats = thread_cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn working_set_up_to_capacity_all_hits() {
+        clear();
+        // Per-set worst case is CACHE_WAYS distinct addresses; build an
+        // address set that fills every set to its associativity exactly.
+        let mut per_set = vec![Vec::new(); CACHE_SETS];
+        let mut addr = 0x40;
+        while per_set.iter().any(|v: &Vec<usize>| v.len() < CACHE_WAYS) {
+            let set = set_index_for(addr);
+            if per_set[set].len() < CACHE_WAYS {
+                per_set[set].push(addr);
+            }
+            addr += 0x40;
+        }
+        let addrs: Vec<usize> = per_set.into_iter().flatten().collect();
+        assert_eq!(addrs.len(), CACHE_SETS * CACHE_WAYS);
+        for &a in &addrs {
+            store(7, a, a + 1, LIVE);
+        }
+        reset_thread_cache_stats();
+        for _ in 0..3 {
+            for &a in &addrs {
+                assert_eq!(probe(7, a), Some(a + 1));
+            }
+        }
+        let stats = thread_cache_stats();
+        assert_eq!(stats.misses, 0, "a full working set must never miss");
+        assert_eq!(stats.hits, 3 * addrs.len() as u64);
+        assert!((stats.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflowing_a_set_never_evicts_the_mru_way() {
+        clear();
+        let addrs = same_set_addrs();
+        for &a in &addrs[..CACHE_WAYS] {
+            store(1, a, a + 1, LIVE);
+        }
+        // Make addrs[0] the protected most-recently-used way.
+        assert_eq!(probe(1, addrs[0]), Some(addrs[0] + 1));
+        store(1, addrs[CACHE_WAYS], 0xbeef, LIVE);
+        assert_eq!(
+            probe(1, addrs[0]),
+            Some(addrs[0] + 1),
+            "the MRU way survives an overflow store"
+        );
+        assert_eq!(probe(1, addrs[CACHE_WAYS]), Some(0xbeef));
+        let evicted = addrs[1..CACHE_WAYS]
+            .iter()
+            .filter(|&&a| probe(1, a).is_none())
+            .count();
+        assert_eq!(evicted, 1, "an overflow store evicts exactly one way");
+    }
+
+    #[test]
+    fn store_replaces_existing_mapping_for_same_address() {
+        clear();
+        store(1, 0x100, 0xaaaa, LIVE);
+        store(1, 0x100, 0xbbbb, LIVE + 2);
+        let seen = Cell::new(0u64);
+        let got = lookup(1, 0x100, |_, epoch| {
+            seen.set(epoch);
+            true
+        });
+        assert_eq!(got, Some(0xbbbb), "same address re-store updates in place");
+        assert_eq!(seen.get(), LIVE + 2, "epoch travels with the new mapping");
+        // No duplicate way was created for the address.
+        let addrs = same_set_addrs();
+        clear();
+        for &a in &addrs[..CACHE_WAYS] {
+            store(1, a, a + 1, LIVE);
+        }
+        store(1, addrs[0], 0x1234, LIVE);
+        for &a in &addrs[1..CACHE_WAYS] {
+            assert_eq!(probe(1, a), Some(a + 1), "re-store evicts nothing");
+        }
+        assert_eq!(probe(1, addrs[0]), Some(0x1234));
     }
 
     #[test]
     fn cache_is_thread_local() {
         clear();
-        store(1, 0, 0x100, 0xcccc);
-        let other = std::thread::spawn(|| lookup(1, 0, 0x100)).join().unwrap();
+        store(1, 0x100, 0xcccc, LIVE);
+        let other = std::thread::spawn(|| probe(1, 0x100)).join().unwrap();
         assert_eq!(other, None);
-        assert_eq!(lookup(1, 0, 0x100), Some(0xcccc));
+        assert_eq!(probe(1, 0x100), Some(0xcccc));
     }
 }

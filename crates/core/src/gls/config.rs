@@ -47,6 +47,11 @@ pub struct GlsConfig {
     pub deadlock_check_after: Duration,
     /// Initial capacity (number of lock objects) of the address → lock table.
     pub initial_capacity: usize,
+    /// Whether the per-thread set-associative lock cache accelerates the
+    /// address → entry mapping (on by default). Turning it off sends every
+    /// operation through the CLHT — useful for measuring what the cache
+    /// buys (see the `fig17_fastpath` benchmark), not for production.
+    pub lock_cache: bool,
     /// The system-load monitor used by GLK entries.
     pub monitor: MonitorHandle,
 }
@@ -59,6 +64,7 @@ impl Default for GlsConfig {
             glk: GlkConfig::default(),
             deadlock_check_after: Duration::from_secs(1),
             initial_capacity: 192,
+            lock_cache: true,
             monitor: MonitorHandle::Global,
         }
     }
@@ -99,6 +105,12 @@ impl GlsConfig {
         self
     }
 
+    /// Enables or disables the per-thread lock cache (on by default).
+    pub fn with_lock_cache(mut self, enabled: bool) -> Self {
+        self.lock_cache = enabled;
+        self
+    }
+
     /// Sets the system-load monitor used by GLK entries.
     pub fn with_monitor(mut self, monitor: MonitorHandle) -> Self {
         self.monitor = monitor;
@@ -126,8 +138,15 @@ mod tests {
         assert_eq!(c.mode, GlsMode::Normal);
         assert_eq!(c.default_kind, LockKind::Glk);
         assert_eq!(c.deadlock_check_after, Duration::from_secs(1));
+        assert!(c.lock_cache, "the lock cache is on by default");
         assert!(!c.tracks_ownership());
         assert!(!c.profiles());
+    }
+
+    #[test]
+    fn lock_cache_can_be_disabled() {
+        let c = GlsConfig::default().with_lock_cache(false);
+        assert!(!c.lock_cache);
     }
 
     #[test]

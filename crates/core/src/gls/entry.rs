@@ -10,6 +10,7 @@ use gls_locks::{
 use gls_runtime::{LockStats, ThreadId};
 
 use super::holders::HolderSet;
+use super::shards::{ProfileShards, ProfileTotals, ShardSlot};
 use crate::glk::{GlkConfig, GlkLock, GlkRwLock, MonitorHandle};
 
 /// The concrete lock implementation behind a GLS entry.
@@ -189,10 +190,29 @@ impl AlgorithmLock {
 
 /// A lock object plus the metadata GLS keeps about it (ownership for the
 /// debug mode, latency/queuing statistics for the profiler).
+// repr(C): the declaration order is the layout. `addr`, `epoch` and the
+// head of `lock` (discriminant + lock word) share the entry's first
+// cacheline, so a cached hit's epoch validation touches memory the
+// immediately following lock operation pulls in anyway.
+#[repr(C)]
 #[derive(Debug)]
 pub(crate) struct LockEntry {
     /// The address this entry was created for.
     pub(crate) addr: usize,
+    /// Liveness epoch: even while the entry is live (mapped in the table),
+    /// odd while it is retired (freed, parked in the service's retired set).
+    /// `free` bumps it to odd, resurrection bumps it back to even, so every
+    /// free *or* free-and-recreate of this address changes the value a
+    /// per-thread cache slot stored — the cached mapping for this one
+    /// address self-invalidates, and no other address is touched.
+    epoch: AtomicU64,
+    /// Cycle stamp of the in-flight acquisition (0 = none; profile mode).
+    /// Deliberately *not* sharded: it is written once per acquisition by
+    /// the holder — whose thread owns the entry's lines exclusively at that
+    /// point — and keeping it on the entry times cross-thread releases
+    /// correctly, where a per-thread slot would let an orphaned stamp be
+    /// consumed by an unrelated release that happens to share a shard.
+    acquired_at: AtomicU64,
     /// The lock implementation.
     pub(crate) lock: AlgorithmLock,
     /// Owner thread id + 1, or 0 when free. Maintained only in debug mode.
@@ -206,9 +226,12 @@ pub(crate) struct LockEntry {
     /// recorded hold so the sharded set's footprint (~0.5 kB) is only paid
     /// by entries that actually see debug-mode shared traffic.
     readers: OnceLock<Box<HolderSet>>,
-    /// Cycle timestamp of the last acquisition (profiler mode).
-    acquired_at: AtomicU64,
-    /// Profiler statistics: queuing, lock latency, critical-section latency.
+    /// Sharded profile-mode statistics (queue/latency/critical-section),
+    /// allocated lazily on the first profiled call so the ~1 KiB footprint
+    /// is only paid by entries a profiling service actually touches.
+    profile: OnceLock<Box<ProfileShards>>,
+    /// Base statistics: debug mode records acquisitions here; profile mode
+    /// writes the sharded slots instead and reports fold both.
     pub(crate) stats: LockStats,
 }
 
@@ -217,11 +240,55 @@ impl LockEntry {
         Self {
             addr,
             lock,
+            epoch: AtomicU64::new(0),
+            acquired_at: AtomicU64::new(0),
             owner: AtomicU32::new(0),
             readers: OnceLock::new(),
-            acquired_at: AtomicU64::new(0),
+            profile: OnceLock::new(),
             stats: LockStats::new(),
         }
+    }
+
+    /// Stamps the in-flight acquisition time (profile mode; holder only).
+    #[inline]
+    pub(crate) fn stamp_acquired(&self, cycles: u64) {
+        self.acquired_at.store(cycles, Ordering::Relaxed);
+    }
+
+    /// Consumes the in-flight acquisition stamp (0 if none was set), so a
+    /// release without a matching stamped acquisition records no sample.
+    #[inline]
+    pub(crate) fn take_acquired(&self) -> u64 {
+        let stamp = self.acquired_at.load(Ordering::Relaxed);
+        if stamp != 0 {
+            self.acquired_at.store(0, Ordering::Relaxed);
+        }
+        stamp
+    }
+
+    /// The entry's current liveness epoch (see the field docs).
+    #[inline]
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether an epoch value denotes a live (non-retired) entry.
+    #[inline]
+    pub(crate) fn epoch_is_live(epoch: u64) -> bool {
+        epoch.is_multiple_of(2)
+    }
+
+    /// Marks the entry retired (called by `free` after unmapping it).
+    pub(crate) fn retire(&self) {
+        debug_assert!(Self::epoch_is_live(self.epoch.load(Ordering::Relaxed)));
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Marks a retired entry live again (called on resurrection, before the
+    /// entry is re-published in the table).
+    pub(crate) fn resurrect(&self) {
+        debug_assert!(!Self::epoch_is_live(self.epoch.load(Ordering::Relaxed)));
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Records `thread` as the owner (debug mode).
@@ -270,14 +337,31 @@ impl LockEntry {
         holders
     }
 
-    /// Stamps the acquisition time (profiler mode).
-    pub(crate) fn stamp_acquired(&self, cycles: u64) {
-        self.acquired_at.store(cycles, Ordering::Relaxed);
+    /// The calling thread's profile-stat slot, allocating the sharded set on
+    /// first use.
+    #[inline]
+    pub(crate) fn profile_slot(&self) -> &ShardSlot {
+        self.profile
+            .get_or_init(|| Box::new(ProfileShards::new()))
+            .slot()
     }
 
-    /// The last stamped acquisition time.
-    pub(crate) fn acquired_at(&self) -> u64 {
-        self.acquired_at.load(Ordering::Relaxed)
+    /// Folds the sharded profile statistics and the base `LockStats` (debug
+    /// mode writes the latter) into one set of totals for reporting.
+    pub(crate) fn profile_totals(&self) -> ProfileTotals {
+        let mut totals = self
+            .profile
+            .get()
+            .map(|shards| shards.totals())
+            .unwrap_or_default();
+        totals.acquisitions += self.stats.acquisitions();
+        totals.queue_total += self.stats.queue_total();
+        totals.queue_samples += self.stats.queue_samples();
+        totals.lock_latency_total += self.stats.lock_latency_total();
+        totals.lock_latency_samples += self.stats.lock_latency_samples();
+        totals.cs_latency_total += self.stats.cs_latency_total();
+        totals.cs_latency_samples += self.stats.cs_latency_samples();
+        totals
     }
 }
 
@@ -386,9 +470,36 @@ mod tests {
     }
 
     #[test]
-    fn entry_acquisition_stamp() {
+    fn entry_epoch_tracks_retire_and_resurrect() {
         let entry = LockEntry::new(0x2000, make(LockKind::Mutex));
-        entry.stamp_acquired(12345);
-        assert_eq!(entry.acquired_at(), 12345);
+        let born = entry.epoch();
+        assert!(LockEntry::epoch_is_live(born));
+        entry.retire();
+        assert!(!LockEntry::epoch_is_live(entry.epoch()));
+        entry.resurrect();
+        assert!(LockEntry::epoch_is_live(entry.epoch()));
+        assert_ne!(
+            entry.epoch(),
+            born,
+            "a free/recreate cycle must change the epoch a cache slot stored"
+        );
+    }
+
+    #[test]
+    fn entry_profile_totals_merge_shards_and_base_stats() {
+        let entry = LockEntry::new(0x2000, make(LockKind::Mutex));
+        assert_eq!(entry.profile_totals().acquisitions, 0);
+        let slot = entry.profile_slot();
+        slot.record_acquisition();
+        slot.record_lock_latency(40);
+        slot.record_cs_latency(100);
+        slot.record_queue_sample(3);
+        // Debug mode writes the base stats; reports must fold both.
+        entry.stats.record_acquisition();
+        let totals = entry.profile_totals();
+        assert_eq!(totals.acquisitions, 2);
+        assert!((totals.avg_lock_latency() - 40.0).abs() < 1e-9);
+        assert!((totals.avg_cs_latency() - 100.0).abs() < 1e-9);
+        assert!((totals.avg_queue() - 3.0).abs() < 1e-9);
     }
 }

@@ -3,11 +3,12 @@
 //! GLS hides lock declaration, allocation, initialization and algorithm
 //! selection behind a classic lock/unlock interface keyed by **any address**:
 //! the service maps the address to a lock object through a CLHT hash table,
-//! accelerated by a per-thread lock cache. On top of that mapping, GLS
-//! provides a debug mode that detects the common locking bugs (uninitialized
-//! locks, double locking, releasing a free lock, releasing another thread's
-//! lock, deadlocks) and a profiler mode that reports per-lock contention and
-//! latency.
+//! accelerated by a per-thread set-associative lock cache with precise
+//! (per-entry epoch) invalidation. On top of that mapping, GLS provides a
+//! debug mode that detects the common locking bugs (uninitialized locks,
+//! double locking, releasing a free lock, releasing another thread's lock,
+//! deadlocks) and a profiler mode that reports per-lock contention and
+//! latency through per-thread stat shards.
 
 mod cache;
 mod condvar;
@@ -17,7 +18,9 @@ mod entry;
 mod holders;
 mod profiler;
 mod service;
+mod shards;
 
+pub use cache::{reset_thread_cache_stats, thread_cache_stats, CacheStats, CACHE_SETS, CACHE_WAYS};
 pub use condvar::{GlsCondvar, WaitOutcome};
 pub use config::{GlsConfig, GlsMode};
 pub use profiler::{LockProfile, ProfileReport};

@@ -1,5 +1,6 @@
 //! The GLS service: mapping arbitrary addresses to lock objects.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex as StdMutex, OnceLock};
 use std::time::Duration;
@@ -69,17 +70,31 @@ static NEXT_SERVICE_ID: AtomicU64 = AtomicU64::new(1);
 #[derive(Debug)]
 pub struct GlsService {
     id: u64,
-    /// Bumped whenever a lock object is removed, invalidating every thread's
-    /// lock cache for this service.
-    generation: AtomicU64,
     table: Clht,
     config: GlsConfig,
     debug: DebugState,
-    /// `(addr, entry)` pairs removed via `free`; kept allocated until the
-    /// service is dropped so concurrent (buggy) users can never observe
-    /// freed memory, and resurrected as-is when the same address is
-    /// re-created so lock/free churn does not leak.
-    retired: StdMutex<Vec<(usize, usize)>>,
+    /// Entries removed via `free`, kept allocated until the service is
+    /// dropped so concurrent (buggy) users can never observe freed memory,
+    /// and resurrected as-is when the same address is re-created so
+    /// lock/free churn does not leak. Invalidation of per-thread cache
+    /// slots is *precise*: `free` bumps only the freed entry's epoch (see
+    /// `LockEntry::epoch`), so no other address's cached mapping is
+    /// disturbed anywhere in the process.
+    retired: StdMutex<RetiredSet>,
+}
+
+/// The parked allocations of freed addresses.
+#[derive(Debug, Default)]
+struct RetiredSet {
+    /// addr → entry pointer, one per freed-and-not-yet-recreated address;
+    /// `entry_for` resurrects from here, keyed lookups so free/recreate
+    /// churn over many addresses stays O(1) per operation.
+    parked: HashMap<usize, usize>,
+    /// Allocations displaced from `parked` when a racing create built a
+    /// second entry for an address whose first entry was mid-retirement.
+    /// They are never resurrected (their address is served by the newer
+    /// allocation) and are reclaimed when the service drops.
+    displaced: Vec<usize>,
 }
 
 impl Default for GlsService {
@@ -99,11 +114,10 @@ impl GlsService {
     pub fn with_config(config: GlsConfig) -> Self {
         Self {
             id: NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed),
-            generation: AtomicU64::new(0),
             table: Clht::with_capacity(config.initial_capacity),
             config,
             debug: DebugState::new(),
-            retired: StdMutex::new(Vec::new()),
+            retired: StdMutex::new(RetiredSet::default()),
         }
     }
 
@@ -140,6 +154,7 @@ impl GlsService {
     }
 
     /// [`GlsService::lock`] for a raw address (e.g. `gls_lock(17)`).
+    #[inline]
     pub fn lock_addr(&self, addr: usize) -> Result<(), GlsError> {
         self.lock_impl(addr, self.config.default_kind)
     }
@@ -170,6 +185,7 @@ impl GlsService {
     }
 
     /// [`GlsService::unlock`] for a raw address.
+    #[inline]
     pub fn unlock_addr(&self, addr: usize) -> Result<(), GlsError> {
         self.unlock_impl(addr, None)
     }
@@ -476,14 +492,37 @@ impl GlsService {
     pub fn free_addr(&self, addr: usize) -> bool {
         match self.table.remove(addr) {
             Some(ptr) => {
-                // Invalidate every thread's cached mapping for this service.
-                // The allocation itself is never reclaimed (or reinitialized)
+                // Precise invalidation: bump only *this* entry's epoch. Any
+                // per-thread cache slot holding this mapping fails its next
+                // epoch validation and drops itself; cached mappings for
+                // every other address — on every thread — stay hot. The
+                // allocation itself is never reclaimed (or reinitialized)
                 // while the service lives: it is parked here and resurrected
                 // as-is if the same address is re-created (see `entry_for`),
-                // so racing users never observe freed or repurposed memory.
-                self.generation.fetch_add(1, Ordering::Release);
+                // so racing users never observe freed or repurposed memory,
+                // and a holder caught by a racing free can still release
+                // through the retired set (see `unlock_impl`).
+                Self::entry_ref(ptr).retire();
                 if let Ok(mut retired) = self.retired.lock() {
-                    retired.push((addr, ptr));
+                    if let Some(displaced) = retired.parked.insert(addr, ptr) {
+                        retired.displaced.push(displaced);
+                    }
+                }
+                // Heal the create-vs-free race eagerly: if another thread
+                // re-created `addr` between our `remove` and our park (its
+                // `put_if_absent` saw both the table and the parked set
+                // empty and allocated a fresh entry), our parked entry is
+                // permanently stale — the newer allocation serves the
+                // address. Displace it now instead of waiting for the next
+                // free, so `retired_entry` can never hand a release a
+                // retired entry while a different live entry exists.
+                if self.table.get(addr).is_some() {
+                    if let Ok(mut retired) = self.retired.lock() {
+                        if retired.parked.get(&addr) == Some(&ptr) {
+                            retired.parked.remove(&addr);
+                            retired.displaced.push(ptr);
+                        }
+                    }
                 }
                 true
             }
@@ -496,7 +535,10 @@ impl GlsService {
     /// Lock/free churn over a working set of addresses therefore stays
     /// bounded by that working set instead of growing per free.
     pub fn retired_count(&self) -> usize {
-        self.retired.lock().map(|r| r.len()).unwrap_or(0)
+        self.retired
+            .lock()
+            .map(|r| r.parked.len() + r.displaced.len())
+            .unwrap_or(0)
     }
 
     /// Number of lock objects currently managed by the service.
@@ -525,13 +567,16 @@ impl GlsService {
         let mut locks = Vec::new();
         self.table.for_each(|_, ptr| {
             let entry = Self::entry_ref(ptr);
+            // Fold the per-thread stat shards (profile mode) and the base
+            // stats (debug mode) into one profile per lock.
+            let totals = entry.profile_totals();
             locks.push(LockProfile {
                 addr: entry.addr,
                 algorithm: entry.lock.kind(),
-                acquisitions: entry.stats.acquisitions(),
-                avg_queue: entry.stats.average_queue(),
-                avg_lock_latency: entry.stats.average_lock_latency(),
-                avg_cs_latency: entry.stats.average_cs_latency(),
+                acquisitions: totals.acquisitions,
+                avg_queue: totals.avg_queue(),
+                avg_lock_latency: totals.avg_lock_latency(),
+                avg_cs_latency: totals.avg_cs_latency(),
             });
         });
         ProfileReport::new(locks)
@@ -577,52 +622,137 @@ impl GlsService {
         unsafe { &*(ptr as *const LockEntry) }
     }
 
-    fn current_generation(&self) -> u64 {
-        self.generation.load(Ordering::Acquire)
+    /// Probes the calling thread's lock cache for `addr`. A candidate slot
+    /// is validated against the entry's **own** liveness epoch, read at hit
+    /// time: the token travels with the entry, so there is no window in
+    /// which a racing `free` can slip between a stale validity check and
+    /// the cached deref. The whole hit path is load → compare → deref →
+    /// load → compare — no atomic read-modify-write, no shared store.
+    #[inline]
+    fn cache_probe(&self, addr: usize) -> Option<&LockEntry> {
+        if !self.config.lock_cache {
+            return None;
+        }
+        cache::lookup(self.id, addr, |ptr, cached_epoch| {
+            Self::entry_ref(ptr).epoch() == cached_epoch
+        })
+        .map(Self::entry_ref)
+    }
+
+    /// Caches `addr → entry`, stamping the epoch observed *after* the entry
+    /// was obtained from the table. If the entry was retired in the
+    /// meantime (odd epoch), nothing is cached: a slot must never hold a
+    /// mapping that was already stale when it was stored.
+    #[inline]
+    fn cache_insert(&self, addr: usize, ptr: usize) {
+        if !self.config.lock_cache {
+            return;
+        }
+        let epoch = Self::entry_ref(ptr).epoch();
+        if LockEntry::epoch_is_live(epoch) {
+            cache::store(self.id, addr, ptr, epoch);
+        }
     }
 
     /// Finds the entry for `addr` without creating it.
+    #[inline]
     fn find_entry(&self, addr: usize) -> Option<&LockEntry> {
-        let generation = self.current_generation();
-        if let Some(ptr) = cache::lookup(self.id, generation, addr) {
-            return Some(Self::entry_ref(ptr));
+        if let Some(entry) = self.cache_probe(addr) {
+            return Some(entry);
         }
         let ptr = self.table.get(addr)?;
-        cache::store(self.id, generation, addr, ptr);
+        self.cache_insert(addr, ptr);
         Some(Self::entry_ref(ptr))
     }
 
+    /// Finds the retired (freed, not yet resurrected) entry for `addr`, if
+    /// one is parked. Used by the release paths so a `free` racing with a
+    /// lock holder can never strand the holder: its release still lands on
+    /// the parked entry.
+    fn retired_entry(&self, addr: usize) -> Option<&LockEntry> {
+        self.retired
+            .lock()
+            .ok()
+            .and_then(|retired| retired.parked.get(&addr).copied())
+            .map(Self::entry_ref)
+    }
+
+    /// Resolves `addr` for a release: the live entry, or the retired one a
+    /// racing `free` parked. A free in flight sits between `table.remove`
+    /// and parking the entry for an instant; re-check — first yielding,
+    /// then sleeping briefly so a freeing thread descheduled mid-window is
+    /// guaranteed to run — before declaring the address uninitialized, so
+    /// a racing free can never strand a holder mid-release. The retries
+    /// prefer the live table entry (a parked entry is never handed out
+    /// while a newer live one serves the address) and consult the table
+    /// directly, so they neither distort the per-thread cache counters nor
+    /// turn a genuinely uninitialized release (the error this path
+    /// reports) into a storm of lookups.
+    fn entry_for_release(&self, addr: usize) -> Option<&LockEntry> {
+        if let Some(entry) = self.find_entry(addr) {
+            return Some(entry);
+        }
+        for attempt in 0..10u32 {
+            match attempt {
+                0 => {}
+                1..=3 => std::thread::yield_now(),
+                // ~10 µs … ~640 µs: enough for any fair scheduler to run
+                // the preempted freeing thread; total worst case < 1.3 ms,
+                // paid only on the (erroneous or racing) miss path.
+                _ => std::thread::sleep(Duration::from_micros(10u64 << (attempt - 4))),
+            }
+            if let Some(ptr) = self.table.get(addr) {
+                return Some(Self::entry_ref(ptr));
+            }
+            if let Some(entry) = self.retired_entry(addr) {
+                return Some(entry);
+            }
+        }
+        None
+    }
+
     /// Finds or creates the entry for `addr` using algorithm `kind`.
+    #[inline]
     fn entry_for(&self, addr: usize, kind: LockKind) -> &LockEntry {
         assert_ne!(addr, 0, "GLS does not accept NULL (address 0) as a lock");
-        let generation = self.current_generation();
-        if let Some(ptr) = cache::lookup(self.id, generation, addr) {
-            return Self::entry_ref(ptr);
+        if let Some(entry) = self.cache_probe(addr) {
+            return entry;
         }
         let ptr = self.table.put_if_absent(addr, || {
             // Resurrect the retired entry for this address if one exists:
-            // the entry is reinserted *untouched* (its allocation is never
-            // dropped or rewritten while the service lives, so even a racing
-            // user — or the deadlock detector's owner walk — holding a stale
-            // pointer only ever sees a valid entry for this address). This
-            // keeps lock/free churn at a bounded footprint: repeated cycles
-            // reuse the same allocation instead of leaking one per free.
-            // Note the algorithm chosen at first creation is resurrected
-            // with it; as with `put_if_absent` generally, the first creation
-            // of an address wins and debug mode flags kind mismatches.
-            let recycled = self.retired.lock().ok().and_then(|mut retired| {
-                let index = retired.iter().position(|&(a, _)| a == addr)?;
-                Some(retired.swap_remove(index).1)
-            });
-            recycled.unwrap_or_else(|| {
-                let lock = AlgorithmLock::new(kind, &self.config.glk, &self.config.monitor);
-                Box::into_raw(Box::new(LockEntry::new(addr, lock))) as usize
-            })
+            // the entry is reinserted *untouched* except for its liveness
+            // epoch (its allocation is never dropped or rewritten while the
+            // service lives, so even a racing user — or the deadlock
+            // detector's owner walk — holding a stale pointer only ever
+            // sees a valid entry for this address). This keeps lock/free
+            // churn at a bounded footprint: repeated cycles reuse the same
+            // allocation instead of leaking one per free. Note the
+            // algorithm chosen at first creation is resurrected with it; as
+            // with `put_if_absent` generally, the first creation of an
+            // address wins and debug mode flags kind mismatches.
+            let recycled = self
+                .retired
+                .lock()
+                .ok()
+                .and_then(|mut retired| retired.parked.remove(&addr));
+            match recycled {
+                Some(ptr) => {
+                    // Back to even *before* the pointer is re-published, so
+                    // no thread can cache the entry mid-transition.
+                    Self::entry_ref(ptr).resurrect();
+                    ptr
+                }
+                None => {
+                    let lock = AlgorithmLock::new(kind, &self.config.glk, &self.config.monitor);
+                    Box::into_raw(Box::new(LockEntry::new(addr, lock))) as usize
+                }
+            }
         });
-        cache::store(self.id, generation, addr, ptr);
+        self.cache_insert(addr, ptr);
         Self::entry_ref(ptr)
     }
 
+    #[inline]
     fn lock_impl(&self, addr: usize, kind: LockKind) -> Result<(), GlsError> {
         let entry = self.entry_for(addr, kind);
         match self.config.mode {
@@ -631,15 +761,17 @@ impl GlsService {
                 Ok(())
             }
             GlsMode::Profile => {
-                entry.stats.record_queue_sample(entry.lock.queue_length());
+                // All statistics go to the calling thread's cache-padded
+                // shard: contended acquirers no longer serialize on a
+                // shared stat cacheline before even reaching the lock word.
+                let slot = entry.profile_slot();
+                slot.record_queue_sample(entry.lock.queue_length());
                 let start = cycles::now();
                 entry.lock.lock();
                 let acquired = cycles::now();
-                entry
-                    .stats
-                    .record_lock_latency(acquired.wrapping_sub(start));
+                slot.record_lock_latency(acquired.wrapping_sub(start));
                 entry.stamp_acquired(acquired);
-                entry.stats.record_acquisition();
+                slot.record_acquisition();
                 Ok(())
             }
             GlsMode::Debug => self.debug_acquire(entry, addr, kind, false),
@@ -654,16 +786,16 @@ impl GlsService {
                 Ok(())
             }
             GlsMode::Profile => {
-                entry.stats.record_queue_sample(entry.lock.queue_length());
+                let slot = entry.profile_slot();
+                slot.record_queue_sample(entry.lock.queue_length());
                 let start = cycles::now();
                 entry.lock.read_lock();
                 let acquired = cycles::now();
-                entry
-                    .stats
-                    .record_lock_latency(acquired.wrapping_sub(start));
-                // No critical-section stamp: shared holders overlap, so a
-                // single per-entry timestamp would mix up their sections.
-                entry.stats.record_acquisition();
+                slot.record_lock_latency(acquired.wrapping_sub(start));
+                // No critical-section stamp: shared holders overlap, and
+                // two readers may share a stat shard, so their sections are
+                // not individually timed.
+                slot.record_acquisition();
                 Ok(())
             }
             GlsMode::Debug => self.debug_acquire(entry, addr, LockKind::Rw, true),
@@ -675,13 +807,14 @@ impl GlsService {
         match self.config.mode {
             GlsMode::Normal => Ok(entry.lock.try_read_lock()),
             GlsMode::Profile => {
-                entry.stats.record_queue_sample(entry.lock.queue_length());
+                let slot = entry.profile_slot();
+                slot.record_queue_sample(entry.lock.queue_length());
                 let start = cycles::now();
                 let acquired = entry.lock.try_read_lock();
                 if acquired {
                     let now = cycles::now();
-                    entry.stats.record_lock_latency(now.wrapping_sub(start));
-                    entry.stats.record_acquisition();
+                    slot.record_lock_latency(now.wrapping_sub(start));
+                    slot.record_acquisition();
                 }
                 Ok(acquired)
             }
@@ -703,7 +836,9 @@ impl GlsService {
     }
 
     fn read_unlock_impl(&self, addr: usize) -> Result<(), GlsError> {
-        let Some(entry) = self.find_entry(addr) else {
+        // Same racing-free fallback as `unlock_impl`: a shared holder's
+        // release lands on the retired entry rather than stranding it.
+        let Some(entry) = self.entry_for_release(addr) else {
             let issue = GlsError::UninitializedLock { addr };
             if self.config.mode == GlsMode::Debug {
                 self.debug.record(issue.clone());
@@ -844,14 +979,15 @@ impl GlsService {
         match self.config.mode {
             GlsMode::Normal => Ok(entry.lock.try_lock()),
             GlsMode::Profile => {
-                entry.stats.record_queue_sample(entry.lock.queue_length());
+                let slot = entry.profile_slot();
+                slot.record_queue_sample(entry.lock.queue_length());
                 let start = cycles::now();
                 let acquired = entry.lock.try_lock();
                 if acquired {
                     let now = cycles::now();
-                    entry.stats.record_lock_latency(now.wrapping_sub(start));
+                    slot.record_lock_latency(now.wrapping_sub(start));
                     entry.stamp_acquired(now);
-                    entry.stats.record_acquisition();
+                    slot.record_acquisition();
                 }
                 Ok(acquired)
             }
@@ -872,8 +1008,13 @@ impl GlsService {
         }
     }
 
+    #[inline]
     fn unlock_impl(&self, addr: usize, expected_kind: Option<LockKind>) -> Result<(), GlsError> {
-        let Some(entry) = self.find_entry(addr) else {
+        // A `free` racing with a lock holder must never strand the holder:
+        // if the address is gone from the table but its entry is parked in
+        // the retired set, the release lands on the parked entry (debug
+        // mode still applies its ownership checks to it).
+        let Some(entry) = self.entry_for_release(addr) else {
             let issue = GlsError::UninitializedLock { addr };
             if self.config.mode == GlsMode::Debug {
                 self.debug.record(issue.clone());
@@ -911,10 +1052,15 @@ impl GlsService {
             entry.clear_owner();
         }
         if self.config.mode == GlsMode::Profile {
-            let acquired_at = entry.acquired_at();
+            // The stamp is consumed from the entry (see `stamp_acquired`),
+            // so cross-thread releases are timed correctly; the sample
+            // itself goes to the releasing thread's shard.
+            let acquired_at = entry.take_acquired();
             if acquired_at != 0 {
                 let now = cycles::now();
-                entry.stats.record_cs_latency(now.wrapping_sub(acquired_at));
+                entry
+                    .profile_slot()
+                    .record_cs_latency(now.wrapping_sub(acquired_at));
             }
         }
         entry.lock.unlock();
@@ -929,12 +1075,13 @@ impl Drop for GlsService {
         let mut pointers = Vec::new();
         self.table.for_each(|_, ptr| pointers.push(ptr));
         if let Ok(mut retired) = self.retired.lock() {
-            pointers.extend(retired.drain(..).map(|(_, ptr)| ptr));
+            pointers.extend(retired.parked.drain().map(|(_, ptr)| ptr));
+            pointers.append(&mut retired.displaced);
         }
         for ptr in pointers {
             // SAFETY: entries were allocated with Box::into_raw and each
-            // pointer appears exactly once (either live in the table or in
-            // the retired list, never both).
+            // pointer appears exactly once (live in the table, parked in
+            // the retired map, or displaced — never in two places).
             unsafe { drop(Box::from_raw(ptr as *mut LockEntry)) };
         }
     }

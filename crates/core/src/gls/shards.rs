@@ -1,0 +1,184 @@
+//! Sharded per-entry profiling statistics.
+//!
+//! Profile mode records a queue sample, an acquisition latency and a
+//! critical-section latency on *every* lock call. With one shared
+//! `LockStats` per entry that is five read-modify-writes on one cacheline —
+//! contended acquirers of the same lock serialize on the stat line before
+//! they even reach the lock word, which is precisely the overhead a
+//! profiler must not add. [`ProfileShards`] splits the counters into
+//! [`PROFILE_SHARDS`] cache-padded slots selected by thread id: a thread
+//! only ever touches its own slot (collisions are possible beyond
+//! `PROFILE_SHARDS` concurrent threads, but remain correct — the slots are
+//! atomics), and [`ProfileShards::totals`] folds the slots into one
+//! [`ProfileTotals`] when a report is built.
+//!
+//! The critical-section *stamp* is not sharded: it is written exactly once
+//! per acquisition by the lock holder (whose thread already owns the
+//! entry's lines exclusively) and lives on the entry itself, which also
+//! keeps cross-thread releases correctly timed — sharding it would let an
+//! orphaned stamp be consumed by an unrelated release on a colliding shard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gls_locks::CachePadded;
+use gls_runtime::ThreadId;
+
+/// Number of stat shards per profiled entry; a power of two so shard
+/// selection is a mask. Matches the sharding of debug-mode holder sets.
+pub(crate) const PROFILE_SHARDS: usize = 16;
+
+/// One thread-private slice of an entry's profiling counters. At most one
+/// cacheline, padded so neighboring shards never share.
+#[derive(Debug, Default)]
+pub(crate) struct ShardSlot {
+    acquisitions: AtomicU64,
+    queue_total: AtomicU64,
+    queue_samples: AtomicU64,
+    lock_latency_total: AtomicU64,
+    lock_latency_samples: AtomicU64,
+    cs_latency_total: AtomicU64,
+    cs_latency_samples: AtomicU64,
+}
+
+const _: () = assert!(
+    std::mem::size_of::<CachePadded<ShardSlot>>() == 64,
+    "a shard slot must occupy exactly one cache line"
+);
+
+impl ShardSlot {
+    #[inline]
+    pub(crate) fn record_acquisition(&self) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_queue_sample(&self, queued: u64) {
+        self.queue_total.fetch_add(queued, Ordering::Relaxed);
+        self.queue_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_lock_latency(&self, cycles: u64) {
+        self.lock_latency_total.fetch_add(cycles, Ordering::Relaxed);
+        self.lock_latency_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_cs_latency(&self, cycles: u64) {
+        self.cs_latency_total.fetch_add(cycles, Ordering::Relaxed);
+        self.cs_latency_samples.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The full sharded statistics of one profiled entry (~1 KiB; allocated
+/// lazily, only for entries that see profile-mode traffic).
+#[derive(Debug, Default)]
+pub(crate) struct ProfileShards {
+    slots: [CachePadded<ShardSlot>; PROFILE_SHARDS],
+}
+
+impl ProfileShards {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The calling thread's slot.
+    #[inline]
+    pub(crate) fn slot(&self) -> &ShardSlot {
+        &self.slots[ThreadId::current().as_usize() & (PROFILE_SHARDS - 1)]
+    }
+
+    /// Folds every shard into plain totals. Concurrent updates may or may
+    /// not be included — the same snapshot semantics the unsharded counters
+    /// had.
+    pub(crate) fn totals(&self) -> ProfileTotals {
+        let mut totals = ProfileTotals::default();
+        for slot in &self.slots {
+            totals.acquisitions += slot.acquisitions.load(Ordering::Relaxed);
+            totals.queue_total += slot.queue_total.load(Ordering::Relaxed);
+            totals.queue_samples += slot.queue_samples.load(Ordering::Relaxed);
+            totals.lock_latency_total += slot.lock_latency_total.load(Ordering::Relaxed);
+            totals.lock_latency_samples += slot.lock_latency_samples.load(Ordering::Relaxed);
+            totals.cs_latency_total += slot.cs_latency_total.load(Ordering::Relaxed);
+            totals.cs_latency_samples += slot.cs_latency_samples.load(Ordering::Relaxed);
+        }
+        totals
+    }
+}
+
+/// Folded profiling counters of one entry (shards + the entry's base
+/// `LockStats`, which debug mode still writes).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ProfileTotals {
+    pub(crate) acquisitions: u64,
+    pub(crate) queue_total: u64,
+    pub(crate) queue_samples: u64,
+    pub(crate) lock_latency_total: u64,
+    pub(crate) lock_latency_samples: u64,
+    pub(crate) cs_latency_total: u64,
+    pub(crate) cs_latency_samples: u64,
+}
+
+impl ProfileTotals {
+    fn average(total: u64, samples: u64) -> f64 {
+        if samples == 0 {
+            0.0
+        } else {
+            total as f64 / samples as f64
+        }
+    }
+
+    pub(crate) fn avg_queue(&self) -> f64 {
+        Self::average(self.queue_total, self.queue_samples)
+    }
+
+    pub(crate) fn avg_lock_latency(&self) -> f64 {
+        Self::average(self.lock_latency_total, self.lock_latency_samples)
+    }
+
+    pub(crate) fn avg_cs_latency(&self) -> f64 {
+        Self::average(self.cs_latency_total, self.cs_latency_samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn totals_fold_across_threads_without_losing_counts() {
+        let shards = Arc::new(ProfileShards::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let shards = Arc::clone(&shards);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        let slot = shards.slot();
+                        slot.record_acquisition();
+                        slot.record_queue_sample(2);
+                        slot.record_lock_latency(10);
+                        slot.record_cs_latency(30);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let totals = shards.totals();
+        assert_eq!(totals.acquisitions, 80_000);
+        assert_eq!(totals.queue_samples, 80_000);
+        assert!((totals.avg_queue() - 2.0).abs() < 1e-9);
+        assert!((totals.avg_lock_latency() - 10.0).abs() < 1e-9);
+        assert!((totals.avg_cs_latency() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_totals_average_to_zero() {
+        let totals = ProfileShards::new().totals();
+        assert_eq!(totals.avg_queue(), 0.0);
+        assert_eq!(totals.avg_lock_latency(), 0.0);
+        assert_eq!(totals.avg_cs_latency(), 0.0);
+    }
+}

@@ -73,8 +73,9 @@ pub mod gls;
 pub use error::GlsError;
 pub use glk::{BlockingBackend, GlkConfig, GlkLock, GlkMode, GlkRwLock, GlkRwMode, ModeTransition};
 pub use gls::{
-    GlsCondvar, GlsConfig, GlsGuard, GlsMode, GlsReadGuard, GlsService, GlsWriteGuard, LockProfile,
-    ProfileReport, WaitOutcome,
+    reset_thread_cache_stats, thread_cache_stats, CacheStats, GlsCondvar, GlsConfig, GlsGuard,
+    GlsMode, GlsReadGuard, GlsService, GlsWriteGuard, LockProfile, ProfileReport, WaitOutcome,
+    CACHE_SETS, CACHE_WAYS,
 };
 
 // Re-export the substrate types that appear in this crate's public API so

@@ -73,6 +73,13 @@ impl LockStats {
         self.queue_samples.load(Ordering::Relaxed)
     }
 
+    /// Sum of queue-length samples (the numerator of [`average_queue`]).
+    ///
+    /// [`average_queue`]: Self::average_queue
+    pub fn queue_total(&self) -> u64 {
+        self.queue_total.load(Ordering::Relaxed)
+    }
+
     /// Resets the queue statistics (done after each adaptation decision so
     /// the next decision sees a fresh window).
     pub fn reset_queue_window(&self) {
@@ -85,6 +92,16 @@ impl LockStats {
     pub fn record_lock_latency(&self, cycles: u64) {
         self.lock_latency_total.fetch_add(cycles, Ordering::Relaxed);
         self.lock_latency_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum of lock-acquisition latency samples, in cycles.
+    pub fn lock_latency_total(&self) -> u64 {
+        self.lock_latency_total.load(Ordering::Relaxed)
+    }
+
+    /// Number of lock-acquisition latency samples recorded.
+    pub fn lock_latency_samples(&self) -> u64 {
+        self.lock_latency_samples.load(Ordering::Relaxed)
     }
 
     /// Average lock-acquisition latency in cycles.
@@ -102,6 +119,16 @@ impl LockStats {
     pub fn record_cs_latency(&self, cycles: u64) {
         self.cs_latency_total.fetch_add(cycles, Ordering::Relaxed);
         self.cs_latency_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum of critical-section duration samples, in cycles.
+    pub fn cs_latency_total(&self) -> u64 {
+        self.cs_latency_total.load(Ordering::Relaxed)
+    }
+
+    /// Number of critical-section samples recorded.
+    pub fn cs_latency_samples(&self) -> u64 {
+        self.cs_latency_samples.load(Ordering::Relaxed)
     }
 
     /// Average critical-section duration in cycles.
