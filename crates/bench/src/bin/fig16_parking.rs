@@ -1,26 +1,38 @@
 //! Figure 16 (extension): parking-lot scalability over many live locks.
 //!
 //! The space argument for the parking subsystem, measured: sweep the number
-//! of **live blocking locks** from 1k to 100k and compare
+//! of **live blocking locks** and compare
 //!
 //! * `MUTEX` — per-lock parking state ([`MutexLock`]: a cache-padded
 //!   `Mutex + Condvar` pair in every lock),
 //! * `FUTEX` — the word-sized [`FutexLock`] whose waiters park in the
-//!   shared, sharded parking lot, and
+//!   shared, sharded parking lot,
+//! * `AUTO` — the service-level heuristic ([`AutoBlockingMutex`]): each
+//!   lock picks (and migrates) between the two based on the live
+//!   blocking-lock count, with **no static configuration** — below the
+//!   density threshold it embeds a per-lock mutex, past it the per-lock
+//!   wait state converges to the futex word (4 B) and the embedded boxes
+//!   are never allocated, and
 //! * `STD` — `std::sync::Mutex<()>` as the system baseline.
 //!
 //! Worker threads (hardware contexts + 2, so the blocking paths are really
 //! exercised) pick locks zipfian-popular (α = 0.9: a hot head sees real
 //! contention and parking while the long tail stresses the footprint) and
 //! run a short critical section. Reported: throughput per working-set size
-//! plus the per-lock memory of each flavor — the futex lock stays at 4
-//! bytes no matter how many locks are live, which is what lets the
-//! middleware hold six-figure lock counts.
+//! plus the wait-state footprint of each flavor — and, for AUTO, how much
+//! heap the heuristic actually allocated (0 past the threshold, i.e. the
+//! shared-lot footprint reached automatically).
+//!
+//! Emits `BENCH_parking.json` (override with `--out PATH`); `--smoke`
+//! shrinks the sweep and point duration so CI can validate the artifact
+//! end to end.
 
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use gls::glk::{AutoBlockingMutex, BlockingDensity, DEFAULT_BLOCKING_DENSITY_THRESHOLD};
 use gls_bench::{banner, point_duration};
 use gls_locks::{FutexLock, MutexLock, RawLock};
 use gls_runtime::spin_cycles;
@@ -32,6 +44,15 @@ use rand::SeedableRng;
 /// One lock flavor under test.
 trait ParkBenchLock: Send + Sync + 'static {
     fn section(&self, cs_cycles: u64);
+    /// Heap bytes of wait-queue state this lock allocated (beyond its own
+    /// inline size).
+    fn wait_heap_bytes(&self) -> usize {
+        0
+    }
+    /// Whether this lock's waiters sleep in the shared parking lot.
+    fn uses_shared_lot(&self) -> bool {
+        false
+    }
 }
 
 impl ParkBenchLock for MutexLock {
@@ -48,6 +69,10 @@ impl ParkBenchLock for FutexLock {
         spin_cycles(cs_cycles);
         self.unlock();
     }
+
+    fn uses_shared_lot(&self) -> bool {
+        true
+    }
 }
 
 impl ParkBenchLock for std::sync::Mutex<()> {
@@ -57,8 +82,51 @@ impl ParkBenchLock for std::sync::Mutex<()> {
     }
 }
 
-/// Runs one (flavor, live-lock-count) point and returns Mops/s.
-fn run_point<L: ParkBenchLock>(make: impl Fn() -> L, live_locks: usize, threads: usize) -> f64 {
+/// The heuristic flavor: an [`AutoBlockingMutex`] plus the shared density
+/// tracker it consults (bench scaffolding — inside a `GlsService` the
+/// tracker lives in the service config, not per lock).
+struct AutoLock {
+    lock: AutoBlockingMutex,
+    density: Arc<BlockingDensity>,
+}
+
+impl ParkBenchLock for AutoLock {
+    fn section(&self, cs_cycles: u64) {
+        self.lock
+            .lock(&self.density, DEFAULT_BLOCKING_DENSITY_THRESHOLD);
+        spin_cycles(cs_cycles);
+        self.lock
+            .unlock(&self.density, DEFAULT_BLOCKING_DENSITY_THRESHOLD);
+    }
+
+    fn wait_heap_bytes(&self) -> usize {
+        self.lock.blocking_heap_bytes()
+    }
+
+    fn uses_shared_lot(&self) -> bool {
+        self.lock.uses_parking_lot() == Some(true)
+    }
+}
+
+/// Measurements of one (flavor, live-lock-count) point.
+struct Point {
+    flavor: &'static str,
+    live_locks: usize,
+    mops: f64,
+    /// Heap wait-state bytes allocated per lock (0 when the shared lot
+    /// carries the waiters).
+    heap_bytes_per_lock: f64,
+    /// Fraction of locks whose waiters sleep in the shared lot.
+    shared_lot_fraction: f64,
+}
+
+/// Runs one (flavor, live-lock-count) point.
+fn run_point<L: ParkBenchLock>(
+    flavor: &'static str,
+    make: impl Fn() -> L,
+    live_locks: usize,
+    threads: usize,
+) -> Point {
     let locks: Arc<Vec<L>> = Arc::new((0..live_locks).map(|_| make()).collect());
     let zipf = Arc::new(Zipfian::new(live_locks, 0.9));
     let stop = Arc::new(AtomicBool::new(false));
@@ -87,54 +155,167 @@ fn run_point<L: ParkBenchLock>(make: impl Fn() -> L, live_locks: usize, threads:
     std::thread::sleep(point_duration());
     stop.store(true, Ordering::Relaxed);
     let ops: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    ops as f64 / start.elapsed().as_secs_f64() / 1e6
+    let heap: usize = locks.iter().map(|l| l.wait_heap_bytes()).sum();
+    let shared = locks.iter().filter(|l| l.uses_shared_lot()).count();
+    Point {
+        flavor,
+        live_locks,
+        mops: ops as f64 / start.elapsed().as_secs_f64() / 1e6,
+        heap_bytes_per_lock: heap as f64 / live_locks as f64,
+        shared_lot_fraction: shared as f64 / live_locks as f64,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
 }
 
 fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_parking.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other} (supported: --smoke, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        // Tiny points: prove the harness end to end, not a measurement.
+        std::env::set_var(gls_bench::BENCH_MS_ENV, "20");
+    }
+
     banner(
         "Figure 16 (parking)",
-        "per-lock-condvar parking vs the shared parking lot vs std, 1k-100k live locks",
+        "per-lock-condvar parking vs the shared parking lot vs the density heuristic vs std",
     );
     // Two threads beyond the hardware contexts: enough oversubscription
     // that blocked waiters must actually release their contexts.
     let threads = gls_runtime::hardware_contexts() + 2;
+    let threshold = DEFAULT_BLOCKING_DENSITY_THRESHOLD;
 
     println!(
-        "# per-lock state: MUTEX {} B | FUTEX {} B | STD {} B",
+        "# per-lock state: MUTEX {} B | FUTEX {} B | AUTO {} B inline (+ heap below threshold) | STD {} B",
         std::mem::size_of::<MutexLock>(),
         std::mem::size_of::<FutexLock>(),
+        std::mem::size_of::<AutoBlockingMutex>(),
         std::mem::size_of::<std::sync::Mutex<()>>(),
     );
+    println!("# blocking-density threshold: {threshold} live blocking locks");
 
+    let flavors = ["MUTEX", "FUTEX", "AUTO", "STD"];
     let mut table = SeriesTable::new(
         format!(
             "Figure 16: zipfian traffic over N live blocking locks, {threads} threads (Mops/s)"
         ),
         "locks",
-        vec!["MUTEX".to_string(), "FUTEX".to_string(), "STD".to_string()],
+        flavors.iter().map(|f| f.to_string()).collect(),
     );
-    for live_locks in [1_000usize, 10_000, 100_000] {
-        let row = vec![
-            run_point(MutexLock::new, live_locks, threads),
-            run_point(FutexLock::new, live_locks, threads),
-            run_point(std::sync::Mutex::default, live_locks, threads),
-        ];
+    // The 16-lock row sits below the density threshold: AUTO embeds
+    // per-lock mutexes there and switches to the shared lot for every row
+    // past the threshold — with no configuration change in between.
+    let sweep: &[usize] = if smoke {
+        &[16, 1_000]
+    } else {
+        &[16, 1_000, 10_000, 100_000]
+    };
+    let mut points: Vec<Point> = Vec::new();
+    for &live_locks in sweep {
+        let row: Vec<Point> = {
+            let auto_density = Arc::new(BlockingDensity::new());
+            vec![
+                run_point("MUTEX", MutexLock::new, live_locks, threads),
+                run_point("FUTEX", FutexLock::new, live_locks, threads),
+                run_point(
+                    "AUTO",
+                    || {
+                        // Every lock in this bench is a blocking lock, so
+                        // each one joins the live blocking population (in a
+                        // GlsService this happens when a GLK lock enters
+                        // mutex mode).
+                        auto_density.enter();
+                        AutoLock {
+                            lock: AutoBlockingMutex::new(),
+                            density: Arc::clone(&auto_density),
+                        }
+                    },
+                    live_locks,
+                    threads,
+                ),
+                run_point("STD", std::sync::Mutex::default, live_locks, threads),
+            ]
+        };
         let label = if live_locks >= 1_000 {
             format!("{}k", live_locks / 1_000)
         } else {
             live_locks.to_string()
         };
-        table.push_row(label, row);
+        table.push_row(label, row.iter().map(|p| p.mops).collect());
+        let auto = &row[2];
         println!(
-            "# {live_locks} locks -> lock-state footprint: MUTEX {} kB | FUTEX {} kB",
+            "# {live_locks} locks -> footprint: MUTEX {} kB | FUTEX {} kB | AUTO heap {:.1} B/lock, {:.0}% on the shared lot",
             live_locks * std::mem::size_of::<MutexLock>() / 1024,
             live_locks * std::mem::size_of::<FutexLock>() / 1024,
+            auto.heap_bytes_per_lock,
+            auto.shared_lot_fraction * 100.0,
         );
+        points.extend(row);
     }
     table.print();
     println!(
-        "# FUTEX keeps per-lock state at one word (wait queues live in the shared \
-         parking lot); MUTEX pays ~{}x the memory per live lock",
-        std::mem::size_of::<MutexLock>() / std::mem::size_of::<FutexLock>(),
+        "# FUTEX keeps per-lock wait state at one word (queues live in the shared \
+         parking lot); AUTO reaches the same footprint automatically past \
+         {threshold} live blocking locks — no static backend knob"
     );
+
+    // ------------------------------------------------------------------
+    // Machine-readable artifact.
+    // ------------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"figure\": \"fig16_parking\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_contexts\": {},",
+        gls_runtime::hardware_contexts()
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"blocking_density_threshold\": {threshold},");
+    let _ = writeln!(
+        json,
+        "  \"point_duration_ms\": {},",
+        point_duration().as_millis()
+    );
+    let _ = writeln!(
+        json,
+        "  \"per_lock_state_bytes\": {{\"MUTEX\": {}, \"FUTEX\": {}, \"AUTO\": {}, \"STD\": {}}},",
+        std::mem::size_of::<MutexLock>(),
+        std::mem::size_of::<FutexLock>(),
+        std::mem::size_of::<AutoBlockingMutex>(),
+        std::mem::size_of::<std::sync::Mutex<()>>(),
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"flavor\": \"{}\", \"live_locks\": {}, \"mops_per_sec\": {:.4}, \
+             \"wait_heap_bytes_per_lock\": {:.2}, \"shared_lot_fraction\": {:.4}}}",
+            json_escape_free(p.flavor),
+            p.live_locks,
+            p.mops,
+            p.heap_bytes_per_lock,
+            p.shared_lot_fraction,
+        );
+        json.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("writing the JSON artifact");
+    println!("\n# wrote {out_path}");
 }

@@ -1,23 +1,321 @@
 //! The GLK lock: structure, acquisition protocol and adaptation policy.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex as StdMutex;
 
 use gls_locks::{FutexLock, McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TicketLock};
 use gls_runtime::LockStats;
 
-use super::config::{BlockingBackend, GlkConfig, MonitorHandle};
+use super::config::{
+    BlockingBackend, BlockingDensity, GlkConfig, MonitorHandle, PopulationMembership,
+};
 use super::mode::{GlkMode, ModeTransition};
 
+/// Backend discriminants for [`AutoBlockingMutex`] (and the rw variant).
+pub(crate) const AUTO_UNDECIDED: u8 = 0;
+pub(crate) const AUTO_PER_LOCK: u8 = 1;
+pub(crate) const AUTO_PARKING: u8 = 2;
+
+/// The density decision: enter the parking lot at the threshold, leave it
+/// below half the threshold (hysteresis damps migration churn).
+pub(crate) fn decide_backend(density: &BlockingDensity, threshold: usize, current: u8) -> u8 {
+    let live = density.live();
+    if current == AUTO_PARKING {
+        if live * 2 < threshold {
+            AUTO_PER_LOCK
+        } else {
+            AUTO_PARKING
+        }
+    } else if live >= threshold {
+        AUTO_PARKING
+    } else {
+        AUTO_PER_LOCK
+    }
+}
+
+/// The backend-selection core shared by [`AutoBlockingMutex`] and the rw
+/// variant: the backend discriminant, the lazily-boxed per-lock backend
+/// and the migrate-on-release decision — all the raw-pointer publication
+/// machinery, kept in one place so the mutex and rw flavors cannot drift.
+#[derive(Debug, Default)]
+pub(crate) struct AutoCore<T: Default> {
+    /// AUTO_UNDECIDED until the first blocking acquisition, then the
+    /// backend currently serving the lock. Flipped only by the holder
+    /// (except the initial UNDECIDED CAS).
+    backend: AtomicU8,
+    /// The per-lock backend, allocated on first per-lock blocking use.
+    per_lock: AtomicPtr<T>,
+}
+
+impl<T: Default> Drop for AutoCore<T> {
+    fn drop(&mut self) {
+        let ptr = self.per_lock.load(Ordering::Acquire);
+        if !ptr.is_null() {
+            // SAFETY: published exactly once by `per_lock_backend`, freed
+            // exactly once here.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+impl<T: Default> AutoCore<T> {
+    /// The backend currently serving the lock.
+    pub(crate) fn backend(&self) -> u8 {
+        self.backend.load(Ordering::Acquire)
+    }
+
+    /// The embedded per-lock backend, allocated on first use.
+    pub(crate) fn per_lock_backend(&self) -> &T {
+        let ptr = self.per_lock.load(Ordering::Acquire);
+        if !ptr.is_null() {
+            // SAFETY: the pointer is only freed in Drop.
+            return unsafe { &*ptr };
+        }
+        let fresh = Box::into_raw(Box::<T>::default());
+        match self.per_lock.compare_exchange(
+            std::ptr::null_mut(),
+            fresh,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            // SAFETY: just published / published by the racing winner.
+            Ok(_) => unsafe { &*fresh },
+            Err(existing) => {
+                // SAFETY: `fresh` was never published.
+                unsafe { drop(Box::from_raw(fresh)) };
+                // SAFETY: the winner's pointer is only freed in Drop.
+                unsafe { &*existing }
+            }
+        }
+    }
+
+    /// Whether the per-lock backend has been allocated.
+    pub(crate) fn per_lock_allocated(&self) -> Option<&T> {
+        let ptr = self.per_lock.load(Ordering::Acquire);
+        // SAFETY: only freed in Drop.
+        (!ptr.is_null()).then(|| unsafe { &*ptr })
+    }
+
+    /// The backend serving new acquisitions, deciding it on first use.
+    pub(crate) fn backend_or_decide(&self, density: &BlockingDensity, threshold: usize) -> u8 {
+        let backend = self.backend.load(Ordering::Acquire);
+        if backend != AUTO_UNDECIDED {
+            return backend;
+        }
+        let choice = decide_backend(density, threshold, AUTO_UNDECIDED);
+        match self.backend.compare_exchange(
+            AUTO_UNDECIDED,
+            choice,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => choice,
+            Err(actual) => actual,
+        }
+    }
+
+    /// Applies the density decision on behalf of the (momentarily
+    /// exclusive) releasing holder, flipping the backend *before* the
+    /// caller releases the backend it holds. Returns the backend the
+    /// caller holds — and must release — plus whether it was migrated
+    /// away from.
+    pub(crate) fn migrate_on_release(
+        &self,
+        density: &BlockingDensity,
+        threshold: usize,
+    ) -> (u8, bool) {
+        let current = self.backend.load(Ordering::Acquire);
+        debug_assert_ne!(current, AUTO_UNDECIDED, "release without a decided backend");
+        let target = decide_backend(density, threshold, current);
+        let migrated = target != current;
+        if migrated {
+            self.backend.store(target, Ordering::Release);
+        }
+        (current, migrated)
+    }
+}
+
+/// A blocking mutex that **migrates** between an embedded per-lock
+/// `Mutex + Condvar` (fast when few locks block) and the word-sized
+/// [`FutexLock`] parked on the shared lot (4 bytes of wait state per lock,
+/// the only viable layout when thousands of locks block), driven by the
+/// live blocking-lock count in a [`BlockingDensity`].
+///
+/// The embedded mutex is allocated lazily, only if the lock ever blocks in
+/// per-lock mode — a lock born past the density threshold never pays more
+/// than the futex word. Migration follows the GLK mode-transition protocol:
+/// only the (momentarily exclusive) holder flips the backend, it flips
+/// *before* releasing the backend it holds, and waiters still parked on the
+/// old backend drain themselves — each wakes, acquires the old backend,
+/// re-checks the backend choice, releases (waking the next) and retries on
+/// the new backend. A release that migrates away from the parking backend
+/// additionally **broadcasts** to the futex queue
+/// ([`FutexLock::unlock_and_wake_all`]): condvar waiters requeued onto the
+/// word do not re-release it, so the one-wakeup drain chain could strand
+/// waiters queued behind them. No wakeup is lost and the old queue is
+/// never abandoned while threads sleep in it.
+#[derive(Debug, Default)]
+pub struct AutoBlockingMutex {
+    core: AutoCore<MutexLock>,
+    /// The parking-lot backend: always present, one `AtomicU32`.
+    futex: FutexLock,
+}
+
+impl AutoBlockingMutex {
+    /// Creates an auto-backend blocking mutex (undecided until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn lock_backend(&self, backend: u8) {
+        if backend == AUTO_PARKING {
+            self.futex.lock();
+        } else {
+            self.core.per_lock_backend().lock();
+        }
+    }
+
+    #[inline]
+    fn try_lock_backend(&self, backend: u8) -> bool {
+        if backend == AUTO_PARKING {
+            self.futex.try_lock()
+        } else {
+            self.core.per_lock_backend().try_lock()
+        }
+    }
+
+    #[inline]
+    fn unlock_backend(&self, backend: u8) {
+        if backend == AUTO_PARKING {
+            self.futex.unlock();
+        } else {
+            self.core.per_lock_backend().unlock();
+        }
+    }
+
+    /// Acquires the lock through whichever backend currently serves it,
+    /// re-checking the choice after acquiring (the GLK Figure-4 protocol):
+    /// a stale acquisition on a migrated-away backend releases it — waking
+    /// the next drainer — and retries.
+    pub fn lock(&self, density: &BlockingDensity, threshold: usize) {
+        loop {
+            let backend = self.core.backend_or_decide(density, threshold);
+            self.lock_backend(backend);
+            if self.core.backend() == backend {
+                return;
+            }
+            self.unlock_backend(backend);
+        }
+    }
+
+    /// Attempts to acquire the lock without waiting.
+    pub fn try_lock(&self, density: &BlockingDensity, threshold: usize) -> bool {
+        loop {
+            let backend = self.core.backend_or_decide(density, threshold);
+            if !self.try_lock_backend(backend) {
+                return false;
+            }
+            if self.core.backend() == backend {
+                return true;
+            }
+            self.unlock_backend(backend);
+        }
+    }
+
+    /// Releases the lock, migrating the backend first when the density
+    /// heuristic says so. Only the holder runs this, so reading and
+    /// flipping the backend here is race-free; the flip lands *before* the
+    /// release, so every later acquirer sees it. A release that migrates
+    /// away from the parking backend broadcasts to the futex queue: it may
+    /// hold requeued condvar waiters, which do not re-release the word, so
+    /// the one-wakeup drain chain could otherwise strand waiters queued
+    /// behind them.
+    pub fn unlock(&self, density: &BlockingDensity, threshold: usize) {
+        let (current, migrated) = self.core.migrate_on_release(density, threshold);
+        if current != AUTO_PARKING {
+            self.core.per_lock_backend().unlock();
+        } else if migrated {
+            self.futex.unlock_and_wake_all();
+        } else {
+            self.futex.unlock();
+        }
+    }
+
+    /// Releases a lock whose futex word is about to stop being the serving
+    /// lock for reasons *beyond* backend migration — GLK leaving mutex
+    /// mode. The parking backend broadcasts unconditionally (requeued
+    /// condvar waiters may sit in the queue and there may never be another
+    /// futex release to drain the rest); the per-lock backend drains
+    /// normally (condvar waiters are never requeued onto it).
+    pub(crate) fn unlock_stale(&self, density: &BlockingDensity, threshold: usize) {
+        let (current, _) = self.core.migrate_on_release(density, threshold);
+        if current == AUTO_PARKING {
+            self.futex.unlock_and_wake_all();
+        } else {
+            self.core.per_lock_backend().unlock();
+        }
+    }
+
+    /// Whether the lock is held on either backend (racy; diagnostics).
+    pub fn is_locked(&self) -> bool {
+        self.futex.is_locked()
+            || self
+                .core
+                .per_lock_allocated()
+                .is_some_and(MutexLock::is_locked)
+    }
+
+    /// Holder plus waiters over both backends (waiters may still be
+    /// draining from a migrated-away backend).
+    pub fn queue_length(&self) -> u64 {
+        self.futex.queue_length()
+            + self
+                .core
+                .per_lock_allocated()
+                .map_or(0, MutexLock::queue_length)
+    }
+
+    /// The backend currently serving the lock, for diagnostics and the
+    /// footprint accounting of the parking benchmark: `None` until the
+    /// first blocking acquisition, then `Some(true)` when the shared
+    /// parking lot serves it, `Some(false)` for the embedded mutex.
+    pub fn uses_parking_lot(&self) -> Option<bool> {
+        match self.core.backend() {
+            AUTO_UNDECIDED => None,
+            b => Some(b == AUTO_PARKING),
+        }
+    }
+
+    /// Bytes of heap-allocated blocking state (the lazily-created embedded
+    /// mutex): 0 for locks that only ever blocked through the shared lot.
+    pub fn blocking_heap_bytes(&self) -> usize {
+        if self.core.per_lock_allocated().is_some() {
+            std::mem::size_of::<MutexLock>()
+        } else {
+            0
+        }
+    }
+
+    /// The parking-lot address a requeued waiter would sleep under, when
+    /// the parking backend currently serves the lock.
+    pub(crate) fn park_addr(&self) -> Option<usize> {
+        (self.core.backend() == AUTO_PARKING).then(|| self.futex.park_addr())
+    }
+}
+
 /// The low-level lock behind [`GlkMode::Mutex`], chosen by
-/// [`GlkConfig::blocking_backend`]: per-lock parking state or a word-sized
-/// futex lock sleeping in the shared parking lot.
+/// [`GlkConfig::blocking_backend`]: per-lock parking state, a word-sized
+/// futex lock sleeping in the shared parking lot, or the density-driven
+/// [`AutoBlockingMutex`] that migrates between the two.
 #[derive(Debug)]
 pub(crate) enum BlockingMutex {
     /// `Mutex + Condvar` pair embedded in the lock.
     PerLock(MutexLock),
     /// One `AtomicU32`; waiters park in [`gls_locks::ParkingLot::global`].
     Parking(FutexLock),
+    /// Migrates between the two based on blocking-lock density.
+    Auto(AutoBlockingMutex),
 }
 
 impl BlockingMutex {
@@ -25,30 +323,55 @@ impl BlockingMutex {
         match backend {
             BlockingBackend::PerLock => BlockingMutex::PerLock(MutexLock::new()),
             BlockingBackend::ParkingLot => BlockingMutex::Parking(FutexLock::new()),
+            BlockingBackend::Auto => BlockingMutex::Auto(AutoBlockingMutex::new()),
         }
     }
 
     #[inline]
-    pub(crate) fn lock(&self) {
+    pub(crate) fn lock(&self, config: &GlkConfig) {
         match self {
             BlockingMutex::PerLock(l) => l.lock(),
             BlockingMutex::Parking(l) => l.lock(),
+            BlockingMutex::Auto(l) => {
+                l.lock(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
     #[inline]
-    pub(crate) fn try_lock(&self) -> bool {
+    pub(crate) fn try_lock(&self, config: &GlkConfig) -> bool {
         match self {
             BlockingMutex::PerLock(l) => l.try_lock(),
             BlockingMutex::Parking(l) => l.try_lock(),
+            BlockingMutex::Auto(l) => {
+                l.try_lock(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
     #[inline]
-    pub(crate) fn unlock(&self) {
+    pub(crate) fn unlock(&self, config: &GlkConfig) {
         match self {
             BlockingMutex::PerLock(l) => l.unlock(),
             BlockingMutex::Parking(l) => l.unlock(),
+            BlockingMutex::Auto(l) => {
+                l.unlock(config.density.density(), config.blocking_density_threshold)
+            }
+        }
+    }
+
+    /// Releases a mutex-mode hold after GLK moved away from mutex mode:
+    /// futex-backed queues are broadcast-drained (they may hold requeued
+    /// condvar waiters that would break the one-wakeup drain chain, and
+    /// there may never be another release of this word), per-lock queues
+    /// drain normally.
+    pub(crate) fn unlock_stale(&self, config: &GlkConfig) {
+        match self {
+            BlockingMutex::PerLock(l) => l.unlock(),
+            BlockingMutex::Parking(l) => l.unlock_and_wake_all(),
+            BlockingMutex::Auto(l) => {
+                l.unlock_stale(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
@@ -56,6 +379,7 @@ impl BlockingMutex {
         match self {
             BlockingMutex::PerLock(l) => l.is_locked(),
             BlockingMutex::Parking(l) => l.is_locked(),
+            BlockingMutex::Auto(l) => l.is_locked(),
         }
     }
 
@@ -63,6 +387,17 @@ impl BlockingMutex {
         match self {
             BlockingMutex::PerLock(l) => l.queue_length(),
             BlockingMutex::Parking(l) => l.queue_length(),
+            BlockingMutex::Auto(l) => l.queue_length(),
+        }
+    }
+
+    /// The address a condvar waiter can be requeued onto, when the lock's
+    /// blocking path currently runs through the shared parking lot.
+    pub(crate) fn park_addr(&self) -> Option<usize> {
+        match self {
+            BlockingMutex::PerLock(_) => None,
+            BlockingMutex::Parking(l) => Some(l.park_addr()),
+            BlockingMutex::Auto(l) => l.park_addr(),
         }
     }
 }
@@ -104,6 +439,9 @@ pub struct GlkLock {
     /// Consecutive calm monitor observations required to leave mutex mode;
     /// doubles after every departure (§3, "Selecting the GLK Mode").
     required_calm: AtomicU64,
+    /// This lock's membership in the blocking-density population (exact
+    /// across racing adaptation, free/resurrect and drop).
+    population: PopulationMembership,
     config: GlkConfig,
     monitor: MonitorHandle,
     /// Recorded transitions (only populated when
@@ -114,6 +452,13 @@ pub struct GlkLock {
 impl Default for GlkLock {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for GlkLock {
+    fn drop(&mut self) {
+        // A lock dying in mutex mode leaves the blocking population.
+        self.leave_population();
     }
 }
 
@@ -133,6 +478,10 @@ impl GlkLock {
     /// monitor (used by tests and by the benchmark harness, which need
     /// deterministic multiprogramming signals).
     pub fn with_config_and_monitor(config: GlkConfig, monitor: MonitorHandle) -> Self {
+        let starts_blocking = config.initial_mode == GlkMode::Mutex;
+        if starts_blocking {
+            config.density.density().enter();
+        }
         Self {
             mode: AtomicU8::new(config.initial_mode.as_raw()),
             ticket: TicketLock::new(),
@@ -141,9 +490,37 @@ impl GlkLock {
             stats: LockStats::new(),
             ema_bits: AtomicU64::new(0f64.to_bits()),
             required_calm: AtomicU64::new(config.initial_calm_rounds),
+            population: PopulationMembership::new(starts_blocking),
             config,
             monitor,
             transitions: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// Joins the blocking-density population (at most once until the
+    /// matching leave).
+    fn enter_population(&self) {
+        self.population.enter(self.config.density.density());
+    }
+
+    /// Leaves the blocking-density population (at most once per enter).
+    fn leave_population(&self) {
+        self.population.leave(self.config.density.density());
+    }
+
+    /// Called when this lock's GLS entry is freed: a retired lock no
+    /// longer belongs to the live blocking population the Auto backend
+    /// heuristic reads (the allocation stays parked for resurrection, but
+    /// it serves no traffic).
+    pub(crate) fn note_retired(&self) {
+        self.leave_population();
+    }
+
+    /// Called when this lock's GLS entry is resurrected: if it retired in
+    /// mutex mode it rejoins the blocking population.
+    pub(crate) fn note_resurrected(&self) {
+        if self.mode() == GlkMode::Mutex {
+            self.enter_population();
         }
     }
 
@@ -194,7 +571,7 @@ impl GlkLock {
         match mode {
             GlkMode::Ticket => self.ticket.lock(),
             GlkMode::Mcs => self.mcs.lock(),
-            GlkMode::Mutex => self.mutex.lock(),
+            GlkMode::Mutex => self.mutex.lock(&self.config),
         }
     }
 
@@ -203,7 +580,7 @@ impl GlkLock {
         match mode {
             GlkMode::Ticket => self.ticket.try_lock(),
             GlkMode::Mcs => self.mcs.try_lock(),
-            GlkMode::Mutex => self.mutex.try_lock(),
+            GlkMode::Mutex => self.mutex.try_lock(&self.config),
         }
     }
 
@@ -212,7 +589,37 @@ impl GlkLock {
         match mode {
             GlkMode::Ticket => self.ticket.unlock(),
             GlkMode::Mcs => self.mcs.unlock(),
-            GlkMode::Mutex => self.mutex.unlock(),
+            GlkMode::Mutex => self.mutex.unlock(&self.config),
+        }
+    }
+
+    /// The parking-lot address this lock's blocking waiters sleep under,
+    /// when the lock currently blocks through the shared lot (used by
+    /// condvar requeue-on-notify; `None` in spin modes or with per-lock
+    /// blocking state). The answer is inherently racy — the mode can
+    /// change right after — which is safe because the requeue machinery
+    /// only commits when the target word is observably held (see
+    /// [`gls_locks::futex_mutex::prepare_direct_requeue`]).
+    pub(crate) fn blocking_park_addr(&self) -> Option<usize> {
+        if self.mode() != GlkMode::Mutex {
+            return None;
+        }
+        self.mutex.park_addr()
+    }
+
+    /// Releases the low-level lock of a mode this thread acquired but will
+    /// not keep (the mode changed under it, or its own adaptation flipped
+    /// it). When the stale mode is mutex with a futex-backed queue, the
+    /// release broadcasts: the queue may hold condvar waiters requeued
+    /// onto the futex word, which re-acquire through the *current* mode
+    /// and never re-release the word — the ordinary one-wakeup drain chain
+    /// would strand everyone parked behind them, and with the lock leaving
+    /// mutex mode there may never be another release of that word.
+    #[inline]
+    fn release_stale_mode(&self, stale: GlkMode) {
+        match stale {
+            GlkMode::Mutex => self.mutex.unlock_stale(&self.config),
+            other => self.unlock_mode(other),
         }
     }
 
@@ -227,7 +634,7 @@ impl GlkLock {
             if self.mode() == current && !self.try_adapt(current) {
                 return;
             }
-            self.unlock_mode(current);
+            self.release_stale_mode(current);
         }
     }
 
@@ -241,7 +648,7 @@ impl GlkLock {
             if self.mode() == current && !self.try_adapt(current) {
                 return true;
             }
-            self.unlock_mode(current);
+            self.release_stale_mode(current);
         }
     }
 
@@ -327,6 +734,16 @@ impl GlkLock {
         }
         self.stats.record_transition();
         self.mode.store(target.as_raw(), Ordering::Release);
+        // Maintain the blocking-lock density the Auto backend heuristic
+        // reads — *after* publishing the mode, so a racing
+        // `note_resurrected` (which re-reads the mode) cannot re-count a
+        // lock that is just leaving mutex mode; the CAS-guarded pairing
+        // keeps a racing free/resurrect from unbalancing the count.
+        if target == GlkMode::Mutex {
+            self.enter_population();
+        } else if current == GlkMode::Mutex {
+            self.leave_population();
+        }
         true
     }
 
@@ -676,6 +1093,146 @@ mod tests {
             lock.smoothed_queue(),
             lock.transitions()
         );
+    }
+
+    #[test]
+    fn auto_backend_decides_by_density_and_migrates_on_release() {
+        use super::super::config::BlockingDensity;
+        let density = BlockingDensity::new();
+        let threshold = 4usize;
+        let lock = AutoBlockingMutex::new();
+        assert_eq!(lock.uses_parking_lot(), None, "undecided until first use");
+        // Low density: the first use decides the embedded per-lock mutex.
+        lock.lock(&density, threshold);
+        assert_eq!(lock.uses_parking_lot(), Some(false));
+        assert!(lock.is_locked());
+        assert!(!lock.try_lock(&density, threshold));
+        assert!(lock.blocking_heap_bytes() > 0, "per-lock box allocated");
+        // Past the threshold, the holder migrates on release...
+        for _ in 0..threshold {
+            density.enter();
+        }
+        lock.unlock(&density, threshold);
+        assert_eq!(lock.uses_parking_lot(), Some(true));
+        assert!(!lock.is_locked());
+        // ...and below half the threshold it migrates back.
+        lock.lock(&density, threshold);
+        for _ in 0..threshold {
+            density.leave();
+        }
+        lock.unlock(&density, threshold);
+        assert_eq!(lock.uses_parking_lot(), Some(false));
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn auto_backend_born_past_threshold_never_allocates_per_lock_state() {
+        use super::super::config::BlockingDensity;
+        let density = BlockingDensity::new();
+        for _ in 0..8 {
+            density.enter();
+        }
+        let lock = AutoBlockingMutex::new();
+        lock.lock(&density, 4);
+        lock.unlock(&density, 4);
+        assert_eq!(lock.uses_parking_lot(), Some(true));
+        assert_eq!(
+            lock.blocking_heap_bytes(),
+            0,
+            "a lock born past the density threshold pays only the futex word"
+        );
+    }
+
+    #[test]
+    fn auto_backend_excludes_across_forced_migrations() {
+        use super::super::config::BlockingDensity;
+        use std::sync::Arc;
+        struct Shared(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Shared {}
+        let density = Arc::new(BlockingDensity::new());
+        let lock = Arc::new(AutoBlockingMutex::new());
+        let shared = Arc::new(Shared(std::cell::UnsafeCell::new(0)));
+        let stop = Arc::new(AtomicBool::new(false));
+        // A churn thread oscillates the density across the threshold so
+        // releases keep migrating the backend while workers fight for the
+        // lock.
+        let churn = {
+            let density = Arc::clone(&density);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..8 {
+                        density.enter();
+                    }
+                    std::thread::yield_now();
+                    for _ in 0..8 {
+                        density.leave();
+                    }
+                }
+            })
+        };
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let density = Arc::clone(&density);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        lock.lock(&density, 4);
+                        // Non-atomic increment: lost updates reveal an
+                        // exclusion violation across a backend migration.
+                        unsafe { *shared.0.get() += 1 };
+                        lock.unlock(&density, 4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        churn.join().unwrap();
+        assert_eq!(unsafe { *shared.0.get() }, 60_000);
+        assert!(!lock.is_locked());
+        assert_eq!(lock.queue_length(), 0);
+    }
+
+    #[test]
+    fn glk_mode_transitions_maintain_blocking_density() {
+        use super::super::config::{BlockingDensity, DensityHandle};
+        use std::sync::Arc;
+        let density = Arc::new(BlockingDensity::new());
+        let monitor = manual_monitor();
+        {
+            let lock = GlkLock::with_config_and_monitor(
+                fast_config()
+                    .with_initial_mode(GlkMode::Mutex)
+                    .with_density(DensityHandle::Custom(Arc::clone(&density))),
+                MonitorHandle::Custom(Arc::clone(&monitor)),
+            );
+            assert_eq!(density.live(), 1, "initial mutex mode counts");
+            // Calm single-threaded use leaves mutex mode -> count drops.
+            for _ in 0..64 {
+                monitor.poll_once();
+            }
+            for _ in 0..1_000 {
+                lock.lock();
+                lock.unlock();
+            }
+            assert_eq!(lock.mode(), GlkMode::Ticket);
+            assert_eq!(density.live(), 0, "leaving mutex mode decrements");
+        }
+        assert_eq!(density.live(), 0, "drop of a ticket-mode lock is neutral");
+        {
+            let _lock = GlkLock::with_config_and_monitor(
+                fast_config()
+                    .with_initial_mode(GlkMode::Mutex)
+                    .with_density(DensityHandle::Custom(Arc::clone(&density))),
+                MonitorHandle::Custom(monitor),
+            );
+            assert_eq!(density.live(), 1);
+        }
+        assert_eq!(density.live(), 0, "dropping a mutex-mode lock decrements");
     }
 
     #[test]

@@ -27,7 +27,10 @@ mod lock;
 mod mode;
 mod rw;
 
-pub use config::{BlockingBackend, GlkConfig, MonitorHandle};
-pub use lock::GlkLock;
+pub use config::{
+    BlockingBackend, BlockingDensity, DensityHandle, GlkConfig, MonitorHandle,
+    DEFAULT_BLOCKING_DENSITY_THRESHOLD,
+};
+pub use lock::{AutoBlockingMutex, GlkLock};
 pub use mode::{GlkMode, ModeTransition};
 pub use rw::{GlkRwLock, GlkRwMode};

@@ -23,7 +23,148 @@ use gls_locks::{
 };
 use gls_runtime::LockStats;
 
-use super::config::{BlockingBackend, GlkConfig, MonitorHandle};
+use super::config::{
+    BlockingBackend, BlockingDensity, GlkConfig, MonitorHandle, PopulationMembership,
+};
+#[cfg(test)]
+use super::lock::AUTO_PER_LOCK;
+use super::lock::{AutoCore, AUTO_PARKING};
+
+/// The rw counterpart of [`AutoBlockingMutex`](super::AutoBlockingMutex),
+/// sharing its [`AutoCore`] (backend selection, lazy per-lock box,
+/// migrate-on-release): migrates between an embedded [`RwMutexLock`] and
+/// the word-sized [`FutexRwLock`], driven by blocking-lock density.
+/// Backend flips happen only under a held **write** lock (momentarily
+/// exclusive, like GLK-RW's mode flips): readers pin the backend for the
+/// duration of their hold, so `read_unlock` always releases the backend
+/// the reader acquired. A pure-read phase therefore keeps its backend
+/// until the next write release — migration is an optimization, not a
+/// correctness event. Unlike the mutex flavor, no broadcast is needed on
+/// migration: condvar waiters are never requeued onto rw words (see
+/// `LockEntry::park_addr`), so every futex-rw waiter is native and drains
+/// through acquire-recheck-release-retry.
+#[derive(Debug, Default)]
+struct AutoBlockingRw {
+    core: AutoCore<RwMutexLock>,
+    futex: FutexRwLock,
+}
+
+impl AutoBlockingRw {
+    fn read_lock(&self, density: &BlockingDensity, threshold: usize) {
+        loop {
+            let backend = self.core.backend_or_decide(density, threshold);
+            if backend == AUTO_PARKING {
+                self.futex.read_lock();
+            } else {
+                self.core.per_lock_backend().read_lock();
+            }
+            if self.core.backend() == backend {
+                return;
+            }
+            self.read_unlock_backend(backend);
+        }
+    }
+
+    fn try_read_lock(&self, density: &BlockingDensity, threshold: usize) -> bool {
+        loop {
+            let backend = self.core.backend_or_decide(density, threshold);
+            let acquired = if backend == AUTO_PARKING {
+                self.futex.try_read_lock()
+            } else {
+                self.core.per_lock_backend().try_read_lock()
+            };
+            if !acquired {
+                return false;
+            }
+            if self.core.backend() == backend {
+                return true;
+            }
+            self.read_unlock_backend(backend);
+        }
+    }
+
+    #[inline]
+    fn read_unlock_backend(&self, backend: u8) {
+        if backend == AUTO_PARKING {
+            self.futex.read_unlock();
+        } else {
+            self.core.per_lock_backend().read_unlock();
+        }
+    }
+
+    /// Releases shared access. A reader's hold pins the backend (flipping
+    /// requires the write lock of the current backend), so the value read
+    /// here names the backend actually held.
+    fn read_unlock(&self) {
+        self.read_unlock_backend(self.core.backend());
+    }
+
+    fn write_lock(&self, density: &BlockingDensity, threshold: usize) {
+        loop {
+            let backend = self.core.backend_or_decide(density, threshold);
+            if backend == AUTO_PARKING {
+                self.futex.lock();
+            } else {
+                self.core.per_lock_backend().lock();
+            }
+            if self.core.backend() == backend {
+                return;
+            }
+            self.write_unlock_backend(backend);
+        }
+    }
+
+    fn try_write_lock(&self, density: &BlockingDensity, threshold: usize) -> bool {
+        loop {
+            let backend = self.core.backend_or_decide(density, threshold);
+            let acquired = if backend == AUTO_PARKING {
+                self.futex.try_lock()
+            } else {
+                self.core.per_lock_backend().try_lock()
+            };
+            if !acquired {
+                return false;
+            }
+            if self.core.backend() == backend {
+                return true;
+            }
+            self.write_unlock_backend(backend);
+        }
+    }
+
+    #[inline]
+    fn write_unlock_backend(&self, backend: u8) {
+        if backend == AUTO_PARKING {
+            self.futex.unlock();
+        } else {
+            self.core.per_lock_backend().unlock();
+        }
+    }
+
+    /// Releases exclusive access, migrating the backend first when the
+    /// density heuristic says so (the write holder is exclusive, so the
+    /// flip is race-free and lands before the release).
+    fn write_unlock(&self, density: &BlockingDensity, threshold: usize) {
+        let (current, _) = self.core.migrate_on_release(density, threshold);
+        self.write_unlock_backend(current);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.futex.is_locked()
+            || self
+                .core
+                .per_lock_allocated()
+                .is_some_and(RwMutexLock::is_locked)
+    }
+
+    fn queue_length(&self) -> u64 {
+        self.futex.queue_length()
+            + self
+                .core
+                .per_lock_allocated()
+                .map_or(0, RwMutexLock::queue_length)
+    }
+}
 
 /// The low-level lock behind [`GlkRwMode::Blocking`], chosen by
 /// [`GlkConfig::blocking_backend`].
@@ -33,6 +174,8 @@ enum BlockingRw {
     PerLock(RwMutexLock),
     /// One `AtomicU32`; waiters park in [`gls_locks::ParkingLot::global`].
     Parking(FutexRwLock),
+    /// Migrates between the two based on blocking-lock density.
+    Auto(AutoBlockingRw),
 }
 
 impl BlockingRw {
@@ -40,22 +183,29 @@ impl BlockingRw {
         match backend {
             BlockingBackend::PerLock => BlockingRw::PerLock(RwMutexLock::new()),
             BlockingBackend::ParkingLot => BlockingRw::Parking(FutexRwLock::new()),
+            BlockingBackend::Auto => BlockingRw::Auto(AutoBlockingRw::default()),
         }
     }
 
     #[inline]
-    fn read_lock(&self) {
+    fn read_lock(&self, config: &GlkConfig) {
         match self {
             BlockingRw::PerLock(l) => l.read_lock(),
             BlockingRw::Parking(l) => l.read_lock(),
+            BlockingRw::Auto(l) => {
+                l.read_lock(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
     #[inline]
-    fn try_read_lock(&self) -> bool {
+    fn try_read_lock(&self, config: &GlkConfig) -> bool {
         match self {
             BlockingRw::PerLock(l) => l.try_read_lock(),
             BlockingRw::Parking(l) => l.try_read_lock(),
+            BlockingRw::Auto(l) => {
+                l.try_read_lock(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
@@ -64,30 +214,40 @@ impl BlockingRw {
         match self {
             BlockingRw::PerLock(l) => l.read_unlock(),
             BlockingRw::Parking(l) => l.read_unlock(),
+            BlockingRw::Auto(l) => l.read_unlock(),
         }
     }
 
     #[inline]
-    fn write_lock(&self) {
+    fn write_lock(&self, config: &GlkConfig) {
         match self {
             BlockingRw::PerLock(l) => l.lock(),
             BlockingRw::Parking(l) => l.lock(),
+            BlockingRw::Auto(l) => {
+                l.write_lock(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
     #[inline]
-    fn try_write_lock(&self) -> bool {
+    fn try_write_lock(&self, config: &GlkConfig) -> bool {
         match self {
             BlockingRw::PerLock(l) => l.try_lock(),
             BlockingRw::Parking(l) => l.try_lock(),
+            BlockingRw::Auto(l) => {
+                l.try_write_lock(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
     #[inline]
-    fn write_unlock(&self) {
+    fn write_unlock(&self, config: &GlkConfig) {
         match self {
             BlockingRw::PerLock(l) => l.unlock(),
             BlockingRw::Parking(l) => l.unlock(),
+            BlockingRw::Auto(l) => {
+                l.write_unlock(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
@@ -95,6 +255,7 @@ impl BlockingRw {
         match self {
             BlockingRw::PerLock(l) => l.is_locked(),
             BlockingRw::Parking(l) => l.is_locked(),
+            BlockingRw::Auto(l) => l.is_locked(),
         }
     }
 
@@ -102,6 +263,7 @@ impl BlockingRw {
         match self {
             BlockingRw::PerLock(l) => l.queue_length(),
             BlockingRw::Parking(l) => l.queue_length(),
+            BlockingRw::Auto(l) => l.queue_length(),
         }
     }
 }
@@ -174,6 +336,10 @@ pub struct GlkRwLock {
     /// release runs the adaptation check. Without this, a 100%-read
     /// workload would never adapt (only write holders fold the EMA).
     adapt_pending: AtomicBool,
+    /// This lock's membership in the blocking-density population (exact
+    /// across racing adaptation, free/resurrect and drop, as in
+    /// `GlkLock`).
+    population: PopulationMembership,
     config: GlkConfig,
     monitor: MonitorHandle,
 }
@@ -181,6 +347,13 @@ pub struct GlkRwLock {
 impl Default for GlkRwLock {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Drop for GlkRwLock {
+    fn drop(&mut self) {
+        // A lock dying in blocking mode leaves the blocking population.
+        self.leave_population();
     }
 }
 
@@ -207,8 +380,34 @@ impl GlkRwLock {
             ema_bits: AtomicU64::new(0f64.to_bits()),
             required_calm: AtomicU64::new(config.initial_calm_rounds),
             adapt_pending: AtomicBool::new(false),
+            population: PopulationMembership::new(false),
             config,
             monitor,
+        }
+    }
+
+    /// Joins the blocking-density population (at most once until the
+    /// matching leave).
+    fn enter_population(&self) {
+        self.population.enter(self.config.density.density());
+    }
+
+    /// Leaves the blocking-density population (at most once per enter).
+    fn leave_population(&self) {
+        self.population.leave(self.config.density.density());
+    }
+
+    /// Called when this lock's GLS entry is freed: retired locks leave the
+    /// live blocking population the Auto backend heuristic reads.
+    pub(crate) fn note_retired(&self) {
+        self.leave_population();
+    }
+
+    /// Called when this lock's GLS entry is resurrected: a lock that
+    /// retired in blocking mode rejoins the population.
+    pub(crate) fn note_resurrected(&self) {
+        if self.mode() == GlkRwMode::Blocking {
+            self.enter_population();
         }
     }
 
@@ -249,7 +448,7 @@ impl GlkRwLock {
     fn read_lock_mode(&self, mode: GlkRwMode) {
         match mode {
             GlkRwMode::Spin => self.spin.read_lock(),
-            GlkRwMode::Blocking => self.blocking.read_lock(),
+            GlkRwMode::Blocking => self.blocking.read_lock(&self.config),
         }
     }
 
@@ -257,7 +456,7 @@ impl GlkRwLock {
     fn try_read_lock_mode(&self, mode: GlkRwMode) -> bool {
         match mode {
             GlkRwMode::Spin => self.spin.try_read_lock(),
-            GlkRwMode::Blocking => self.blocking.try_read_lock(),
+            GlkRwMode::Blocking => self.blocking.try_read_lock(&self.config),
         }
     }
 
@@ -273,7 +472,7 @@ impl GlkRwLock {
     fn write_lock_mode(&self, mode: GlkRwMode) {
         match mode {
             GlkRwMode::Spin => self.spin.lock(),
-            GlkRwMode::Blocking => self.blocking.write_lock(),
+            GlkRwMode::Blocking => self.blocking.write_lock(&self.config),
         }
     }
 
@@ -281,7 +480,7 @@ impl GlkRwLock {
     fn try_write_lock_mode(&self, mode: GlkRwMode) -> bool {
         match mode {
             GlkRwMode::Spin => self.spin.try_lock(),
-            GlkRwMode::Blocking => self.blocking.try_write_lock(),
+            GlkRwMode::Blocking => self.blocking.try_write_lock(&self.config),
         }
     }
 
@@ -289,7 +488,7 @@ impl GlkRwLock {
     fn write_unlock_mode(&self, mode: GlkRwMode) {
         match mode {
             GlkRwMode::Spin => self.spin.unlock(),
-            GlkRwMode::Blocking => self.blocking.write_unlock(),
+            GlkRwMode::Blocking => self.blocking.write_unlock(&self.config),
         }
     }
 
@@ -453,6 +652,16 @@ impl GlkRwLock {
         }
         self.stats.record_transition();
         self.mode.store(target.as_raw(), Ordering::Release);
+        // Maintain the blocking-lock density the Auto backend heuristic
+        // reads — after publishing the mode, so a racing
+        // `note_resurrected` cannot re-count a lock that is just leaving
+        // blocking mode; the CAS-guarded pairing tolerates a racing
+        // free/resurrect.
+        if target == GlkRwMode::Blocking {
+            self.enter_population();
+        } else if current == GlkRwMode::Blocking {
+            self.leave_population();
+        }
         true
     }
 
@@ -646,14 +855,54 @@ mod tests {
         );
         assert!(matches!(lock.blocking, BlockingRw::Parking(_)));
         // Exercise the blocking lock directly through the mode dispatchers.
-        lock.blocking.read_lock();
-        assert!(!lock.blocking.try_write_lock());
+        lock.blocking.read_lock(&lock.config);
+        assert!(!lock.blocking.try_write_lock(&lock.config));
         lock.blocking.read_unlock();
-        lock.blocking.write_lock();
+        lock.blocking.write_lock(&lock.config);
         assert!(lock.blocking.is_locked());
-        assert!(!lock.blocking.try_read_lock());
-        lock.blocking.write_unlock();
+        assert!(!lock.blocking.try_read_lock(&lock.config));
+        lock.blocking.write_unlock(&lock.config);
         assert_eq!(lock.blocking.queue_length(), 0);
+    }
+
+    #[test]
+    fn auto_backend_rw_roundtrip_and_migration() {
+        use super::super::config::{BlockingDensity, DensityHandle};
+        use std::sync::Arc;
+        let density = Arc::new(BlockingDensity::new());
+        let lock = GlkRwLock::with_config(
+            fast_config()
+                .with_blocking_backend(BlockingBackend::Auto)
+                .with_blocking_density_threshold(4)
+                .with_density(DensityHandle::Custom(Arc::clone(&density))),
+        );
+        let BlockingRw::Auto(auto) = &lock.blocking else {
+            panic!("Auto config must build the auto backend");
+        };
+        // Low density: the first blocking use decides per-lock state.
+        auto.read_lock(&density, 4);
+        assert_eq!(auto.core.backend(), AUTO_PER_LOCK);
+        assert!(!auto.try_write_lock(&density, 4));
+        auto.read_unlock();
+        // Raise the density past the threshold: the next write release
+        // migrates the backend to the parking lot...
+        for _ in 0..4 {
+            density.enter();
+        }
+        auto.write_lock(&density, 4);
+        auto.write_unlock(&density, 4);
+        assert_eq!(auto.core.backend(), AUTO_PARKING);
+        // ...and both sides keep excluding across the migration.
+        auto.write_lock(&density, 4);
+        assert!(!auto.try_read_lock(&density, 4));
+        // Dropping below half the threshold migrates back on release.
+        for _ in 0..4 {
+            density.leave();
+        }
+        auto.write_unlock(&density, 4);
+        assert_eq!(auto.core.backend(), AUTO_PER_LOCK);
+        assert!(!auto.is_locked());
+        assert_eq!(auto.queue_length(), 0);
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! with weaker orderings both could miss and the deadlock would go
 //! unreported.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex as StdMutex;
+use std::time::{Duration, Instant};
 
 use gls_runtime::thread_id::MAX_THREADS;
 use gls_runtime::ThreadId;
@@ -40,6 +42,35 @@ pub(crate) struct CycleCandidate {
     epochs: Vec<u64>,
 }
 
+impl CycleCandidate {
+    /// A rotation-invariant identity for the cycle, so the same deadlock
+    /// detected by different participating threads (each starting the walk
+    /// at itself) coalesces onto one confirmation deadline. Hashes the
+    /// `(thread, addr)` edges rotated to start at the minimum element,
+    /// dropping the duplicated closing entry.
+    pub(crate) fn key(&self) -> u64 {
+        let edges = &self.cycle[..self.cycle.len().saturating_sub(1)];
+        if edges.is_empty() {
+            return 0;
+        }
+        let start = edges
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, a))| (t.as_u32(), a))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for i in 0..edges.len() {
+            let (thread, addr) = edges[(start + i) % edges.len()];
+            for word in [thread.as_u32() as u64, addr as u64] {
+                hash ^= word;
+                hash = hash.wrapping_mul(0x1000_0000_01b3); // FNV prime
+            }
+        }
+        hash
+    }
+}
+
 /// Debug bookkeeping shared by all operations of one service instance.
 #[derive(Debug)]
 pub(crate) struct DebugState {
@@ -50,6 +81,17 @@ pub(crate) struct DebugState {
     epochs: Box<[AtomicU64]>,
     /// Detected issues, in detection order.
     issues: StdMutex<Vec<GlsError>>,
+    /// Total candidate cycles produced by detection walks (confirmed or
+    /// phantom). Exported so operators can see adversarial churn: a high
+    /// candidate rate with no confirmed deadlock means the workload keeps
+    /// assembling phantom cycles and paying confirmation waits.
+    candidates: AtomicU64,
+    /// In-flight confirmations keyed by cycle identity: every thread that
+    /// detects the same cycle shares one deadline instead of each starting
+    /// its own full grace period, so N participants (or repeated
+    /// re-detections under churn) confirm in one period of wall time
+    /// instead of stacking them.
+    confirmations: StdMutex<HashMap<u64, Instant>>,
 }
 
 impl DebugState {
@@ -58,6 +100,44 @@ impl DebugState {
             waiting: (0..MAX_THREADS).map(|_| AtomicUsize::new(0)).collect(),
             epochs: (0..MAX_THREADS).map(|_| AtomicU64::new(0)).collect(),
             issues: StdMutex::new(Vec::new()),
+            candidates: AtomicU64::new(0),
+            confirmations: StdMutex::new(HashMap::new()),
+        }
+    }
+
+    /// Total candidate cycles produced so far (the candidate-rate counter).
+    pub(crate) fn candidate_count(&self) -> u64 {
+        self.candidates.load(Ordering::Relaxed)
+    }
+
+    /// Registers `candidate` for confirmation and returns how long the
+    /// caller should wait before re-validating: the full grace period for
+    /// the first detector of this cycle, the *remainder* of the shared
+    /// deadline for every other thread that detects the same cycle while a
+    /// confirmation is in flight (possibly zero). This coalescing bounds
+    /// total confirmation latency per cycle at one grace period no matter
+    /// how many threads participate or how often churn re-detects it.
+    pub(crate) fn confirmation_wait(
+        &self,
+        candidate: &CycleCandidate,
+        grace: Duration,
+    ) -> Duration {
+        let key = candidate.key();
+        let now = Instant::now();
+        let Ok(mut confirmations) = self.confirmations.lock() else {
+            return grace;
+        };
+        let deadline = *confirmations.entry(key).or_insert_with(|| now + grace);
+        deadline.saturating_duration_since(now)
+    }
+
+    /// Ends the in-flight confirmation of `candidate` (verdict reached:
+    /// reported as a real deadlock, dissolved as a phantom, or the lock was
+    /// acquired meanwhile). A later re-detection of the same cycle starts a
+    /// fresh grace period.
+    pub(crate) fn finish_confirmation(&self, candidate: &CycleCandidate) {
+        if let Ok(mut confirmations) = self.confirmations.lock() {
+            confirmations.remove(&candidate.key());
         }
     }
 
@@ -131,6 +211,7 @@ impl DebugState {
         ) {
             path.push((me, wait_addr));
             epochs.push(epochs[0]);
+            self.candidates.fetch_add(1, Ordering::Relaxed);
             return Some(CycleCandidate {
                 cycle: path,
                 epochs,
@@ -334,6 +415,74 @@ mod tests {
         d.clear_waiting(tid(1));
         d.set_waiting(tid(1), 0xb);
         assert!(!d.still_deadlocked(&candidate, lookup(&map)));
+    }
+
+    #[test]
+    fn cycle_key_is_rotation_invariant() {
+        // The same two-thread deadlock, detected once from T0 and once
+        // from T1, must coalesce onto one confirmation key.
+        let d = DebugState::new();
+        let map = owners(&[(0xa, 1), (0xb, 0)]);
+        d.set_waiting(tid(0), 0xa);
+        d.set_waiting(tid(1), 0xb);
+        let from_t0 = d.detect_deadlock(tid(0), 0xa, lookup(&map)).unwrap();
+        let from_t1 = d.detect_deadlock(tid(1), 0xb, lookup(&map)).unwrap();
+        assert_ne!(
+            from_t0.cycle, from_t1.cycle,
+            "walks start at different threads"
+        );
+        assert_eq!(from_t0.key(), from_t1.key(), "identity coalesces");
+        // A different cycle gets a different key.
+        let map2 = owners(&[(0xc, 3), (0xd, 2)]);
+        d.set_waiting(tid(2), 0xc);
+        d.set_waiting(tid(3), 0xd);
+        let other = d.detect_deadlock(tid(2), 0xc, lookup(&map2)).unwrap();
+        assert_ne!(from_t0.key(), other.key());
+    }
+
+    #[test]
+    fn candidate_counter_tracks_detections() {
+        let d = DebugState::new();
+        let map = owners(&[(0xa, 1), (0xb, 0)]);
+        assert_eq!(d.candidate_count(), 0);
+        // A terminating chain produces no candidate.
+        assert!(d.detect_deadlock(tid(5), 0xa, lookup(&map)).is_none());
+        assert_eq!(d.candidate_count(), 0);
+        d.set_waiting(tid(0), 0xa);
+        d.set_waiting(tid(1), 0xb);
+        let _ = d.detect_deadlock(tid(0), 0xa, lookup(&map)).unwrap();
+        let _ = d.detect_deadlock(tid(0), 0xa, lookup(&map)).unwrap();
+        assert_eq!(d.candidate_count(), 2);
+    }
+
+    #[test]
+    fn same_cycle_confirmations_share_one_deadline() {
+        let d = DebugState::new();
+        let map = owners(&[(0xa, 1), (0xb, 0)]);
+        d.set_waiting(tid(0), 0xa);
+        d.set_waiting(tid(1), 0xb);
+        let c0 = d.detect_deadlock(tid(0), 0xa, lookup(&map)).unwrap();
+        let c1 = d.detect_deadlock(tid(1), 0xb, lookup(&map)).unwrap();
+        let grace = Duration::from_millis(200);
+        let first = d.confirmation_wait(&c0, grace);
+        assert!(
+            first <= grace && first >= grace / 2,
+            "first pays ~full grace"
+        );
+        // The other participant joins the in-flight confirmation: it waits
+        // out the *remainder*, never a fresh full period.
+        std::thread::sleep(Duration::from_millis(50));
+        let second = d.confirmation_wait(&c1, grace);
+        assert!(
+            second <= grace - Duration::from_millis(40),
+            "coalesced wait must be the remainder (got {second:?})"
+        );
+        // After the verdict the slate is clean: a re-detection starts a
+        // fresh grace period.
+        d.finish_confirmation(&c0);
+        let fresh = d.confirmation_wait(&c1, grace);
+        assert!(fresh >= grace / 2);
+        d.finish_confirmation(&c1);
     }
 
     #[test]

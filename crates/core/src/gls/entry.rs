@@ -186,6 +186,40 @@ impl AlgorithmLock {
             _ => None,
         }
     }
+
+    /// The parking-lot address this lock's blocking waiters sleep under,
+    /// when the lock currently blocks through the shared parking lot:
+    /// always for futex entries, for GLK entries while their mutex mode
+    /// runs on a parking backend, `None` otherwise. Condvar
+    /// requeue-on-notify moves waiters onto this address instead of waking
+    /// them into a block on the mutex; a `None` falls back to plain wakeup.
+    pub(crate) fn park_addr(&self) -> Option<usize> {
+        match self {
+            AlgorithmLock::Futex(l) => Some(l.park_addr()),
+            AlgorithmLock::Glk(l) => l.blocking_park_addr(),
+            _ => None,
+        }
+    }
+
+    /// Tells adaptive locks their entry was freed: a retired lock leaves
+    /// the live blocking population the Auto backend heuristic reads.
+    pub(crate) fn note_retired(&self) {
+        match self {
+            AlgorithmLock::Glk(l) => l.note_retired(),
+            AlgorithmLock::Rw(l) => l.note_retired(),
+            _ => {}
+        }
+    }
+
+    /// Tells adaptive locks their entry was resurrected: a lock retired in
+    /// a blocking mode rejoins the population.
+    pub(crate) fn note_resurrected(&self) {
+        match self {
+            AlgorithmLock::Glk(l) => l.note_resurrected(),
+            AlgorithmLock::Rw(l) => l.note_resurrected(),
+            _ => {}
+        }
+    }
 }
 
 /// A lock object plus the metadata GLS keeps about it (ownership for the
@@ -344,6 +378,12 @@ impl LockEntry {
         self.profile
             .get_or_init(|| Box::new(ProfileShards::new()))
             .slot()
+    }
+
+    /// The address a condvar waiter can be requeued onto so the mutex's own
+    /// release wakes it (see [`AlgorithmLock::park_addr`]).
+    pub(crate) fn park_addr(&self) -> Option<usize> {
+        self.lock.park_addr()
     }
 
     /// Folds the sharded profile statistics and the base `LockStats` (debug

@@ -76,24 +76,43 @@ pub struct GlsService {
     /// Entries removed via `free`, kept allocated until the service is
     /// dropped so concurrent (buggy) users can never observe freed memory,
     /// and resurrected as-is when the same address is re-created so
-    /// lock/free churn does not leak. Invalidation of per-thread cache
-    /// slots is *precise*: `free` bumps only the freed entry's epoch (see
+    /// lock/free churn does not leak. The map doubles as the
+    /// **pending-free marker**: `free` publishes the entry here *before*
+    /// removing it from the table (and a resurrecting create clears the
+    /// stale marker only *after* re-publishing the entry in the table), so
+    /// a release path that misses the table is deterministically guaranteed
+    /// to find the entry here — there is no remove→park window and the
+    /// release paths never sleep. Invalidation of per-thread cache slots is
+    /// *precise*: `free` bumps only the freed entry's epoch (see
     /// `LockEntry::epoch`), so no other address's cached mapping is
     /// disturbed anywhere in the process.
     retired: StdMutex<RetiredSet>,
 }
 
+/// A pending-free marker / parked allocation: the entry pointer plus the
+/// (live, even) epoch the claiming `free` observed. The epoch stamp lets a
+/// resurrecting create distinguish its own stale marker (strictly older
+/// than the resurrected epoch) from a fresh marker published by the *next*
+/// free of the same address.
+#[derive(Debug, Clone, Copy)]
+struct PendingFree {
+    ptr: usize,
+    epoch: u64,
+}
+
 /// The parked allocations of freed addresses.
 #[derive(Debug, Default)]
 struct RetiredSet {
-    /// addr → entry pointer, one per freed-and-not-yet-recreated address;
+    /// addr → pending-free record, one per freed (or mid-free) address;
     /// `entry_for` resurrects from here, keyed lookups so free/recreate
     /// churn over many addresses stays O(1) per operation.
-    parked: HashMap<usize, usize>,
-    /// Allocations displaced from `parked` when a racing create built a
-    /// second entry for an address whose first entry was mid-retirement.
-    /// They are never resurrected (their address is served by the newer
-    /// allocation) and are reclaimed when the service drops.
+    parked: HashMap<usize, PendingFree>,
+    /// Defensive holding pen for allocations displaced from `parked`.
+    /// With the pending-free protocol the per-address allocation is stable
+    /// (a create always resurrects the parked entry — the marker is
+    /// published before the address is ever unmapped — so no duplicate
+    /// allocation can arise); entries land here only if that invariant is
+    /// ever violated, and are reclaimed when the service drops.
     displaced: Vec<usize>,
 }
 
@@ -111,7 +130,15 @@ impl GlsService {
     }
 
     /// Creates a service with a custom configuration.
-    pub fn with_config(config: GlsConfig) -> Self {
+    pub fn with_config(mut config: GlsConfig) -> Self {
+        // The blocking-backend heuristic reads the live count of *this
+        // service's* blocking-mode locks: give the service its own density
+        // tracker unless the caller wired a custom one.
+        if matches!(config.glk.density, crate::glk::DensityHandle::Global) {
+            config.glk.density = crate::glk::DensityHandle::Custom(std::sync::Arc::new(
+                crate::glk::BlockingDensity::new(),
+            ));
+        }
         Self {
             id: NEXT_SERVICE_ID.fetch_add(1, Ordering::Relaxed),
             table: Clht::with_capacity(config.initial_capacity),
@@ -478,6 +505,60 @@ impl GlsService {
         relock_result.map(|()| outcome)
     }
 
+    /// Notifies one waiter of `cv`, requeueing it directly onto the mutex
+    /// associated with `m` when that mutex currently blocks through the
+    /// shared parking lot and is held: the waiter then skips the
+    /// wake-then-block hop and is woken straight by the mutex's release.
+    /// Falls back to a plain [`GlsCondvar::notify_one`] for mutexes with
+    /// per-lock blocking state (nothing to requeue onto) or a free mutex
+    /// (the waiter can take it immediately). Returns whether a waiter was
+    /// notified.
+    pub fn notify_one<T: ?Sized>(&self, cv: &GlsCondvar, m: &T) -> bool {
+        self.notify_one_addr(cv, Self::address_of(m))
+    }
+
+    /// [`GlsService::notify_one`] for a raw address.
+    pub fn notify_one_addr(&self, cv: &GlsCondvar, addr: usize) -> bool {
+        match self.find_entry(addr).and_then(|e| e.park_addr()) {
+            // SAFETY: the park address belongs to this entry's futex word;
+            // entry allocations are never reclaimed while the service
+            // lives (see `entry_ref`), so the word outlives the call. The
+            // revalidation (under the bucket locks) re-resolves the park
+            // address so a waiter is never requeued onto a word the mutex
+            // stopped parking under (backend migration, mode change).
+            Some(target) => unsafe {
+                cv.notify_one_requeue(target, || {
+                    self.find_entry(addr).and_then(|e| e.park_addr()) == Some(target)
+                })
+            },
+            None => cv.notify_one(),
+        }
+    }
+
+    /// Notifies every waiter of `cv`, requeueing them onto the mutex
+    /// associated with `m` when it is futex-backed (wait-morphing
+    /// broadcast: the mutex's successive releases wake them one at a time,
+    /// with no thundering herd re-contending the mutex). Returns how many
+    /// waiters were notified.
+    pub fn notify_all<T: ?Sized>(&self, cv: &GlsCondvar, m: &T) -> usize {
+        self.notify_all_addr(cv, Self::address_of(m))
+    }
+
+    /// [`GlsService::notify_all`] for a raw address.
+    pub fn notify_all_addr(&self, cv: &GlsCondvar, addr: usize) -> usize {
+        match self.find_entry(addr).and_then(|e| e.park_addr()) {
+            // SAFETY: as in `notify_one_addr` — the futex word lives as
+            // long as the service, and the revalidation closes the stale
+            // -address race.
+            Some(target) => unsafe {
+                cv.notify_all_requeue(target, || {
+                    self.find_entry(addr).and_then(|e| e.park_addr()) == Some(target)
+                })
+            },
+            None => cv.notify_all(),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Management, debugging, profiling
     // ------------------------------------------------------------------
@@ -489,45 +570,63 @@ impl GlsService {
     }
 
     /// [`GlsService::free`] for a raw address.
+    ///
+    /// The free runs the **pending-free protocol**: the entry is published
+    /// in the retired map (the pending-free marker) and its epoch is
+    /// retired *before* the address is unmapped from the table, all under
+    /// the retired mutex. The epoch-parity check under that mutex makes
+    /// one free the unique claimant per live cycle (a concurrent free of
+    /// the same address observes the odd epoch and reports `false`), and
+    /// the marker-before-remove order means a release path that misses the
+    /// table always finds the entry in the marker map — deterministically,
+    /// with no remove→park window and no sleeps anywhere (see
+    /// `entry_for_release`).
     pub fn free_addr(&self, addr: usize) -> bool {
-        match self.table.remove(addr) {
-            Some(ptr) => {
-                // Precise invalidation: bump only *this* entry's epoch. Any
-                // per-thread cache slot holding this mapping fails its next
-                // epoch validation and drops itself; cached mappings for
-                // every other address — on every thread — stay hot. The
-                // allocation itself is never reclaimed (or reinitialized)
-                // while the service lives: it is parked here and resurrected
-                // as-is if the same address is re-created (see `entry_for`),
-                // so racing users never observe freed or repurposed memory,
-                // and a holder caught by a racing free can still release
-                // through the retired set (see `unlock_impl`).
-                Self::entry_ref(ptr).retire();
-                if let Ok(mut retired) = self.retired.lock() {
-                    if let Some(displaced) = retired.parked.insert(addr, ptr) {
-                        retired.displaced.push(displaced);
-                    }
-                }
-                // Heal the create-vs-free race eagerly: if another thread
-                // re-created `addr` between our `remove` and our park (its
-                // `put_if_absent` saw both the table and the parked set
-                // empty and allocated a fresh entry), our parked entry is
-                // permanently stale — the newer allocation serves the
-                // address. Displace it now instead of waiting for the next
-                // free, so `retired_entry` can never hand a release a
-                // retired entry while a different live entry exists.
-                if self.table.get(addr).is_some() {
-                    if let Ok(mut retired) = self.retired.lock() {
-                        if retired.parked.get(&addr) == Some(&ptr) {
-                            retired.parked.remove(&addr);
-                            retired.displaced.push(ptr);
-                        }
-                    }
-                }
-                true
+        let Some(ptr) = self.table.get(addr) else {
+            return false;
+        };
+        let entry = Self::entry_ref(ptr);
+        {
+            let Ok(mut retired) = self.retired.lock() else {
+                return false;
+            };
+            let epoch = entry.epoch();
+            if !LockEntry::epoch_is_live(epoch) {
+                // A concurrent free already claimed this cycle (and does —
+                // or did — the table removal).
+                return false;
             }
-            None => false,
+            // Precise invalidation: bump only *this* entry's epoch. Any
+            // per-thread cache slot holding this mapping fails its next
+            // epoch validation and drops itself; cached mappings for every
+            // other address — on every thread — stay hot. The allocation
+            // itself is never reclaimed (or reinitialized) while the
+            // service lives: it is parked here and resurrected as-is if
+            // the same address is re-created (see `entry_for`), so racing
+            // users never observe freed or repurposed memory, and a holder
+            // caught by a racing free still releases through the marker.
+            entry.retire();
+            if let Some(previous) = retired.parked.insert(addr, PendingFree { ptr, epoch }) {
+                if previous.ptr != ptr {
+                    // Defensive only: per-address allocations are stable
+                    // under the pending-free protocol, so a previous marker
+                    // can only name the same pointer (re-stamped epoch).
+                    retired.displaced.push(previous.ptr);
+                }
+            }
         }
+        // A retired lock serves no traffic: drop it from the live
+        // blocking-lock population the Auto backend heuristic reads
+        // (re-entered on resurrection; CAS-guarded against a racing
+        // holder's adaptation).
+        entry.lock.note_retired();
+        // The claimant's removal cannot miss: every other free of this
+        // cycle bailed on the odd epoch above, and a re-create cannot run
+        // until the address is unmapped (`put_if_absent` holds the bucket
+        // lock across its existence check and insert).
+        let removed = self.table.remove(addr);
+        debug_assert_eq!(removed, Some(ptr), "pending-free claimant lost its removal");
+        true
     }
 
     /// Number of retired (freed, not yet resurrected) lock entries parked in
@@ -546,9 +645,28 @@ impl GlsService {
         self.table.len()
     }
 
+    /// Number of this service's locks currently operating in a blocking
+    /// mode (GLK mutex mode, GLK-RW blocking mode). This is the density
+    /// signal the [`BlockingBackend::Auto`](crate::glk::BlockingBackend)
+    /// heuristic reads to migrate blocking state between per-lock
+    /// `Mutex + Condvar` pairs and the shared parking lot.
+    pub fn blocking_lock_count(&self) -> usize {
+        self.config.glk.density.density().live()
+    }
+
     /// Issues detected so far (debug mode).
     pub fn issues(&self) -> Vec<GlsError> {
         self.debug.issues()
+    }
+
+    /// Total candidate deadlock cycles produced by debug-mode detection
+    /// walks so far — confirmed *and* phantom. A high rate with an empty
+    /// issue log means the workload keeps assembling phantom cycles
+    /// (adversarial churn) and paying confirmation waits; the coalescing of
+    /// same-cycle confirmations bounds each cycle's cost at one grace
+    /// period regardless of this rate.
+    pub fn deadlock_candidates(&self) -> u64 {
+        self.debug.candidate_count()
     }
 
     /// Clears the recorded issues.
@@ -665,50 +783,44 @@ impl GlsService {
         Some(Self::entry_ref(ptr))
     }
 
-    /// Finds the retired (freed, not yet resurrected) entry for `addr`, if
-    /// one is parked. Used by the release paths so a `free` racing with a
-    /// lock holder can never strand the holder: its release still lands on
-    /// the parked entry.
-    fn retired_entry(&self, addr: usize) -> Option<&LockEntry> {
+    /// Finds the pending-free / retired entry for `addr`, if one is
+    /// published. Used by the release paths so a `free` racing with a lock
+    /// holder can never strand the holder: its release still lands on the
+    /// marked entry.
+    fn pending_entry(&self, addr: usize) -> Option<&LockEntry> {
         self.retired
             .lock()
             .ok()
-            .and_then(|retired| retired.parked.get(&addr).copied())
+            .and_then(|retired| retired.parked.get(&addr).map(|pending| pending.ptr))
             .map(Self::entry_ref)
     }
 
-    /// Resolves `addr` for a release: the live entry, or the retired one a
-    /// racing `free` parked. A free in flight sits between `table.remove`
-    /// and parking the entry for an instant; re-check — first yielding,
-    /// then sleeping briefly so a freeing thread descheduled mid-window is
-    /// guaranteed to run — before declaring the address uninitialized, so
-    /// a racing free can never strand a holder mid-release. The retries
-    /// prefer the live table entry (a parked entry is never handed out
-    /// while a newer live one serves the address) and consult the table
-    /// directly, so they neither distort the per-thread cache counters nor
-    /// turn a genuinely uninitialized release (the error this path
-    /// reports) into a storm of lookups.
+    /// Resolves `addr` for a release: the live entry, or the one a racing
+    /// (or completed) `free` published as a pending-free marker. The
+    /// marker protocol makes this **deterministic and sleep-free**: a free
+    /// publishes the marker *before* unmapping the table entry, and a
+    /// resurrecting create clears the stale marker only *after*
+    /// re-publishing the entry — so at every instant a created-and-not
+    /// -freed-forever address is findable in the table or in the marker
+    /// map. A table miss followed by a marker miss can therefore only mean
+    /// "genuinely uninitialized" or "resurrected between the two probes";
+    /// the final table re-check distinguishes them, and each loop
+    /// iteration requires another full free+re-create cycle to have
+    /// interleaved — progress is bounded by the application's own churn,
+    /// never by the scheduler.
     fn entry_for_release(&self, addr: usize) -> Option<&LockEntry> {
-        if let Some(entry) = self.find_entry(addr) {
-            return Some(entry);
-        }
-        for attempt in 0..10u32 {
-            match attempt {
-                0 => {}
-                1..=3 => std::thread::yield_now(),
-                // ~10 µs … ~640 µs: enough for any fair scheduler to run
-                // the preempted freeing thread; total worst case < 1.3 ms,
-                // paid only on the (erroneous or racing) miss path.
-                _ => std::thread::sleep(Duration::from_micros(10u64 << (attempt - 4))),
-            }
-            if let Some(ptr) = self.table.get(addr) {
-                return Some(Self::entry_ref(ptr));
-            }
-            if let Some(entry) = self.retired_entry(addr) {
+        loop {
+            if let Some(entry) = self.find_entry(addr) {
                 return Some(entry);
             }
+            if let Some(entry) = self.pending_entry(addr) {
+                return Some(entry);
+            }
+            // Genuinely uninitialized unless the entry was resurrected
+            // between the probes — then the table has it and the next
+            // iteration finds it.
+            self.table.get(addr)?;
         }
-        None
     }
 
     /// Finds or creates the entry for `addr` using algorithm `kind`.
@@ -718,6 +830,7 @@ impl GlsService {
         if let Some(entry) = self.cache_probe(addr) {
             return entry;
         }
+        let mut resurrected = false;
         let ptr = self.table.put_if_absent(addr, || {
             // Resurrect the retired entry for this address if one exists:
             // the entry is reinserted *untouched* except for its liveness
@@ -726,20 +839,31 @@ impl GlsService {
             // detector's owner walk — holding a stale pointer only ever
             // sees a valid entry for this address). This keeps lock/free
             // churn at a bounded footprint: repeated cycles reuse the same
-            // allocation instead of leaking one per free. Note the
-            // algorithm chosen at first creation is resurrected with it; as
-            // with `put_if_absent` generally, the first creation of an
-            // address wins and debug mode flags kind mismatches.
+            // allocation instead of leaking one per free. The marker is
+            // only *peeked*, not removed — it keeps covering releases that
+            // race this resurrection until the entry is back in the table;
+            // the stale marker is cleared after `put_if_absent` returns.
+            // Note the algorithm chosen at first creation is resurrected
+            // with it; as with `put_if_absent` generally, the first
+            // creation of an address wins and debug mode flags kind
+            // mismatches.
             let recycled = self
                 .retired
                 .lock()
                 .ok()
-                .and_then(|mut retired| retired.parked.remove(&addr));
+                .and_then(|retired| retired.parked.get(&addr).map(|pending| pending.ptr));
             match recycled {
                 Some(ptr) => {
                     // Back to even *before* the pointer is re-published, so
-                    // no thread can cache the entry mid-transition.
-                    Self::entry_ref(ptr).resurrect();
+                    // no thread can cache the entry mid-transition. The
+                    // factory runs at most once per key (under the table's
+                    // bucket lock), so resurrection cannot double-run.
+                    let entry = Self::entry_ref(ptr);
+                    entry.resurrect();
+                    // A lock that retired in a blocking mode rejoins the
+                    // live blocking population.
+                    entry.lock.note_resurrected();
+                    resurrected = true;
                     ptr
                 }
                 None => {
@@ -748,8 +872,29 @@ impl GlsService {
                 }
             }
         });
+        if resurrected {
+            self.clear_stale_marker(addr, ptr);
+        }
         self.cache_insert(addr, ptr);
         Self::entry_ref(ptr)
+    }
+
+    /// After a resurrection re-published `ptr` in the table, clears the
+    /// now-stale pending-free marker — but only if it is *provably* stale:
+    /// same allocation, entry currently live, and the marker's epoch stamp
+    /// strictly older than the entry's (a fresh marker published by the
+    /// *next* free of this address carries the resurrected epoch or newer,
+    /// or finds the entry already retired again — both kept).
+    fn clear_stale_marker(&self, addr: usize, ptr: usize) {
+        if let Ok(mut retired) = self.retired.lock() {
+            let current = Self::entry_ref(ptr).epoch();
+            let stale = retired.parked.get(&addr).is_some_and(|pending| {
+                pending.ptr == ptr && LockEntry::epoch_is_live(current) && pending.epoch < current
+            });
+            if stale {
+                retired.parked.remove(&addr);
+            }
+        }
     }
 
     #[inline]
@@ -934,15 +1079,27 @@ impl GlsService {
                     }
                     break;
                 };
-                std::thread::sleep(self.config.deadlock_check_after);
+                // Confirmations of the same cycle are coalesced onto one
+                // shared deadline: every participant (and every
+                // re-detection under adversarial churn) waits out at most
+                // the *remainder* of one grace period instead of stacking
+                // a fresh full period per candidate.
+                let wait = self
+                    .debug
+                    .confirmation_wait(&candidate, self.config.deadlock_check_after);
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
                 // The lock may have been released while we slept.
                 if try_acquire() {
+                    self.debug.finish_confirmation(&candidate);
                     break;
                 }
-                if self
+                let deadlocked = self
                     .debug
-                    .still_deadlocked(&candidate, |a| self.holders_of_uncached(a))
-                {
+                    .still_deadlocked(&candidate, |a| self.holders_of_uncached(a));
+                self.debug.finish_confirmation(&candidate);
+                if deadlocked {
                     self.debug.clear_waiting(me);
                     let issue = GlsError::Deadlock {
                         cycle: candidate.cycle,
@@ -1071,17 +1228,21 @@ impl GlsService {
 impl Drop for GlsService {
     fn drop(&mut self) {
         // Reclaim every live entry and every retired entry. `&mut self`
-        // guarantees no concurrent access.
+        // guarantees no concurrent access. A pending-free marker may name
+        // an entry that is *also* live in the table (the marker is
+        // published before the removal and cleared after a resurrection),
+        // so the pointer list must be deduplicated before freeing.
         let mut pointers = Vec::new();
         self.table.for_each(|_, ptr| pointers.push(ptr));
         if let Ok(mut retired) = self.retired.lock() {
-            pointers.extend(retired.parked.drain().map(|(_, ptr)| ptr));
+            pointers.extend(retired.parked.drain().map(|(_, pending)| pending.ptr));
             pointers.append(&mut retired.displaced);
         }
+        pointers.sort_unstable();
+        pointers.dedup();
         for ptr in pointers {
-            // SAFETY: entries were allocated with Box::into_raw and each
-            // pointer appears exactly once (live in the table, parked in
-            // the retired map, or displaced — never in two places).
+            // SAFETY: entries were allocated with Box::into_raw and the
+            // dedup above guarantees each allocation is freed exactly once.
             unsafe { drop(Box::from_raw(ptr as *mut LockEntry)) };
         }
     }
@@ -1496,6 +1657,90 @@ mod tests {
     }
 
     #[test]
+    fn racing_free_never_strands_a_release() {
+        // Stress of the pending-free protocol: lockers hammer one address
+        // while a freer continuously free()s it. Every release must land —
+        // the marker is published before the table removal, so there is no
+        // window in which a holder's release can miss the entry — and the
+        // per-address allocation stays stable, so mutual exclusion holds
+        // across free/resurrect cycles (asserted by the non-atomic
+        // counter). No sleeps anywhere on the release path.
+        struct Shared(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Shared {}
+        let svc = Arc::new(GlsService::new());
+        let shared = Arc::new(Shared(std::cell::UnsafeCell::new(0)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let freer = {
+            let svc = Arc::clone(&svc);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut frees = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if svc.free_addr(0xF5EE) {
+                        frees += 1;
+                    }
+                }
+                frees
+            })
+        };
+        let lockers: Vec<_> = (0..3)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        svc.lock_addr(0xF5EE).unwrap();
+                        unsafe { *shared.0.get() += 1 };
+                        svc.unlock_addr(0xF5EE)
+                            .expect("a racing free must never strand a holder's release");
+                    }
+                })
+            })
+            .collect();
+        for h in lockers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let frees = freer.join().unwrap();
+        assert!(frees > 0, "the freer must have raced at least once");
+        assert_eq!(unsafe { *shared.0.get() }, 60_000);
+        assert!(
+            svc.retired_count() <= 2,
+            "churn on one address keeps at most its one allocation parked \
+             (found {})",
+            svc.retired_count()
+        );
+    }
+
+    #[test]
+    fn pending_free_marker_covers_the_unmap_window() {
+        // White-box: after free() returns, the entry must be reachable via
+        // the marker map even though the table no longer has it, and a
+        // re-create must clear the stale marker only after re-publishing.
+        let svc = GlsService::new();
+        svc.lock_addr(0xAB1E).unwrap();
+        svc.unlock_addr(0xAB1E).unwrap();
+        let live = svc.find_entry(0xAB1E).unwrap() as *const LockEntry;
+        assert!(svc.free_addr(0xAB1E));
+        assert!(svc.find_entry(0xAB1E).is_none(), "unmapped from the table");
+        let pending = svc.pending_entry(0xAB1E).expect("marker present") as *const LockEntry;
+        assert_eq!(live, pending, "the marker names the same allocation");
+        // A release through the marker still works (normal mode).
+        svc.lock_addr(0xAB1E).unwrap(); // resurrects
+        assert_eq!(
+            svc.pending_entry(0xAB1E).map(|e| e as *const LockEntry),
+            None,
+            "resurrection cleared the stale marker"
+        );
+        assert_eq!(
+            svc.find_entry(0xAB1E).map(|e| e as *const LockEntry),
+            Some(live),
+            "resurrection reuses the allocation"
+        );
+        svc.unlock_addr(0xAB1E).unwrap();
+    }
+
+    #[test]
     fn freed_address_resurrects_with_its_original_algorithm() {
         // Resurrection reinserts the parked entry untouched, so the
         // algorithm chosen at first creation survives a free/re-create
@@ -1509,6 +1754,143 @@ mod tests {
         svc.unlock_addr(0xA000).unwrap();
         assert_eq!(svc.algorithm_of(0xA000), Some(LockKind::Mcs));
         assert_eq!(svc.retired_count(), 0, "parked entry was resurrected");
+    }
+
+    #[test]
+    fn notify_one_requeues_onto_a_held_futex_mutex() {
+        use gls_locks::ParkingLot;
+        let svc = Arc::new(GlsService::new());
+        let cv = Arc::new(GlsCondvar::new());
+        let addr = 0xC0DE;
+        // Create a futex-backed mutex entry (always exposes a park address).
+        svc.lock_with(LockKind::Futex, addr).unwrap();
+        svc.unlock_with(LockKind::Futex, addr).unwrap();
+        let waiter = {
+            let (svc, cv) = (Arc::clone(&svc), Arc::clone(&cv));
+            std::thread::spawn(move || {
+                svc.lock_addr(addr).unwrap();
+                svc.wait_addr(&cv, addr).unwrap();
+                svc.unlock_addr(addr).unwrap();
+            })
+        };
+        while cv.waiters() == 0 {
+            std::thread::yield_now();
+        }
+        // Hold the mutex, then notify: the waiter must be requeued onto
+        // the mutex's park address instead of waking into a block.
+        svc.lock_addr(addr).unwrap();
+        let mutex_park = svc
+            .find_entry(addr)
+            .unwrap()
+            .park_addr()
+            .expect("futex entries expose a park address");
+        assert!(svc.notify_one_addr(&cv, addr));
+        assert_eq!(
+            ParkingLot::global().parked_count(mutex_park),
+            1,
+            "the waiter sleeps under the mutex address now"
+        );
+        assert_eq!(cv.waits(), 0, "requeued, not woken");
+        // The mutex release is what wakes it.
+        svc.unlock_addr(addr).unwrap();
+        waiter.join().unwrap();
+        assert_eq!(cv.waits(), 1);
+        assert_eq!(cv.notifies(), 1);
+    }
+
+    #[test]
+    fn notify_falls_back_to_plain_wake_without_a_park_address() {
+        // A fresh GLK entry spins (ticket mode): no park address, so the
+        // service notify degrades to the ordinary wake path.
+        let svc = Arc::new(GlsService::new());
+        let cv = Arc::new(GlsCondvar::new());
+        let addr = 0xFA11;
+        svc.lock_addr(addr).unwrap();
+        svc.unlock_addr(addr).unwrap();
+        assert_eq!(svc.find_entry(addr).unwrap().park_addr(), None);
+        let waiter = {
+            let (svc, cv) = (Arc::clone(&svc), Arc::clone(&cv));
+            std::thread::spawn(move || {
+                svc.lock_addr(addr).unwrap();
+                svc.wait_addr(&cv, addr).unwrap();
+                svc.unlock_addr(addr).unwrap();
+            })
+        };
+        while cv.waiters() == 0 {
+            std::thread::yield_now();
+        }
+        assert!(svc.notify_one_addr(&cv, addr));
+        waiter.join().unwrap();
+        assert_eq!(cv.waits(), 1);
+        // Notifying with nobody waiting reports so.
+        assert!(!svc.notify_one_addr(&cv, addr));
+        assert_eq!(svc.notify_all_addr(&cv, addr), 0);
+    }
+
+    #[test]
+    fn notify_all_morphs_the_broadcast_onto_the_mutex() {
+        use gls_locks::ParkingLot;
+        let svc = Arc::new(GlsService::new());
+        let cv = Arc::new(GlsCondvar::new());
+        let addr = 0xB0CA;
+        svc.lock_with(LockKind::Futex, addr).unwrap();
+        svc.unlock_with(LockKind::Futex, addr).unwrap();
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let (svc, cv) = (Arc::clone(&svc), Arc::clone(&cv));
+                std::thread::spawn(move || {
+                    svc.lock_addr(addr).unwrap();
+                    svc.wait_addr(&cv, addr).unwrap();
+                    svc.unlock_addr(addr).unwrap();
+                })
+            })
+            .collect();
+        while cv.waiters() < 4 {
+            std::thread::yield_now();
+        }
+        svc.lock_addr(addr).unwrap();
+        let mutex_park = svc.find_entry(addr).unwrap().park_addr().unwrap();
+        assert_eq!(svc.notify_all_addr(&cv, addr), 4);
+        // Held mutex: the whole broadcast morphs onto the mutex queue; no
+        // thundering herd re-contends while we still hold it.
+        assert_eq!(ParkingLot::global().parked_count(mutex_park), 4);
+        assert_eq!(cv.waits(), 0);
+        svc.unlock_addr(addr).unwrap();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(cv.waits(), 4);
+        assert_eq!(ParkingLot::global().parked_count(mutex_park), 0);
+    }
+
+    #[test]
+    fn freed_blocking_locks_leave_the_density_population() {
+        use crate::glk::GlkMode;
+        let config = GlsConfig::default().with_glk(
+            GlkConfig::default()
+                .with_initial_mode(GlkMode::Mutex)
+                .without_adaptation(),
+        );
+        let svc = GlsService::with_config(config);
+        svc.lock_addr(0xD100).unwrap();
+        svc.unlock_addr(0xD100).unwrap();
+        assert_eq!(svc.blocking_lock_count(), 1);
+        // A freed (retired) lock serves no traffic: it must not keep
+        // steering the Auto backend heuristic.
+        assert!(svc.free_addr(0xD100));
+        assert_eq!(
+            svc.blocking_lock_count(),
+            0,
+            "retired blocking locks leave the population"
+        );
+        // Resurrection brings it back.
+        svc.lock_addr(0xD100).unwrap();
+        assert_eq!(
+            svc.blocking_lock_count(),
+            1,
+            "resurrected blocking locks rejoin the population"
+        );
+        svc.unlock_addr(0xD100).unwrap();
     }
 
     #[test]

@@ -11,13 +11,19 @@
 //! The acquisition protocol is spin-then-park: a bounded
 //! [`SpinWait`] phase (blocking through the lot costs far more than a short
 //! critical section), then the waiter raises the `PARKED` bit and parks.
-//! Waiters wake in FIFO order ([`ParkingLot::unpark_one`]) but re-contend
-//! with arriving threads (barging), like a futex mutex — the paper's FIFO
-//! admission modes remain ticket/MCS/CLH.
+//! Waiters wake in FIFO order ([`ParkingLot::unpark_one`]) and normally
+//! re-contend with arriving threads (barging), like a futex mutex — but the
+//! bypass is **bounded**: the lock word counts consecutive contended
+//! wakeups, and once the streak reaches [`HANDOFF_WAKEUPS`] the release
+//! passes ownership *directly* to the woken waiter (a handoff unpark
+//! token; the `LOCKED` bit never clears, so bargers cannot steal the slot).
+//! A parked waiter can therefore be bypassed at most a bounded number of
+//! times before it is served. Strict FIFO admission remains the domain of
+//! ticket/MCS/CLH.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use crate::park::{ParkingLot, DEFAULT_PARK_TOKEN, DEFAULT_UNPARK_TOKEN};
+use crate::park::{ParkingLot, DEFAULT_UNPARK_TOKEN};
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
 use crate::spin_wait::SpinWait;
 
@@ -25,6 +31,26 @@ use crate::spin_wait::SpinWait;
 const LOCKED: u32 = 1;
 /// Set while at least one waiter is (or is about to be) parked.
 const PARKED: u32 = 2;
+/// Bits counting consecutive contended wakeups (the handoff streak). Only
+/// the releasing holder writes them, and only while `PARKED` is set; an
+/// uncontended release always leaves the word at 0.
+const STREAK_SHIFT: u32 = 2;
+const STREAK_MASK: u32 = 0b111 << STREAK_SHIFT;
+
+/// After this many consecutive contended wakeups the release hands the lock
+/// directly to the woken waiter instead of letting it re-contend. Bounds
+/// how often a parked waiter can be barged past.
+pub const HANDOFF_WAKEUPS: u32 = 4;
+
+/// Park token tagging a native mutex waiter (distinct from
+/// [`DEFAULT_PARK_TOKEN`](crate::park::DEFAULT_PARK_TOKEN), which tags
+/// condvar waiters requeued onto the mutex — those must never receive a
+/// handoff token they would not understand).
+const TOKEN_MUTEX_WAITER: usize = 2;
+
+/// Unpark token meaning "the lock is yours": the releaser kept `LOCKED`
+/// set on the woken waiter's behalf.
+const HANDOFF_UNPARK_TOKEN: usize = 1;
 
 /// Number of bounded-spin rounds before a waiter parks.
 const SPIN_ATTEMPTS: u32 = 32;
@@ -66,6 +92,33 @@ impl FutexLock {
         &self.state as *const AtomicU32 as usize
     }
 
+    /// The address this lock's waiters park under — the key condvar
+    /// requeue-on-notify moves waiters onto (see
+    /// [`prepare_direct_requeue`]).
+    #[inline]
+    pub fn park_addr(&self) -> usize {
+        self.addr()
+    }
+
+    /// Releases the lock and wakes **every** parked waiter instead of one.
+    ///
+    /// For a holder that is about to stop serving this word — a blocking
+    /// -backend migration, or GLK leaving mutex mode — the ordinary
+    /// one-waiter wake chain is not enough: it relies on each woken waiter
+    /// re-acquiring and re-releasing this word, which a condvar waiter that
+    /// was requeued here does not do (it re-acquires through whatever now
+    /// serves the lock). Waking everyone lets each waiter re-examine the
+    /// world; stragglers that re-contend this word drain through the
+    /// ordinary protocol.
+    pub fn unlock_and_wake_all(&self) {
+        // Clearing the whole word (locked, parked and streak bits) before
+        // the broadcast makes concurrent park validations fail, so no new
+        // waiter can slip into the queue between the release and the wake
+        // and miss both.
+        self.state.store(0, Ordering::Release);
+        ParkingLot::global().unpark_all(self.addr(), DEFAULT_UNPARK_TOKEN);
+    }
+
     #[inline]
     fn try_acquire_fast(&self) -> bool {
         self.state
@@ -80,7 +133,8 @@ impl FutexLock {
         let mut spins = 0u32;
         loop {
             let state = self.state.load(Ordering::Relaxed);
-            // Free (parked waiters or not): barge in.
+            // Free (parked waiters or not): barge in, preserving the parked
+            // and streak bits.
             if state & LOCKED == 0 {
                 if self
                     .state
@@ -120,14 +174,22 @@ impl FutexLock {
             // Sleep until a release hands the parked bit to us. The
             // validation re-check runs under the bucket lock, closing the
             // race with a release that ran between our load and the park.
-            lot.park(
+            let result = lot.park(
                 self.addr(),
-                DEFAULT_PARK_TOKEN,
-                || self.state.load(Ordering::Relaxed) == LOCKED | PARKED,
+                TOKEN_MUTEX_WAITER,
+                || {
+                    let s = self.state.load(Ordering::Relaxed);
+                    s & (LOCKED | PARKED) == LOCKED | PARKED
+                },
                 || {},
                 None,
             );
-            // Woken (or the state changed): retry from the top.
+            // A handoff wake means the releaser kept LOCKED set on our
+            // behalf: the lock is ours, no re-contention.
+            if result == crate::park::ParkResult::Unparked(HANDOFF_UNPARK_TOKEN) {
+                return;
+            }
+            // Woken normally (or the state changed): retry from the top.
             wait.reset();
             spins = 0;
         }
@@ -135,14 +197,100 @@ impl FutexLock {
 
     #[cold]
     fn unlock_slow(&self) {
-        // The parked bit is set: wake the longest-parked waiter. The state
-        // store happens in the callback, under the bucket lock, so a thread
-        // concurrently validating its park sees a consistent word.
-        ParkingLot::global().unpark_one(self.addr(), DEFAULT_UNPARK_TOKEN, |result| {
-            let state = if result.have_more { PARKED } else { 0 };
-            self.state.store(state, Ordering::Release);
-        });
+        // The parked bit is set: wake the longest-parked waiter. Only the
+        // holder writes the streak bits, so reading them outside the bucket
+        // lock is race-free. The state store happens in the callback, under
+        // the bucket lock, so a thread concurrently validating its park
+        // sees a consistent word.
+        let streak = (self.state.load(Ordering::Relaxed) & STREAK_MASK) >> STREAK_SHIFT;
+        let handoff = std::cell::Cell::new(false);
+        ParkingLot::global().unpark_one_with(
+            self.addr(),
+            |park_token| {
+                // Hand off only to native mutex waiters once the streak is
+                // exhausted; requeued condvar waiters (DEFAULT_PARK_TOKEN)
+                // would not understand a handoff and relock normally.
+                if park_token == TOKEN_MUTEX_WAITER && streak + 1 >= HANDOFF_WAKEUPS {
+                    handoff.set(true);
+                    HANDOFF_UNPARK_TOKEN
+                } else {
+                    DEFAULT_UNPARK_TOKEN
+                }
+            },
+            |result| {
+                let state = if result.unparked == 0 {
+                    // Nobody left (e.g. a requeued waiter timed out): plain
+                    // release, streak over.
+                    0
+                } else if handoff.get() {
+                    // Ownership transfers to the woken waiter: LOCKED stays
+                    // set so bargers cannot steal the slot; streak resets.
+                    LOCKED | if result.have_more { PARKED } else { 0 }
+                } else if result.have_more {
+                    // Contended wakeup with waiters remaining: release and
+                    // advance the streak (saturating at the mask).
+                    let next = (streak + 1).min(STREAK_MASK >> STREAK_SHIFT);
+                    PARKED | (next << STREAK_SHIFT)
+                } else {
+                    0
+                };
+                self.state.store(state, Ordering::Release);
+            },
+        );
     }
+}
+
+/// Part of condvar requeue-on-notify: under the parking-lot bucket lock of
+/// `addr` — the address of a [`FutexLock`] state word — atomically raises
+/// the parked bit **iff the lock is currently held**. Returns `true` when
+/// raised (a waiter requeued onto `addr` is then guaranteed a wakeup from
+/// the holder's release, whose fast path cannot succeed with the parked bit
+/// set) or `false` when the lock is free (the caller must wake the waiter
+/// instead of requeueing it, or it could sleep on a mutex nobody holds).
+///
+/// # Safety
+///
+/// `addr` must be the address of the `AtomicU32` state word of a live
+/// [`FutexLock`], and the caller must hold the parking-lot bucket lock of
+/// `addr` (e.g. inside [`ParkingLot::unpark_requeue_with`]'s decide
+/// closure) so the decision is atomic with park validation and with the
+/// release path's state store.
+pub unsafe fn prepare_direct_requeue(addr: usize) -> bool {
+    // SAFETY: per the contract, `addr` points to a live AtomicU32.
+    let state = unsafe { &*(addr as *const AtomicU32) };
+    let mut s = state.load(Ordering::Relaxed);
+    loop {
+        if s & LOCKED == 0 {
+            return false;
+        }
+        if s & PARKED != 0 {
+            return true;
+        }
+        match state.compare_exchange_weak(s, s | PARKED, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(actual) => s = actual,
+        }
+    }
+}
+
+/// Companion to [`prepare_direct_requeue`] for broadcast wait-morphing:
+/// raises the parked bit **unconditionally** (even on a free lock). Used
+/// when waiters were just requeued onto `addr` behind one woken waiter that
+/// is about to acquire the mutex: every subsequent release must take the
+/// slow path and wake the next requeued waiter, even though the word was
+/// free at requeue time. A spuriously raised bit (all requeued waiters
+/// time out) self-heals: the next slow-path release finds nobody and
+/// clears it.
+///
+/// # Safety
+///
+/// Same contract as [`prepare_direct_requeue`]: `addr` must be the state
+/// word of a live [`FutexLock`] and the caller must hold its parking-lot
+/// bucket lock.
+pub unsafe fn mark_parked_for_requeue(addr: usize) {
+    // SAFETY: per the contract, `addr` points to a live AtomicU32.
+    let state = unsafe { &*(addr as *const AtomicU32) };
+    state.fetch_or(PARKED, Ordering::Relaxed);
 }
 
 impl RawLock for FutexLock {
@@ -277,6 +425,114 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 60_000);
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn parked_waiter_bypass_is_bounded_under_oversubscription() {
+        // Regression test for unbounded barging: a parked waiter must get
+        // the lock after a bounded number of contended wakeups even while
+        // bargers keep stealing the word. The handoff streak guarantees
+        // that every HANDOFF_WAKEUPS-th consecutive contended wakeup hands
+        // the lock directly to the queue head (LOCKED never clears, so the
+        // bargers cannot steal that slot); without it this test livelocks
+        // the victim for unbounded stretches under oversubscription.
+        use std::sync::atomic::AtomicBool;
+        let lock = Arc::new(FutexLock::new());
+        let victim_done = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        lock.lock();
+        let victim = {
+            let lock = Arc::clone(&lock);
+            let done = Arc::clone(&victim_done);
+            std::thread::spawn(move || {
+                lock.lock();
+                done.store(true, Ordering::SeqCst);
+                lock.unlock();
+            })
+        };
+        // Wait until the victim is parked (holder + parked waiter >= 2).
+        while lock.queue_length() < 2 {
+            std::thread::yield_now();
+        }
+        let bargers: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.lock();
+                        std::hint::spin_loop();
+                        lock.unlock();
+                        ops += 1;
+                    }
+                    ops
+                })
+            })
+            .collect();
+        lock.unlock();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !victim_done.load(Ordering::SeqCst) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "parked waiter starved behind barging threads"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = bargers.into_iter().map(|h| h.join().unwrap()).sum();
+        victim.join().unwrap();
+        assert!(total > 0, "bargers must have run");
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0, "word fully clears");
+    }
+
+    #[test]
+    fn handoff_keeps_the_word_consistent_under_churn() {
+        // Heavy handover traffic drives the streak through handoffs over
+        // and over; mutual exclusion and full word cleanup must survive.
+        let lock = Arc::new(FutexLock::new());
+        struct Shared(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Shared {}
+        let shared = Arc::new(Shared(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        lock.lock();
+                        // Non-atomic increment: lost updates reveal a
+                        // broken handoff (two owners at once).
+                        unsafe { *shared.0.get() += 1 };
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(unsafe { *shared.0.get() }, 80_000);
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn direct_requeue_preparation_follows_the_lock_state() {
+        let lock = FutexLock::new();
+        // Free lock: a requeue must not be prepared (the waiter would
+        // sleep on a mutex nobody will release).
+        assert!(!unsafe { prepare_direct_requeue(lock.addr()) });
+        lock.lock();
+        // Held lock: the parked bit is raised, so the eventual release
+        // cannot take the fast path and will wake the requeued waiter.
+        assert!(unsafe { prepare_direct_requeue(lock.addr()) });
+        assert_eq!(lock.state.load(Ordering::Relaxed), LOCKED | PARKED);
+        // Idempotent while held.
+        assert!(unsafe { prepare_direct_requeue(lock.addr()) });
+        // The release wakes nobody (nothing is actually parked) and heals
+        // the word back to zero.
+        lock.unlock();
         assert_eq!(lock.state.load(Ordering::Relaxed), 0);
     }
 

@@ -44,17 +44,39 @@
 //! (wake a caller-chosen subset, e.g. "first writer or else all readers")
 //! round out the primitive set condition variables and reader-writer locks
 //! are built from.
+//!
+//! # Growth
+//!
+//! The bucket table **grows** — CLHT-style, off the hot path — when the
+//! number of parked waiters crosses [`GROW_LOAD_FACTOR`] per bucket: a
+//! parking (already-slow) thread builds a doubled table, locks every old
+//! bucket, moves the waiters over (per-address FIFO order is preserved:
+//! all waiters of one address live in one bucket and are appended in
+//! order), publishes the new table and retires the old one. Every bucket
+//! acquisition re-checks the published table pointer after locking, so an
+//! operation that raced the swap simply retries against the new table.
+//! Old tables are retained until the lot is dropped (doubling keeps the
+//! total retained memory below one current-table size), so references to
+//! buckets never dangle. Unpark and timeout paths never grow.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::cache_padded::CachePadded;
 
-/// Number of buckets in the global parking lot (a power of two). 64 buckets
-/// of one cache line each keep the whole table at 4 kB while making bucket
-/// collisions between simultaneously-contended locks unlikely.
+/// Initial number of buckets in the global parking lot (a power of two).
+/// 64 buckets of one cache line each keep the starting table at 4 kB; the
+/// table grows when the parked population outgrows it (see module docs).
 pub const BUCKETS: usize = 64;
+
+/// The table grows when more than this many waiters are parked per bucket.
+pub const GROW_LOAD_FACTOR: usize = 3;
+
+/// Upper bound on the bucket count (64k cache-padded buckets ≈ 4 MB): far
+/// beyond any realistic simultaneously-parked population, and a hard stop
+/// for pathological growth.
+const MAX_BUCKETS: usize = 1 << 16;
 
 /// Park token used by callers that do not need to distinguish waiters.
 pub const DEFAULT_PARK_TOKEN: usize = 0;
@@ -188,11 +210,66 @@ struct Bucket {
     queue: Mutex<Vec<Waiter>>,
 }
 
+/// One published generation of the bucket table.
+#[derive(Debug)]
+struct BucketTable {
+    buckets: Box<[CachePadded<Bucket>]>,
+}
+
+impl BucketTable {
+    fn new(buckets: usize) -> Box<Self> {
+        assert!(
+            buckets.is_power_of_two(),
+            "bucket count must be a power of two"
+        );
+        Box::new(Self {
+            buckets: (0..buckets).map(|_| CachePadded::default()).collect(),
+        })
+    }
+
+    fn bucket_index(&self, addr: usize) -> usize {
+        // Fibonacci hashing spreads the (cache-line-aligned, low-entropy)
+        // lock addresses over the buckets via the product's high bits.
+        let hash = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let bits = self.buckets.len().trailing_zeros();
+        if bits == 0 {
+            0
+        } else {
+            hash >> (usize::BITS - bits)
+        }
+    }
+
+    fn bucket_of(&self, addr: usize) -> &Bucket {
+        &self.buckets[self.bucket_index(addr)]
+    }
+}
+
+/// A table retired by growth. Kept as a raw pointer (not a `Box`) because
+/// threads that raced the swap may still hold references into it until
+/// their retry; the allocation is freed only when the lot drops.
+#[derive(Debug)]
+struct RetiredTable(*mut BucketTable);
+
+// SAFETY: the pointer is only dereferenced (to free it) from the lot's
+// Drop, which holds `&mut self`.
+unsafe impl Send for RetiredTable {}
+
 /// The sharded table of wait buckets. Use [`ParkingLot::global`] in
 /// production; dedicated instances exist for tests.
 #[derive(Debug)]
 pub struct ParkingLot {
-    buckets: Box<[CachePadded<Bucket>]>,
+    /// The current bucket table, swapped atomically on growth.
+    table: AtomicPtr<BucketTable>,
+    /// Tables replaced by growth, retained until the lot drops so bucket
+    /// references held across a swap never dangle. Doubling growth keeps
+    /// the total retained memory below one current-table size.
+    old_tables: Mutex<Vec<RetiredTable>>,
+    /// Number of waiters currently parked, maintained under bucket locks.
+    /// Drives the growth trigger and `total_parked`.
+    parked: AtomicUsize,
+    /// Serializes growth; `try_lock` keeps concurrent parkers from piling
+    /// up behind one grower.
+    grow_lock: Mutex<()>,
 }
 
 impl Default for ParkingLot {
@@ -201,19 +278,35 @@ impl Default for ParkingLot {
     }
 }
 
+impl Drop for ParkingLot {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees no thread holds bucket references;
+        // every pointer (current + retired) came from Box::into_raw and
+        // appears exactly once.
+        unsafe {
+            drop(Box::from_raw(self.table.load(Ordering::Acquire)));
+            if let Ok(mut retired) = self.old_tables.lock() {
+                for table in retired.drain(..) {
+                    drop(Box::from_raw(table.0));
+                }
+            }
+        }
+    }
+}
+
 impl ParkingLot {
-    /// Creates a lot with `buckets` wait buckets.
+    /// Creates a lot with `buckets` initial wait buckets (the table grows
+    /// on demand, see the module docs).
     ///
     /// # Panics
     ///
     /// Panics if `buckets` is not a power of two.
     pub fn with_buckets(buckets: usize) -> Self {
-        assert!(
-            buckets.is_power_of_two(),
-            "bucket count must be a power of two"
-        );
         Self {
-            buckets: (0..buckets).map(|_| CachePadded::default()).collect(),
+            table: AtomicPtr::new(Box::into_raw(BucketTable::new(buckets))),
+            old_tables: Mutex::new(Vec::new()),
+            parked: AtomicUsize::new(0),
+            grow_lock: Mutex::new(()),
         }
     }
 
@@ -223,24 +316,104 @@ impl ParkingLot {
         GLOBAL.get_or_init(ParkingLot::default)
     }
 
-    fn bucket_of(&self, addr: usize) -> &Bucket {
-        // Fibonacci hashing spreads the (cache-line-aligned, low-entropy)
-        // lock addresses over the buckets via the product's high bits.
-        let hash = addr.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let bits = self.buckets.len().trailing_zeros();
-        let index = if bits == 0 {
-            0
-        } else {
-            hash >> (usize::BITS - bits)
-        };
-        &self.buckets[index]
+    /// The currently published table. The reference stays valid for the
+    /// lot's lifetime: replaced tables are retained in `old_tables`, never
+    /// freed while the lot lives.
+    fn current(&self) -> (&BucketTable, *mut BucketTable) {
+        let ptr = self.table.load(Ordering::Acquire);
+        // SAFETY: tables are only freed when the lot is dropped.
+        (unsafe { &*ptr }, ptr)
     }
 
+    /// Number of buckets in the current table (diagnostics and tests).
+    pub fn buckets(&self) -> usize {
+        self.current().0.buckets.len()
+    }
+
+    /// Locks the bucket of `addr` in the current table. Re-checks the
+    /// published table pointer after acquiring: a growth that swapped the
+    /// table mid-acquisition would otherwise leave this operation mutating
+    /// a drained bucket.
     fn queue_of(&self, addr: usize) -> MutexGuard<'_, Vec<Waiter>> {
-        self.bucket_of(addr)
-            .queue
+        loop {
+            let (table, ptr) = self.current();
+            let guard = table
+                .bucket_of(addr)
+                .queue
+                .lock()
+                .expect("parking-lot bucket poisoned");
+            if self.table.load(Ordering::Acquire) == ptr {
+                return guard;
+            }
+        }
+    }
+
+    /// Grows the bucket table when the parked population exceeds
+    /// [`GROW_LOAD_FACTOR`] waiters per bucket. Called from the park path
+    /// only — a thread about to sleep is off the hot path by definition;
+    /// unpark and timeout paths never grow.
+    fn maybe_grow(&self) {
+        if self.parked.load(Ordering::Relaxed) <= self.buckets() * GROW_LOAD_FACTOR
+            || self.buckets() >= MAX_BUCKETS
+        {
+            return;
+        }
+        // One grower at a time; concurrent parkers skip rather than queue.
+        let Ok(_grow) = self.grow_lock.try_lock() else {
+            return;
+        };
+        let (old_table, old_ptr) = self.current();
+        // Re-check under the grow lock (another grower may have finished).
+        let parked = self.parked.load(Ordering::Relaxed);
+        let mut target = old_table.buckets.len();
+        while parked > target * GROW_LOAD_FACTOR && target < MAX_BUCKETS {
+            target *= 2;
+        }
+        if target == old_table.buckets.len() {
+            return;
+        }
+        let mut new_table = BucketTable::new(target);
+        // Lock every old bucket (in index order: the only multi-bucket
+        // acquirers are this loop and `lock_pair`, which orders by address,
+        // so there is no lock-order cycle — `lock_pair` holds at most two
+        // and both orders are consistent per table generation). Holding all
+        // of them freezes the old table: every other operation either
+        // finished before we got its bucket or blocks until the swap below
+        // and then retries against the new table.
+        let mut guards: Vec<MutexGuard<'_, Vec<Waiter>>> = old_table
+            .buckets
+            .iter()
+            .map(|b| b.queue.lock().expect("parking-lot bucket poisoned"))
+            .collect();
+        for old_queue in guards.iter_mut() {
+            // Per-address FIFO order is preserved: all waiters of one
+            // address share an old bucket and are appended in order to one
+            // new bucket. The new table is private until published (we own
+            // the box), so its queues are reached through `get_mut` with
+            // no locking — this loop runs while every old bucket lock is
+            // held, stalling all parking traffic, so it must be as short
+            // as possible.
+            for waiter in old_queue.drain(..) {
+                let index = new_table.bucket_index(waiter.addr);
+                new_table.buckets[index]
+                    .queue
+                    .get_mut()
+                    .expect("parking-lot bucket poisoned")
+                    .push(waiter);
+            }
+        }
+        // Publish while still holding every old bucket guard: a thread
+        // blocked on an old bucket mutex wakes only after the drop below,
+        // re-checks the pointer, and retries against the new table.
+        self.table
+            .store(Box::into_raw(new_table), Ordering::Release);
+        drop(guards);
+        // Retain the old table: threads may still hold references into it
+        // (blocked on a bucket mutex, mid-retry). Freed on lot drop.
+        self.old_tables
             .lock()
-            .expect("parking-lot bucket poisoned")
+            .expect("parking-lot retired list poisoned")
+            .push(RetiredTable(old_ptr));
     }
 
     /// Parks the calling thread on `addr` until an unpark primitive wakes it
@@ -276,8 +449,14 @@ impl ParkingLot {
                 park_token,
                 parker: Arc::clone(&parker),
             });
+            self.parked.fetch_add(1, Ordering::Relaxed);
         }
         before_sleep();
+        // Grow the bucket table here if the parked population outgrew it:
+        // this thread is about to sleep, so it is off the hot path by
+        // definition, and the user-visible release (`before_sleep`) already
+        // ran, so notifiers are not delayed by a growth.
+        self.maybe_grow();
         match timeout {
             None => ParkResult::Unparked(parker.park()),
             Some(timeout) => match parker.park_timeout(timeout) {
@@ -299,6 +478,7 @@ impl ParkingLot {
                 .position(|w| Arc::ptr_eq(&w.parker, parker) && w.addr == addr)
             {
                 queue.remove(index);
+                self.parked.fetch_sub(1, Ordering::Relaxed);
                 return ParkResult::TimedOut;
             }
             // Not in the bucket we expected. Either a requeue moved us (the
@@ -323,24 +503,47 @@ impl ParkingLot {
         unpark_token: usize,
         callback: impl FnOnce(&UnparkResult),
     ) -> UnparkResult {
+        self.unpark_one_with(addr, |_| unpark_token, callback)
+    }
+
+    /// Like [`ParkingLot::unpark_one`], but the unpark token is computed
+    /// from the woken waiter's **park token**, under the bucket lock.
+    ///
+    /// This is what lets a lock hand ownership directly to its own waiters
+    /// (a handoff unpark token) while waiters of a different kind that were
+    /// requeued onto the same address (e.g. condvar waiters moved onto a
+    /// mutex by requeue-on-notify) are recognizable by their park token and
+    /// woken with ordinary release semantics instead — a handoff token
+    /// delivered to a thread that does not understand it would strand the
+    /// lock in a held-by-nobody state.
+    pub fn unpark_one_with(
+        &self,
+        addr: usize,
+        token_for: impl FnOnce(usize) -> usize,
+        callback: impl FnOnce(&UnparkResult),
+    ) -> UnparkResult {
         // Allocation-free: this runs on every contended unlock, while
         // holding a bucket lock other colliding locks contend on.
-        let woken: Option<Arc<Parker>>;
+        let woken: Option<(Arc<Parker>, usize)>;
         let result;
         {
             let mut queue = self.queue_of(addr);
-            woken = queue
-                .iter()
-                .position(|w| w.addr == addr)
-                .map(|index| queue.remove(index).parker);
+            woken = queue.iter().position(|w| w.addr == addr).map(|index| {
+                let waiter = queue.remove(index);
+                let token = token_for(waiter.park_token);
+                (waiter.parker, token)
+            });
+            if woken.is_some() {
+                self.parked.fetch_sub(1, Ordering::Relaxed);
+            }
             result = UnparkResult {
                 unparked: usize::from(woken.is_some()),
                 have_more: queue.iter().any(|w| w.addr == addr),
             };
             callback(&result);
         }
-        if let Some(parker) = woken {
-            parker.unpark(unpark_token);
+        if let Some((parker, token)) = woken {
+            parker.unpark(token);
         }
         result
     }
@@ -359,6 +562,7 @@ impl ParkingLot {
                     true
                 }
             });
+            self.parked.fetch_sub(woken.len(), Ordering::Relaxed);
         }
         for parker in &woken {
             parker.unpark(unpark_token);
@@ -405,6 +609,7 @@ impl ParkingLot {
                 unparked: usize::from(preferred.is_some()) + woken.len(),
                 have_more: queue.iter().any(|w| w.addr == addr),
             };
+            self.parked.fetch_sub(result.unparked, Ordering::Relaxed);
             callback(&result);
         }
         if let Some(parker) = preferred {
@@ -468,6 +673,7 @@ impl ParkingLot {
                 unparked: woken.len(),
                 have_more: queue.iter().any(|w| w.addr == addr),
             };
+            self.parked.fetch_sub(result.unparked, Ordering::Relaxed);
             callback(&result);
         }
         for parker in woken {
@@ -489,10 +695,44 @@ impl ParkingLot {
         unpark_token: usize,
         callback: impl FnOnce(&RequeueResult),
     ) -> RequeueResult {
+        self.unpark_requeue_with(
+            from,
+            to,
+            || (max_unpark, max_requeue),
+            unpark_token,
+            callback,
+        )
+    }
+
+    /// Like [`ParkingLot::unpark_requeue`], but the `(max_unpark,
+    /// max_requeue)` split is decided by `decide`, which runs **under both
+    /// bucket locks** — atomically with park validation on either address.
+    ///
+    /// This is the primitive behind condvar requeue-on-notify: the decision
+    /// "requeue onto the mutex vs wake now" must inspect (and update) the
+    /// mutex word with no window for the mutex to be released in between,
+    /// or a requeued waiter could sleep on a mutex nobody holds.
+    pub fn unpark_requeue_with(
+        &self,
+        from: usize,
+        to: usize,
+        decide: impl FnOnce() -> (usize, usize),
+        unpark_token: usize,
+        callback: impl FnOnce(&RequeueResult),
+    ) -> RequeueResult {
         let mut woken: Vec<Arc<Parker>> = Vec::new();
         let result;
         {
             let (mut from_queue, mut to_queue) = self.lock_pair(from, to);
+            // Nothing to move: skip `decide` entirely, so a notify with no
+            // waiters does not disturb the target lock's state (e.g.
+            // spuriously raise a futex's parked bit, forcing its next
+            // release through the slow path).
+            let (max_unpark, max_requeue) = if from_queue.iter().any(|w| w.addr == from) {
+                decide()
+            } else {
+                (0, 0)
+            };
             let mut moved: Vec<Waiter> = Vec::new();
             let mut unparked = 0usize;
             let mut requeued = 0usize;
@@ -523,6 +763,7 @@ impl ParkingLot {
                 None => from_queue.extend(moved),
             }
             result = RequeueResult { unparked, requeued };
+            self.parked.fetch_sub(result.unparked, Ordering::Relaxed);
             callback(&result);
         }
         for parker in woken {
@@ -531,9 +772,10 @@ impl ParkingLot {
         result
     }
 
-    /// Locks the buckets of `from` and `to` in a deadlock-free order.
-    /// Returns `(from_queue, Some(to_queue))`, or `(queue, None)` when both
-    /// addresses share a bucket.
+    /// Locks the buckets of `from` and `to` in a deadlock-free order within
+    /// one table generation, retrying if a growth swapped the table while
+    /// acquiring. Returns `(from_queue, Some(to_queue))`, or `(queue, None)`
+    /// when both addresses share a bucket.
     #[allow(clippy::type_complexity)]
     fn lock_pair(
         &self,
@@ -543,18 +785,29 @@ impl ParkingLot {
         MutexGuard<'_, Vec<Waiter>>,
         Option<MutexGuard<'_, Vec<Waiter>>>,
     ) {
-        let from_bucket = self.bucket_of(from) as *const Bucket;
-        let to_bucket = self.bucket_of(to) as *const Bucket;
-        if std::ptr::eq(from_bucket, to_bucket) {
-            (self.queue_of(from), None)
-        } else if (from_bucket as usize) < (to_bucket as usize) {
-            let first = self.queue_of(from);
-            let second = self.queue_of(to);
-            (first, Some(second))
-        } else {
-            let second = self.queue_of(to);
-            let first = self.queue_of(from);
-            (first, Some(second))
+        loop {
+            let (table, ptr) = self.current();
+            let from_bucket = table.bucket_of(from);
+            let to_bucket = table.bucket_of(to);
+            fn lock(b: &Bucket) -> MutexGuard<'_, Vec<Waiter>> {
+                b.queue.lock().expect("parking-lot bucket poisoned")
+            }
+            let (first, second) = if std::ptr::eq(from_bucket, to_bucket) {
+                (lock(from_bucket), None)
+            } else if (from_bucket as *const Bucket as usize)
+                < (to_bucket as *const Bucket as usize)
+            {
+                let first = lock(from_bucket);
+                let second = lock(to_bucket);
+                (first, Some(second))
+            } else {
+                let second = lock(to_bucket);
+                let first = lock(from_bucket);
+                (first, Some(second))
+            };
+            if self.table.load(Ordering::Acquire) == ptr {
+                return (first, second);
+            }
         }
     }
 
@@ -570,10 +823,7 @@ impl ParkingLot {
     /// Total number of threads parked in this lot, over all addresses
     /// (racy; tests and diagnostics).
     pub fn total_parked(&self) -> usize {
-        self.buckets
-            .iter()
-            .map(|b| b.queue.lock().map(|q| q.len()).unwrap_or(0))
-            .sum()
+        self.parked.load(Ordering::Relaxed)
     }
 }
 
@@ -854,5 +1104,106 @@ mod tests {
     #[test]
     fn global_lot_is_a_singleton() {
         assert!(std::ptr::eq(ParkingLot::global(), ParkingLot::global()));
+    }
+
+    #[test]
+    fn table_grows_under_parked_load_and_waiters_survive() {
+        // 2 initial buckets, GROW_LOAD_FACTOR waiters per bucket: parking 24
+        // threads on 24 distinct addresses must grow the table, and every
+        // waiter must remain reachable (unparkable) afterwards.
+        let lot = Arc::new(ParkingLot::with_buckets(2));
+        let n = 24usize;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let lot = Arc::clone(&lot);
+                std::thread::spawn(move || {
+                    lot.park(0x1000 + i * 64, DEFAULT_PARK_TOKEN, || true, || {}, None)
+                })
+            })
+            .collect();
+        while lot.total_parked() < n {
+            std::thread::yield_now();
+        }
+        // Growth triggers on the next park once the load threshold is
+        // crossed; at 24 parked the 2-bucket table must have grown.
+        assert!(
+            lot.buckets() > 2,
+            "table should have grown (buckets = {})",
+            lot.buckets()
+        );
+        for i in 0..n {
+            assert_eq!(lot.parked_count(0x1000 + i * 64), 1, "waiter {i} survives");
+            assert_eq!(lot.unpark_all(0x1000 + i * 64, 9), 1);
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), ParkResult::Unparked(9));
+        }
+        assert_eq!(lot.total_parked(), 0);
+    }
+
+    #[test]
+    fn growth_preserves_fifo_order_per_address() {
+        let lot = Arc::new(ParkingLot::with_buckets(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Three FIFO waiters on one address...
+        let fifo = park_squad(&lot, 0xF1F0, 3, &order);
+        // ...then enough waiters elsewhere to force a growth past them.
+        let filler: Vec<_> = (0..8)
+            .map(|i| {
+                let lot = Arc::clone(&lot);
+                std::thread::spawn(move || {
+                    lot.park(0x2000 + i * 64, DEFAULT_PARK_TOKEN, || true, || {}, None)
+                })
+            })
+            .collect();
+        while lot.total_parked() < 11 {
+            std::thread::yield_now();
+        }
+        assert!(lot.buckets() > 1, "growth should have happened");
+        for _ in 0..3 {
+            let before = order.lock().unwrap().len();
+            assert_eq!(
+                lot.unpark_one(0xF1F0, DEFAULT_UNPARK_TOKEN, |_| {})
+                    .unparked,
+                1
+            );
+            while order.lock().unwrap().len() == before {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![0, 1, 2],
+            "FIFO order survives the table growth"
+        );
+        for i in 0..8 {
+            lot.unpark_all(0x2000 + i * 64, DEFAULT_UNPARK_TOKEN);
+        }
+        for h in fifo.into_iter().chain(filler) {
+            assert!(h.join().unwrap().is_unparked());
+        }
+        assert_eq!(lot.total_parked(), 0);
+    }
+
+    #[test]
+    fn requeue_with_decides_under_the_bucket_locks() {
+        // The decide closure sees a consistent world: a waiter parked on
+        // `from` cannot be concurrently unparked while decide runs.
+        let lot = Arc::new(ParkingLot::with_buckets(4));
+        let handle = {
+            let lot = Arc::clone(&lot);
+            std::thread::spawn(move || lot.park(0x10, DEFAULT_PARK_TOKEN, || true, || {}, None))
+        };
+        while lot.parked_count(0x10) == 0 {
+            std::thread::yield_now();
+        }
+        // Decide to requeue instead of waking.
+        let result =
+            lot.unpark_requeue_with(0x10, 0x20, || (0, usize::MAX), DEFAULT_UNPARK_TOKEN, |_| {});
+        assert_eq!(result.unparked, 0);
+        assert_eq!(result.requeued, 1);
+        assert_eq!(lot.parked_count(0x20), 1);
+        assert_eq!(lot.unpark_all(0x20, DEFAULT_UNPARK_TOKEN), 1);
+        assert!(handle.join().unwrap().is_unparked());
     }
 }

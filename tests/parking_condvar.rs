@@ -195,3 +195,233 @@ fn notify_one_hands_over_fifo_and_notify_all_drains() {
     assert_eq!(woken.load(Ordering::SeqCst), 4);
     assert_eq!(cv.waiters(), 0);
 }
+
+#[test]
+fn backend_migration_under_load_loses_no_wakeups() {
+    // Tentpole stress: flip the blocking backend PerLock <-> ParkingLot
+    // *while* threads hold and wait on the locks. The service runs every
+    // lock in mutex mode (initial mode, adaptation off) with the Auto
+    // backend and a tiny density threshold; a churn thread oscillates the
+    // density across the threshold so every release is a migration
+    // opportunity. Waiters parked on the old backend must drain through
+    // the acquire-recheck-retry protocol: the exact final counter proves
+    // no double-admission (double-unpark) and the test completing proves
+    // no lost wakeup.
+    use gls::glk::{DensityHandle, GlkMode};
+    let config = GlsConfig::default().with_glk(
+        GlkConfig::default()
+            .with_initial_mode(GlkMode::Mutex)
+            .without_adaptation()
+            .with_blocking_backend(BlockingBackend::Auto)
+            .with_blocking_density_threshold(4),
+    );
+    let svc = Arc::new(GlsService::with_config(config));
+    let density = match &svc.config().glk.density {
+        DensityHandle::Custom(d) => Arc::clone(d),
+        DensityHandle::Global => panic!("services wire their own density tracker"),
+    };
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churn = {
+        let stop = Arc::clone(&stop);
+        let density = Arc::clone(&density);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..8 {
+                    density.enter();
+                }
+                std::thread::yield_now();
+                for _ in 0..8 {
+                    density.leave();
+                }
+            }
+        })
+    };
+    let counter = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..6)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for i in 0..5_000usize {
+                    let addr = 0xA100 + ((t + i) % 2) * 64;
+                    svc.lock_addr(addr).unwrap();
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    gls_runtime::spin_cycles(200);
+                    svc.unlock_addr(addr).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in workers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+    assert_eq!(counter.load(Ordering::Relaxed), 30_000);
+    assert_eq!(
+        svc.blocking_lock_count(),
+        2,
+        "both mutex-mode locks count as live blocking locks"
+    );
+}
+
+#[test]
+fn condvar_requeue_mpmc_loses_no_items() {
+    // Requeue-on-notify correctness under MPMC churn: producers notify
+    // while *holding* the futex-backed mutex (so every notify takes the
+    // requeue path and the waiter is woken by the mutex release, not the
+    // notify), consumers wait in the standard predicate loop. Every
+    // produced item must be consumed exactly once.
+    struct Queue(std::cell::UnsafeCell<std::collections::VecDeque<u64>>);
+    unsafe impl Sync for Queue {}
+    const PRODUCERS: u64 = 3;
+    const CONSUMERS: usize = 4;
+    const PER_PRODUCER: u64 = 3_000;
+
+    let svc = Arc::new(GlsService::new());
+    let cv = Arc::new(GlsCondvar::new());
+    let queue = Arc::new(Queue(std::cell::UnsafeCell::new(Default::default())));
+    let addr = 0xCAFE;
+    // The mutex entry is futex-backed: notify_one_addr requeues onto it.
+    svc.lock_with(LockKind::Futex, addr).unwrap();
+    svc.unlock_addr(addr).unwrap();
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let (svc, cv, queue, done) = (
+                Arc::clone(&svc),
+                Arc::clone(&cv),
+                Arc::clone(&queue),
+                Arc::clone(&done),
+            );
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                loop {
+                    svc.lock_addr(addr).unwrap();
+                    let item = loop {
+                        // SAFETY: guarded by the GLS mutex on `addr`.
+                        let q = unsafe { &mut *queue.0.get() };
+                        if let Some(item) = q.pop_front() {
+                            break Some(item);
+                        }
+                        if done.load(Ordering::Acquire) {
+                            break None;
+                        }
+                        svc.wait_addr(&cv, addr).unwrap();
+                    };
+                    svc.unlock_addr(addr).unwrap();
+                    match item {
+                        Some(v) => sum += v,
+                        None => return sum,
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let (svc, cv, queue) = (Arc::clone(&svc), Arc::clone(&cv), Arc::clone(&queue));
+            std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    svc.lock_addr(addr).unwrap();
+                    // SAFETY: guarded by the GLS mutex on `addr`.
+                    unsafe { (*queue.0.get()).push_back(p * PER_PRODUCER + i + 1) };
+                    // Notify while holding the mutex: the waiter must be
+                    // requeued onto the mutex and woken by the unlock below.
+                    svc.notify_one_addr(&cv, addr);
+                    svc.unlock_addr(addr).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in producers {
+        h.join().unwrap();
+    }
+    svc.lock_addr(addr).unwrap();
+    done.store(true, Ordering::Release);
+    svc.notify_all_addr(&cv, addr);
+    svc.unlock_addr(addr).unwrap();
+
+    let consumed: u64 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+    let n = PRODUCERS * PER_PRODUCER;
+    assert_eq!(
+        consumed,
+        n * (n + 1) / 2,
+        "every produced item consumed exactly once"
+    );
+    assert_eq!(cv.waiters(), 0);
+}
+
+#[test]
+fn requeued_waiters_survive_a_backend_migration() {
+    // Regression for the requeue/migration interaction: condvar waiters
+    // requeued onto a futex-backed mutex never re-release the futex word,
+    // so a release that migrates the blocking backend away from the
+    // parking lot must *broadcast* to the old queue — with a one-wakeup
+    // release, everyone queued behind the first requeued waiter would
+    // sleep forever.
+    use gls::glk::{DensityHandle, GlkMode};
+    let config = GlsConfig::default().with_glk(
+        GlkConfig::default()
+            .with_initial_mode(GlkMode::Mutex)
+            .without_adaptation()
+            .with_blocking_backend(BlockingBackend::Auto)
+            // Threshold 4: 4 manual entries + the lock itself put the
+            // first use past it (parking backend); dropping back to 1
+            // live lock falls below the x1/2 hysteresis (1*2 < 4), so the
+            // release after the drop really migrates.
+            .with_blocking_density_threshold(4),
+    );
+    let svc = Arc::new(GlsService::with_config(config));
+    let density = match &svc.config().glk.density {
+        DensityHandle::Custom(d) => Arc::clone(d),
+        DensityHandle::Global => panic!("services wire their own density tracker"),
+    };
+    // Past the threshold before first use: the lock decides PARKING.
+    for _ in 0..4 {
+        density.enter();
+    }
+    let cv = Arc::new(GlsCondvar::new());
+    let addr = 0x9A7E;
+    let woken = Arc::new(AtomicU64::new(0));
+    let waiters: Vec<_> = (0..3)
+        .map(|_| {
+            let (svc, cv, woken) = (Arc::clone(&svc), Arc::clone(&cv), Arc::clone(&woken));
+            std::thread::spawn(move || {
+                svc.lock_addr(addr).unwrap();
+                svc.wait_addr(&cv, addr).unwrap();
+                svc.unlock_addr(addr).unwrap();
+                woken.fetch_add(1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    while cv.waiters() < 3 {
+        std::thread::yield_now();
+    }
+    // Hold the (parking-backed) mutex and morph the whole broadcast onto
+    // its futex word.
+    svc.lock_addr(addr).unwrap();
+    assert_eq!(svc.notify_all_addr(&cv, addr), 3);
+    // Now force the next release to migrate the backend away from the
+    // parking lot: the release must broadcast, or two of the three
+    // requeued waiters strand under the abandoned futex word.
+    for _ in 0..4 {
+        density.leave();
+    }
+    svc.unlock_addr(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while woken.load(Ordering::SeqCst) < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "requeued waiters stranded across the backend migration \
+             ({} of 3 woke)",
+            woken.load(Ordering::SeqCst)
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for h in waiters {
+        h.join().unwrap();
+    }
+}

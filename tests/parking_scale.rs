@@ -1,0 +1,111 @@
+//! Scale test for the growable parking-lot bucket table: thousands of
+//! simultaneously *contended* locks (each with a parked waiter) must grow
+//! the table off the hot path so they stop colliding on the initial 64
+//! bucket mutexes, and every waiter must survive the table swaps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use gls_locks::park::DEFAULT_PARK_TOKEN;
+use gls_locks::{FutexLock, ParkingLot, QueueInformed, RawLock};
+
+#[test]
+fn four_thousand_contended_locks_grow_the_table() {
+    // A dedicated lot starting at the production size (64 buckets). Each
+    // thread parks under a distinct address — the "one contended lock with
+    // one parked waiter" shape — with small stacks so >4k OS threads stay
+    // cheap.
+    const LOCKS: usize = 4_200;
+    let lot = Arc::new(ParkingLot::with_buckets(64));
+    let parked = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..LOCKS)
+        .map(|i| {
+            let lot = Arc::clone(&lot);
+            let parked = Arc::clone(&parked);
+            std::thread::Builder::new()
+                .stack_size(96 * 1024)
+                .spawn(move || {
+                    lot.park(
+                        0x10_0000 + i * 64,
+                        DEFAULT_PARK_TOKEN,
+                        || {
+                            parked.fetch_add(1, Ordering::Relaxed);
+                            true
+                        },
+                        || {},
+                        None,
+                    )
+                })
+                .expect("spawning a parker")
+        })
+        .collect();
+    while parked.load(Ordering::Relaxed) < LOCKS {
+        std::thread::yield_now();
+    }
+    assert_eq!(lot.total_parked(), LOCKS);
+    // 4200 parked waiters over a load factor of 3 demand >= 2048 buckets;
+    // the initial table had 64.
+    assert!(
+        lot.buckets() >= 2048,
+        "the table must have grown for {} contended locks (buckets = {})",
+        LOCKS,
+        lot.buckets()
+    );
+    // Every waiter is still reachable under its own address after the
+    // growth (no waiter was lost in a table swap)...
+    for i in (0..LOCKS).step_by(97) {
+        assert_eq!(lot.parked_count(0x10_0000 + i * 64), 1);
+    }
+    // ...and every single one wakes.
+    for i in 0..LOCKS {
+        assert_eq!(lot.unpark_all(0x10_0000 + i * 64, 7), 1);
+    }
+    for h in handles {
+        assert!(h.join().unwrap().is_unparked());
+    }
+    assert_eq!(lot.total_parked(), 0);
+}
+
+#[test]
+fn global_lot_growth_is_transparent_to_futex_locks() {
+    // Drive enough simultaneously-contended futex locks through the
+    // *global* lot to cross its growth threshold; lock operations (and
+    // their queue_length accounting) must be oblivious to the table swap.
+    const LOCKS: usize = 256;
+    let locks: Arc<Vec<FutexLock>> = Arc::new((0..LOCKS).map(|_| FutexLock::new()).collect());
+    for lock in locks.iter() {
+        lock.lock();
+    }
+    let waiters: Vec<_> = (0..LOCKS)
+        .map(|i| {
+            let locks = Arc::clone(&locks);
+            std::thread::Builder::new()
+                .stack_size(96 * 1024)
+                .spawn(move || {
+                    locks[i].lock();
+                    locks[i].unlock();
+                })
+                .expect("spawning a waiter")
+        })
+        .collect();
+    // Wait until every lock reports its parked waiter.
+    for lock in locks.iter() {
+        while lock.queue_length() < 2 {
+            std::thread::yield_now();
+        }
+    }
+    assert!(
+        ParkingLot::global().buckets() > 64,
+        "256 contended locks push the global lot past its initial table"
+    );
+    for lock in locks.iter() {
+        lock.unlock();
+    }
+    for h in waiters {
+        h.join().unwrap();
+    }
+    for lock in locks.iter() {
+        assert!(!lock.is_locked());
+        assert_eq!(lock.queue_length(), 0);
+    }
+}
