@@ -15,13 +15,24 @@
 //!   are never allocated, and
 //! * `STD` — `std::sync::Mutex<()>` as the system baseline.
 //!
-//! Worker threads (hardware contexts + 2, so the blocking paths are really
-//! exercised) pick locks zipfian-popular (α = 0.9: a hot head sees real
-//! contention and parking while the long tail stresses the footprint) and
-//! run a short critical section. Reported: throughput per working-set size
-//! plus the wait-state footprint of each flavor — and, for AUTO, how much
-//! heap the heuristic actually allocated (0 past the threshold, i.e. the
-//! shared-lot footprint reached automatically).
+//! Worker threads are **pinned round-robin** over the hardware contexts and
+//! pick locks zipfian-popular (α = 0.9: a hot head sees real contention and
+//! parking while the long tail stresses the footprint), running a short
+//! critical section. Two series per flavor:
+//!
+//! * `multicore` (headline) — one worker per hardware context, so lock
+//!   handoffs actually cross cores (and cache domains, where the host has
+//!   more than one);
+//! * `oversubscribed` — hardware contexts + 2 workers, so blocked waiters
+//!   must really release their contexts to make progress.
+//!
+//! Reported: throughput per working-set size plus the wait-state footprint
+//! of each flavor — and, for AUTO, how much heap the heuristic actually
+//! allocated (0 past the threshold, i.e. the shared-lot footprint reached
+//! automatically). Every emitted point records the host topology
+//! (`hardware_contexts`, `cache_domains`) and the pinning layout, so a
+//! trajectory mixing single-context CI runs and dedicated multi-core runs
+//! stays interpretable.
 //!
 //! Emits `BENCH_parking.json` (override with `--out PATH`); `--smoke`
 //! shrinks the sweep and point duration so CI can validate the artifact
@@ -108,10 +119,12 @@ impl ParkBenchLock for AutoLock {
     }
 }
 
-/// Measurements of one (flavor, live-lock-count) point.
+/// Measurements of one (series, flavor, live-lock-count) point.
 struct Point {
+    series: &'static str,
     flavor: &'static str,
     live_locks: usize,
+    threads: usize,
     mops: f64,
     /// Heap wait-state bytes allocated per lock (0 when the shared lot
     /// carries the waiters).
@@ -120,8 +133,9 @@ struct Point {
     shared_lot_fraction: f64,
 }
 
-/// Runs one (flavor, live-lock-count) point.
+/// Runs one (series, flavor, live-lock-count) point.
 fn run_point<L: ParkBenchLock>(
+    series: &'static str,
     flavor: &'static str,
     make: impl Fn() -> L,
     live_locks: usize,
@@ -137,6 +151,9 @@ fn run_point<L: ParkBenchLock>(
             let zipf = Arc::clone(&zipf);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
+                // Measure from a known placement, not wherever the
+                // scheduler dropped the worker.
+                gls_bench::pin_worker(t);
                 // Register with the load monitor like every oversubscribed
                 // workload in the harness.
                 let _runnable = gls_runtime::SystemLoadMonitor::global().runnable_guard();
@@ -158,8 +175,10 @@ fn run_point<L: ParkBenchLock>(
     let heap: usize = locks.iter().map(|l| l.wait_heap_bytes()).sum();
     let shared = locks.iter().filter(|l| l.uses_shared_lot()).count();
     Point {
+        series,
         flavor,
         live_locks,
+        threads,
         mops: ops as f64 / start.elapsed().as_secs_f64() / 1e6,
         heap_bytes_per_lock: heap as f64 / live_locks as f64,
         shared_lot_fraction: shared as f64 / live_locks as f64,
@@ -194,9 +213,7 @@ fn main() {
         "Figure 16 (parking)",
         "per-lock-condvar parking vs the shared parking lot vs the density heuristic vs std",
     );
-    // Two threads beyond the hardware contexts: enough oversubscription
-    // that blocked waiters must actually release their contexts.
-    let threads = gls_runtime::hardware_contexts() + 2;
+    let contexts = gls_runtime::hardware_contexts();
     let threshold = DEFAULT_BLOCKING_DENSITY_THRESHOLD;
 
     println!(
@@ -209,13 +226,6 @@ fn main() {
     println!("# blocking-density threshold: {threshold} live blocking locks");
 
     let flavors = ["MUTEX", "FUTEX", "AUTO", "STD"];
-    let mut table = SeriesTable::new(
-        format!(
-            "Figure 16: zipfian traffic over N live blocking locks, {threads} threads (Mops/s)"
-        ),
-        "locks",
-        flavors.iter().map(|f| f.to_string()).collect(),
-    );
     // The 16-lock row sits below the density threshold: AUTO embeds
     // per-lock mutexes there and switches to the shared lot for every row
     // past the threshold — with no configuration change in between.
@@ -224,49 +234,74 @@ fn main() {
     } else {
         &[16, 1_000, 10_000, 100_000]
     };
+    // The headline series fills the machine (one pinned worker per
+    // context: real cross-core handoffs); the oversubscription series adds
+    // two more workers so blocked waiters must actually release their
+    // contexts. On a single-context host the two differ only in degree —
+    // the per-point topology fields keep that honest.
+    let series: [(&'static str, usize); 2] =
+        [("multicore", contexts), ("oversubscribed", contexts + 2)];
     let mut points: Vec<Point> = Vec::new();
-    for &live_locks in sweep {
-        let row: Vec<Point> = {
-            let auto_density = Arc::new(BlockingDensity::new());
-            vec![
-                run_point("MUTEX", MutexLock::new, live_locks, threads),
-                run_point("FUTEX", FutexLock::new, live_locks, threads),
-                run_point(
-                    "AUTO",
-                    || {
-                        // Every lock in this bench is a blocking lock, so
-                        // each one joins the live blocking population (in a
-                        // GlsService this happens when a GLK lock enters
-                        // mutex mode).
-                        auto_density.enter();
-                        AutoLock {
-                            lock: AutoBlockingMutex::new(),
-                            density: Arc::clone(&auto_density),
-                        }
-                    },
-                    live_locks,
-                    threads,
-                ),
-                run_point("STD", std::sync::Mutex::default, live_locks, threads),
-            ]
-        };
-        let label = if live_locks >= 1_000 {
-            format!("{}k", live_locks / 1_000)
-        } else {
-            live_locks.to_string()
-        };
-        table.push_row(label, row.iter().map(|p| p.mops).collect());
-        let auto = &row[2];
-        println!(
-            "# {live_locks} locks -> footprint: MUTEX {} kB | FUTEX {} kB | AUTO heap {:.1} B/lock, {:.0}% on the shared lot",
-            live_locks * std::mem::size_of::<MutexLock>() / 1024,
-            live_locks * std::mem::size_of::<FutexLock>() / 1024,
-            auto.heap_bytes_per_lock,
-            auto.shared_lot_fraction * 100.0,
+    for (series_name, threads) in series {
+        let mut table = SeriesTable::new(
+            format!(
+                "Figure 16 [{series_name}]: zipfian traffic over N live blocking locks, \
+                 {threads} threads (Mops/s)"
+            ),
+            "locks",
+            flavors.iter().map(|f| f.to_string()).collect(),
         );
-        points.extend(row);
+        for &live_locks in sweep {
+            let row: Vec<Point> = {
+                let auto_density = Arc::new(BlockingDensity::new());
+                vec![
+                    run_point(series_name, "MUTEX", MutexLock::new, live_locks, threads),
+                    run_point(series_name, "FUTEX", FutexLock::new, live_locks, threads),
+                    run_point(
+                        series_name,
+                        "AUTO",
+                        || {
+                            // Every lock in this bench is a blocking lock, so
+                            // each one joins the live blocking population (in a
+                            // GlsService this happens when a GLK lock enters
+                            // mutex mode).
+                            auto_density.enter();
+                            AutoLock {
+                                lock: AutoBlockingMutex::new(),
+                                density: Arc::clone(&auto_density),
+                            }
+                        },
+                        live_locks,
+                        threads,
+                    ),
+                    run_point(
+                        series_name,
+                        "STD",
+                        std::sync::Mutex::default,
+                        live_locks,
+                        threads,
+                    ),
+                ]
+            };
+            let label = if live_locks >= 1_000 {
+                format!("{}k", live_locks / 1_000)
+            } else {
+                live_locks.to_string()
+            };
+            table.push_row(label, row.iter().map(|p| p.mops).collect());
+            let auto = &row[2];
+            println!(
+                "# [{series_name}] {live_locks} locks -> footprint: MUTEX {} kB | FUTEX {} kB | AUTO heap {:.1} B/lock, {:.0}% on the shared lot",
+                live_locks * std::mem::size_of::<MutexLock>() / 1024,
+                live_locks * std::mem::size_of::<FutexLock>() / 1024,
+                auto.heap_bytes_per_lock,
+                auto.shared_lot_fraction * 100.0,
+            );
+            points.extend(row);
+        }
+        table.print();
+        println!();
     }
-    table.print();
     println!(
         "# FUTEX keeps per-lock wait state at one word (queues live in the shared \
          parking lot); AUTO reaches the same footprint automatically past \
@@ -280,12 +315,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"figure\": \"fig16_parking\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
-    let _ = writeln!(
-        json,
-        "  \"hardware_contexts\": {},",
-        gls_runtime::hardware_contexts()
-    );
-    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  {},", gls_bench::topology_json_fields());
     let _ = writeln!(json, "  \"blocking_density_threshold\": {threshold},");
     let _ = writeln!(
         json,
@@ -304,13 +334,17 @@ fn main() {
     for (i, p) in points.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"flavor\": \"{}\", \"live_locks\": {}, \"mops_per_sec\": {:.4}, \
-             \"wait_heap_bytes_per_lock\": {:.2}, \"shared_lot_fraction\": {:.4}}}",
+            "    {{\"series\": \"{}\", \"flavor\": \"{}\", \"live_locks\": {}, \
+             \"threads\": {}, \"mops_per_sec\": {:.4}, \
+             \"wait_heap_bytes_per_lock\": {:.2}, \"shared_lot_fraction\": {:.4}, {}}}",
+            json_escape_free(p.series),
             json_escape_free(p.flavor),
             p.live_locks,
+            p.threads,
             p.mops,
             p.heap_bytes_per_lock,
             p.shared_lot_fraction,
+            gls_bench::topology_json_fields(),
         );
         json.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
     }

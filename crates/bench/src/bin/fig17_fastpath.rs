@@ -25,10 +25,16 @@
 //! contended acquirers on a shared stat cacheline before they even reached
 //! the lock word.
 //!
+//! Worker threads are pinned round-robin over the hardware contexts; the
+//! thread sweep runs up to one worker per context (the multi-core headline)
+//! plus an oversubscribed point (`contexts + 2`).
+//!
 //! Besides the human-readable tables, the harness writes machine-readable
 //! `BENCH_fastpath.json` (override with `--out PATH`) so the repository
-//! accumulates a fast-path perf trajectory PR over PR. `--smoke` shrinks
-//! the sweep for CI.
+//! accumulates a fast-path perf trajectory PR over PR; every point carries
+//! the host topology (`hardware_contexts`, `cache_domains`) and pinning
+//! layout so runs from different machines stay comparable. `--smoke`
+//! shrinks the sweep for CI.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -118,6 +124,9 @@ fn run_private_point_once(flavor: Flavor, threads: usize, locks_per_thread: usiz
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
+                // Measure from a known placement: worker t on context
+                // t % hardware_contexts().
+                gls_bench::pin_worker(t);
                 // Private, well-spread addresses: thread t uses the block
                 // [(t+1) << 24, ...) in cacheline steps.
                 let addrs: Vec<usize> = (0..locks_per_thread)
@@ -206,11 +215,12 @@ fn run_shared_point(profiled: bool, threads: usize) -> SharedPoint {
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(threads + 1));
     let handles: Vec<_> = (0..threads)
-        .map(|_| {
+        .map(|t| {
             let service = Arc::clone(&service);
             let stop = Arc::clone(&stop);
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
+                gls_bench::pin_worker(t);
                 barrier.wait();
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -245,7 +255,10 @@ fn thread_counts(smoke: bool) -> Vec<usize> {
     let mut counts = if smoke {
         vec![1, 2]
     } else {
-        vec![1, max.div_ceil(2), max]
+        // The multi-core points (up to one worker per context) are the
+        // headline; `max + 2` keeps an oversubscription point in the
+        // trajectory, where workers fight for contexts.
+        vec![1, max.div_ceil(2), max, max + 2]
     };
     counts.dedup();
     counts
@@ -331,11 +344,7 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(json, "  \"figure\": \"fig17_fastpath\",");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
-    let _ = writeln!(
-        json,
-        "  \"hardware_contexts\": {},",
-        gls_runtime::hardware_contexts()
-    );
+    let _ = writeln!(json, "  {},", gls_bench::topology_json_fields());
     let _ = writeln!(
         json,
         "  \"cache_geometry\": {{\"sets\": {CACHE_SETS}, \"ways\": {CACHE_WAYS}}},"
@@ -351,7 +360,7 @@ fn main() {
             json,
             "    {{\"flavor\": \"{}\", \"threads\": {}, \"locks_per_thread\": {}, \
              \"ns_per_op\": {:.2}, \"ops\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"cache_hit_rate\": {:.4}}}",
+             \"cache_hit_rate\": {:.4}, {}}}",
             json_escape_free(p.flavor),
             p.threads,
             p.locks_per_thread,
@@ -360,6 +369,7 @@ fn main() {
             p.cache.hits,
             p.cache.misses,
             p.cache.hit_rate(),
+            gls_bench::topology_json_fields(),
         );
         json.push_str(if i + 1 == points.len() { "\n" } else { ",\n" });
     }
@@ -368,10 +378,11 @@ fn main() {
     for (i, p) in shared_points.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"mode\": \"{}\", \"threads\": {}, \"mops_per_sec\": {:.4}}}",
+            "    {{\"mode\": \"{}\", \"threads\": {}, \"mops_per_sec\": {:.4}, {}}}",
             json_escape_free(p.mode),
             p.threads,
             p.mops_per_sec,
+            gls_bench::topology_json_fields(),
         );
         json.push_str(if i + 1 == shared_points.len() {
             "\n"

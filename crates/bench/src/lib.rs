@@ -9,7 +9,7 @@
 
 #![warn(missing_docs)]
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use gls::glk::{GlkConfig, MonitorHandle};
@@ -47,6 +47,51 @@ pub fn thread_sweep() -> Vec<usize> {
     gls_runtime::topology::sweep(1.25)
 }
 
+/// Pins the calling worker thread round-robin over the hardware contexts
+/// (worker `index` goes to context `index % hardware_contexts()`); returns
+/// whether the kernel accepted the affinity mask. Every measurement thread
+/// in the harness calls this so data points are taken from a *known*
+/// placement instead of wherever the scheduler happened to put the workers.
+pub fn pin_worker(index: usize) -> bool {
+    gls_runtime::topology::pin_worker(index)
+}
+
+/// Whether pinning actually works on this host (probed once, on a throwaway
+/// thread so the caller's affinity is untouched). False on non-Linux
+/// platforms and in sandboxes that deny `sched_setaffinity`.
+pub fn pinning_effective() -> bool {
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| {
+        std::thread::spawn(|| gls_runtime::pin_to(0))
+            .join()
+            .unwrap_or(false)
+    })
+}
+
+/// The pinning policy name recorded in benchmark artifacts.
+pub fn pin_policy() -> &'static str {
+    if pinning_effective() {
+        "round_robin"
+    } else {
+        "unpinned"
+    }
+}
+
+/// The topology fields every emitted benchmark point must carry (see the
+/// CI schema check): how many hardware contexts and cache domains the host
+/// had at measurement time and how the workers were placed on them. A
+/// trajectory point without these is uninterpretable — a single-context
+/// smoke run and a 48-context dedicated box would be indistinguishable.
+pub fn topology_json_fields() -> String {
+    format!(
+        "\"hardware_contexts\": {}, \"cache_domains\": {}, \"pin_policy\": \"{}\", \"pinned\": {}",
+        gls_runtime::hardware_contexts(),
+        gls_runtime::cache_domains().len(),
+        pin_policy(),
+        pinning_effective(),
+    )
+}
+
 /// Builds the [`LockSetup`] for one algorithm column of a figure.
 ///
 /// GLK locks must consult the same system-load monitor that the experiment's
@@ -68,8 +113,10 @@ pub fn banner(figure: &str, description: &str) {
     println!("# ================================================================");
     println!("# {figure}: {description}");
     println!(
-        "# host: {} hardware contexts | point duration: {:?} | reps: {}",
+        "# host: {} hardware contexts in {} cache domain(s) | workers {} | point duration: {:?} | reps: {}",
         gls_runtime::hardware_contexts(),
+        gls_runtime::cache_domains().len(),
+        pin_policy(),
         point_duration(),
         repetitions()
     );
@@ -96,5 +143,31 @@ mod tests {
         let sweep = thread_sweep();
         assert_eq!(sweep[0], 1);
         assert!(sweep.len() >= 2);
+    }
+
+    #[test]
+    fn topology_fields_carry_the_required_keys() {
+        let fields = topology_json_fields();
+        for key in [
+            "\"hardware_contexts\":",
+            "\"cache_domains\":",
+            "\"pin_policy\":",
+            "\"pinned\":",
+        ] {
+            assert!(fields.contains(key), "missing {key} in {fields}");
+        }
+        // The fragment must be embeddable in a JSON object as-is.
+        let object = format!("{{{fields}}}");
+        assert!(object.starts_with('{') && object.ends_with('}'));
+    }
+
+    #[test]
+    fn pin_policy_matches_probe() {
+        let effective = pinning_effective();
+        assert_eq!(pin_policy() == "round_robin", effective);
+        if effective {
+            // Pinning works on this host: a worker pin must succeed too.
+            assert!(std::thread::spawn(|| pin_worker(0)).join().unwrap());
+        }
     }
 }

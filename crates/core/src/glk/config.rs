@@ -202,6 +202,13 @@ pub struct GlkConfig {
     pub blocking_density_threshold: usize,
     /// The blocking-density tracker consulted by the Auto heuristic.
     pub density: DensityHandle,
+    /// Topology-aware handoff for parking-lot releases: when a futex release
+    /// hands the lock off, prefer a waiter parked from the releaser's cache
+    /// domain (bounded by the bypass budget so remote waiters cannot
+    /// starve — see `gls_locks::cohort`). On single-domain machines this is
+    /// identical to plain FIFO handoff; disable it to force strict FIFO on
+    /// multi-socket boxes too.
+    pub cohort_handoff: bool,
 }
 
 impl Default for GlkConfig {
@@ -221,6 +228,7 @@ impl Default for GlkConfig {
             blocking_backend: BlockingBackend::default(),
             blocking_density_threshold: DEFAULT_BLOCKING_DENSITY_THRESHOLD,
             density: DensityHandle::default(),
+            cohort_handoff: true,
         }
     }
 }
@@ -302,6 +310,13 @@ impl GlkConfig {
         self
     }
 
+    /// Enables or disables topology-aware (cohort) handoff on parking-lot
+    /// releases. Enabled by default; a no-op on single-domain machines.
+    pub fn with_cohort_handoff(mut self, enabled: bool) -> Self {
+        self.cohort_handoff = enabled;
+        self
+    }
+
     /// Disables adaptation entirely: the lock stays in its initial mode.
     /// (Used by the paper's overhead experiments, Figure 7.)
     pub fn without_adaptation(mut self) -> Self {
@@ -358,6 +373,16 @@ mod tests {
             c.blocking_density_threshold,
             DEFAULT_BLOCKING_DENSITY_THRESHOLD
         );
+        // Topology-aware handoff is on by default (harmless single-domain).
+        assert!(c.cohort_handoff);
+    }
+
+    #[test]
+    fn cohort_handoff_is_selectable() {
+        let c = GlkConfig::default().with_cohort_handoff(false);
+        assert!(!c.cohort_handoff);
+        let c = c.with_cohort_handoff(true);
+        assert!(c.cohort_handoff);
     }
 
     #[test]

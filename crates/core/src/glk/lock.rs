@@ -232,13 +232,20 @@ impl AutoBlockingMutex {
     /// the one-wakeup drain chain could otherwise strand waiters queued
     /// behind them.
     pub fn unlock(&self, density: &BlockingDensity, threshold: usize) {
+        self.unlock_cohort(density, threshold, true);
+    }
+
+    /// [`unlock`](Self::unlock) with explicit control over topology-aware
+    /// handoff on the parking backend
+    /// ([`GlkConfig::cohort_handoff`](super::GlkConfig::cohort_handoff)).
+    pub fn unlock_cohort(&self, density: &BlockingDensity, threshold: usize, cohort: bool) {
         let (current, migrated) = self.core.migrate_on_release(density, threshold);
         if current != AUTO_PARKING {
             self.core.per_lock_backend().unlock();
         } else if migrated {
             self.futex.unlock_and_wake_all();
         } else {
-            self.futex.unlock();
+            self.futex.unlock_cohort(cohort);
         }
     }
 
@@ -353,10 +360,12 @@ impl BlockingMutex {
     pub(crate) fn unlock(&self, config: &GlkConfig) {
         match self {
             BlockingMutex::PerLock(l) => l.unlock(),
-            BlockingMutex::Parking(l) => l.unlock(),
-            BlockingMutex::Auto(l) => {
-                l.unlock(config.density.density(), config.blocking_density_threshold)
-            }
+            BlockingMutex::Parking(l) => l.unlock_cohort(config.cohort_handoff),
+            BlockingMutex::Auto(l) => l.unlock_cohort(
+                config.density.density(),
+                config.blocking_density_threshold,
+                config.cohort_handoff,
+            ),
         }
     }
 

@@ -28,7 +28,7 @@ use super::config::{
 };
 #[cfg(test)]
 use super::lock::AUTO_PER_LOCK;
-use super::lock::{AutoCore, AUTO_PARKING};
+use super::lock::{decide_backend, AutoCore, AUTO_PARKING, AUTO_UNDECIDED};
 
 /// The rw counterpart of [`AutoBlockingMutex`](super::AutoBlockingMutex),
 /// sharing its [`AutoCore`] (backend selection, lazy per-lock box,
@@ -37,9 +37,12 @@ use super::lock::{AutoCore, AUTO_PARKING};
 /// Backend flips happen only under a held **write** lock (momentarily
 /// exclusive, like GLK-RW's mode flips): readers pin the backend for the
 /// duration of their hold, so `read_unlock` always releases the backend
-/// the reader acquired. A pure-read phase therefore keeps its backend
-/// until the next write release — migration is an optimization, not a
-/// correctness event. Unlike the mutex flavor, no broadcast is needed on
+/// the reader acquired. Write releases migrate in-line; a *released*
+/// reader that notices the density decision has flipped try-acquires the
+/// write slot of the current backend and, if it wins (momentarily
+/// exclusive), migrates there — the same trick GLK-RW's reader-side EMA
+/// adaptation uses — so a 100%-read phase no longer keeps a stale backend
+/// until the next write arrives. Unlike the mutex flavor, no broadcast is needed on
 /// migration: condvar waiters are never requeued onto rw words (see
 /// `LockEntry::park_addr`), so every futex-rw waiter is native and drains
 /// through acquire-recheck-release-retry.
@@ -94,9 +97,38 @@ impl AutoBlockingRw {
 
     /// Releases shared access. A reader's hold pins the backend (flipping
     /// requires the write lock of the current backend), so the value read
-    /// here names the backend actually held.
-    fn read_unlock(&self) {
-        self.read_unlock_backend(self.core.backend());
+    /// here names the backend actually held. After releasing, a reader
+    /// that notices the density decision flipped runs the migration itself
+    /// (guarded by a try-acquired write slot); without this a 100%-read
+    /// workload would keep a stale backend until the next write release.
+    fn read_unlock(&self, density: &BlockingDensity, threshold: usize) {
+        let backend = self.core.backend();
+        self.read_unlock_backend(backend);
+        if backend != AUTO_UNDECIDED && decide_backend(density, threshold, backend) != backend {
+            self.migrate_from_reader(density, threshold);
+        }
+    }
+
+    /// Runs the backend migration from the read-side release path, guarded
+    /// by a try-acquired write slot on the current backend (which makes the
+    /// caller momentarily exclusive, exactly like a write release). Losing
+    /// the race is fine: some holder is active and its release — or a later
+    /// reader's — picks the decision up.
+    #[cold]
+    fn migrate_from_reader(&self, density: &BlockingDensity, threshold: usize) {
+        let current = self.core.backend();
+        if !self.try_write_lock_backend(current) {
+            return;
+        }
+        if self.core.backend() == current {
+            let (held, _) = self.core.migrate_on_release(density, threshold);
+            debug_assert_eq!(held, current);
+            self.write_unlock_backend(held);
+        } else {
+            // The backend flipped between the load and the slot win: we
+            // hold (and must release) the stale backend, nothing to do.
+            self.write_unlock_backend(current);
+        }
     }
 
     fn write_lock(&self, density: &BlockingDensity, threshold: usize) {
@@ -114,15 +146,19 @@ impl AutoBlockingRw {
         }
     }
 
+    #[inline]
+    fn try_write_lock_backend(&self, backend: u8) -> bool {
+        if backend == AUTO_PARKING {
+            self.futex.try_lock()
+        } else {
+            self.core.per_lock_backend().try_lock()
+        }
+    }
+
     fn try_write_lock(&self, density: &BlockingDensity, threshold: usize) -> bool {
         loop {
             let backend = self.core.backend_or_decide(density, threshold);
-            let acquired = if backend == AUTO_PARKING {
-                self.futex.try_lock()
-            } else {
-                self.core.per_lock_backend().try_lock()
-            };
-            if !acquired {
+            if !self.try_write_lock_backend(backend) {
                 return false;
             }
             if self.core.backend() == backend {
@@ -210,11 +246,13 @@ impl BlockingRw {
     }
 
     #[inline]
-    fn read_unlock(&self) {
+    fn read_unlock(&self, config: &GlkConfig) {
         match self {
             BlockingRw::PerLock(l) => l.read_unlock(),
             BlockingRw::Parking(l) => l.read_unlock(),
-            BlockingRw::Auto(l) => l.read_unlock(),
+            BlockingRw::Auto(l) => {
+                l.read_unlock(config.density.density(), config.blocking_density_threshold)
+            }
         }
     }
 
@@ -464,7 +502,7 @@ impl GlkRwLock {
     fn read_unlock_mode(&self, mode: GlkRwMode) {
         match mode {
             GlkRwMode::Spin => self.spin.read_unlock(),
-            GlkRwMode::Blocking => self.blocking.read_unlock(),
+            GlkRwMode::Blocking => self.blocking.read_unlock(&self.config),
         }
     }
 
@@ -857,7 +895,7 @@ mod tests {
         // Exercise the blocking lock directly through the mode dispatchers.
         lock.blocking.read_lock(&lock.config);
         assert!(!lock.blocking.try_write_lock(&lock.config));
-        lock.blocking.read_unlock();
+        lock.blocking.read_unlock(&lock.config);
         lock.blocking.write_lock(&lock.config);
         assert!(lock.blocking.is_locked());
         assert!(!lock.blocking.try_read_lock(&lock.config));
@@ -883,7 +921,7 @@ mod tests {
         auto.read_lock(&density, 4);
         assert_eq!(auto.core.backend(), AUTO_PER_LOCK);
         assert!(!auto.try_write_lock(&density, 4));
-        auto.read_unlock();
+        auto.read_unlock(&density, 4);
         // Raise the density past the threshold: the next write release
         // migrates the backend to the parking lot...
         for _ in 0..4 {
@@ -903,6 +941,122 @@ mod tests {
         assert_eq!(auto.core.backend(), AUTO_PER_LOCK);
         assert!(!auto.is_locked());
         assert_eq!(auto.queue_length(), 0);
+    }
+
+    #[test]
+    fn read_only_workload_migrates_backends_in_both_directions() {
+        // Regression test for the write-side-only migration trigger: with
+        // migration running only in `write_unlock`, a 100%-read blocking
+        // workload kept its backend until the next write arrived. A released
+        // reader that wins the momentarily-exclusive write slot must fold
+        // the density decision itself.
+        use super::super::config::{BlockingDensity, DensityHandle};
+        use std::sync::Arc;
+        let density = Arc::new(BlockingDensity::new());
+        let lock = GlkRwLock::with_config(
+            fast_config()
+                .with_blocking_backend(BlockingBackend::Auto)
+                .with_blocking_density_threshold(4)
+                .with_density(DensityHandle::Custom(Arc::clone(&density))),
+        );
+        let BlockingRw::Auto(auto) = &lock.blocking else {
+            panic!("Auto config must build the auto backend");
+        };
+        // First blocking use under low density decides per-lock state.
+        auto.read_lock(&density, 4);
+        auto.read_unlock(&density, 4);
+        assert_eq!(auto.core.backend(), AUTO_PER_LOCK);
+        // Density crosses the threshold while only readers run: the next
+        // read release must migrate to the parking lot — no writer needed.
+        for _ in 0..4 {
+            density.enter();
+        }
+        auto.read_lock(&density, 4);
+        auto.read_unlock(&density, 4);
+        assert_eq!(
+            auto.core.backend(),
+            AUTO_PARKING,
+            "read release must fold the density decision"
+        );
+        // ...and back below half the threshold, still read-only.
+        for _ in 0..4 {
+            density.leave();
+        }
+        auto.read_lock(&density, 4);
+        auto.read_unlock(&density, 4);
+        assert_eq!(
+            auto.core.backend(),
+            AUTO_PER_LOCK,
+            "read release must migrate back under the hysteresis floor"
+        );
+        // A concurrent holder suppresses the migration (the try-acquired
+        // write slot loses): the decision is simply deferred.
+        for _ in 0..4 {
+            density.enter();
+        }
+        auto.read_lock(&density, 4);
+        auto.read_lock(&density, 4);
+        auto.read_unlock(&density, 4);
+        assert_eq!(
+            auto.core.backend(),
+            AUTO_PER_LOCK,
+            "a still-held read lock defers migration"
+        );
+        auto.read_unlock(&density, 4);
+        assert_eq!(auto.core.backend(), AUTO_PARKING);
+        for _ in 0..4 {
+            density.leave();
+        }
+        assert!(!auto.is_locked());
+        assert_eq!(auto.queue_length(), 0);
+    }
+
+    #[test]
+    fn oversubscribed_read_only_churn_migrates_backends_live() {
+        // The threaded flavor of the reader-side migration fix: more reader
+        // threads than hardware contexts hammer the Auto backend while the
+        // density crosses the threshold in both directions. No writer ever
+        // runs, yet the backend must follow the decision within the deadline.
+        use super::super::config::BlockingDensity;
+        use std::sync::Arc;
+        let density = Arc::new(BlockingDensity::new());
+        let auto = Arc::new(AutoBlockingRw::default());
+        let threshold = 4;
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..gls_runtime::hardware_contexts() + 2)
+            .map(|_| {
+                let auto = Arc::clone(&auto);
+                let density = Arc::clone(&density);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        auto.read_lock(&density, threshold);
+                        gls_runtime::spin_cycles(200);
+                        auto.read_unlock(&density, threshold);
+                    }
+                })
+            })
+            .collect();
+        let wait_for = |target: u8, what: &str| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while auto.core.backend() != target && std::time::Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            assert_eq!(auto.core.backend(), target, "{what}");
+        };
+        for _ in 0..threshold {
+            density.enter();
+        }
+        wait_for(AUTO_PARKING, "read-only churn must migrate to parking");
+        for _ in 0..threshold {
+            density.leave();
+        }
+        wait_for(AUTO_PER_LOCK, "read-only churn must migrate back");
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            h.join().unwrap();
+        }
+        assert!(!auto.is_locked());
     }
 
     #[test]

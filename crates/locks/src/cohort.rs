@@ -1,0 +1,267 @@
+//! The topology-aware (cohort) handoff policy, as a pure function.
+//!
+//! When a [`FutexLock`](crate::FutexLock) release decides to *hand off* (the
+//! handoff streak is exhausted — see `futex_mutex`), waking the queue head
+//! is not always the best choice on a multi-socket machine: if a waiter
+//! parked from the **same cache domain** as the releaser exists, handing the
+//! lock to it keeps the lock word (and the data it protects) in the local
+//! last-level cache — the cohort-lock observation. The danger is starvation:
+//! always preferring local waiters can bypass a remote queue head forever.
+//!
+//! This module keeps the *policy* — "given these waiters, who runs next?" —
+//! out of the lock word and out of the parking-lot machinery, as a pure
+//! function over park tokens: deterministic, unit-testable without threads,
+//! and shared by the lock implementation and the fairness tests. The lock
+//! supplies the mechanism (the bypass counter persisted in its word, the
+//! bucket-lock atomicity via
+//! [`ParkingLot::unpark_choose_with`](crate::park::ParkingLot::unpark_choose_with));
+//! the policy lives here.
+//!
+//! # Token encoding
+//!
+//! A park token carries the waiter *kind* in its low [`KIND_BITS`] bits and
+//! the waiter's cache domain, biased by one, above them (`0` = domain
+//! unknown). Kind `0` is reserved: it is
+//! [`DEFAULT_PARK_TOKEN`](crate::park::DEFAULT_PARK_TOKEN), the token of
+//! condvar waiters requeued onto a mutex address, which must never be
+//! selected for a handoff they would not understand.
+//!
+//! # Fairness bound
+//!
+//! [`choose_handoff`] bypasses the queue head only while the persisted
+//! bypass counter is below the caller's limit; once the limit is reached the
+//! head is served unconditionally and the counter resets. A remote waiter at
+//! the head of the queue is therefore admitted after at most `limit`
+//! consecutive local handoffs — combined with the handoff streak itself
+//! (every [`HANDOFF_WAKEUPS`](crate::futex_mutex::HANDOFF_WAKEUPS)-th
+//! contended wakeup is a handoff), total bypasses per admission are bounded
+//! by `HANDOFF_WAKEUPS * (limit + 1)`.
+
+/// Number of low token bits carrying the waiter kind.
+pub const KIND_BITS: u32 = 3;
+
+/// Mask extracting the waiter kind from a park token.
+pub const KIND_MASK: usize = (1 << KIND_BITS) - 1;
+
+/// How many consecutive handoffs may bypass the queue head in favour of a
+/// same-domain waiter before the head must be served. Sized to fit the
+/// 3-bit bypass counter in the futex word.
+pub const COHORT_BYPASS_LIMIT: u32 = 4;
+
+/// Encodes a park token from a waiter kind and an optional cache domain.
+///
+/// # Panics
+///
+/// Panics (debug) if `kind` does not fit in [`KIND_BITS`].
+#[inline]
+pub fn encode_token(kind: usize, domain: Option<usize>) -> usize {
+    debug_assert!(kind & !KIND_MASK == 0, "kind {kind} overflows KIND_BITS");
+    let biased = match domain {
+        // Saturate instead of wrapping if a machine somehow reports more
+        // domains than a word can bias: the token degrades to "unknown".
+        Some(d) => d.saturating_add(1),
+        None => 0,
+    };
+    kind | (biased << KIND_BITS)
+}
+
+/// The waiter kind stored in a park token.
+#[inline]
+pub fn token_kind(token: usize) -> usize {
+    token & KIND_MASK
+}
+
+/// The cache domain stored in a park token, if one was stamped.
+#[inline]
+pub fn token_domain(token: usize) -> Option<usize> {
+    (token >> KIND_BITS).checked_sub(1)
+}
+
+/// What [`choose_handoff`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoffChoice {
+    /// FIFO index (into the token list) of the waiter to wake.
+    pub index: usize,
+    /// Whether the wake is a handoff (ownership transfers directly) as
+    /// opposed to an ordinary wake-and-recontend.
+    pub handoff: bool,
+    /// Whether the choice bypassed the queue head in favour of a
+    /// same-domain waiter. The caller must advance its persisted bypass
+    /// counter when set and reset it when clear.
+    pub bypassed_head: bool,
+}
+
+/// Picks the waiter a handoff release should wake.
+///
+/// * `tokens` — park tokens of every waiter on the address, FIFO order;
+/// * `kind` — the kind tag of native waiters of the calling lock (only
+///   these are eligible for handoff);
+/// * `releaser_domain` — the cache domain of the releasing thread;
+/// * `bypass` — the persisted count of consecutive head bypasses;
+/// * `limit` — the bypass bound (usually [`COHORT_BYPASS_LIMIT`]).
+///
+/// Rules, in order:
+/// 1. no waiters → `None`;
+/// 2. head is not a native waiter (e.g. a requeued condvar waiter) →
+///    ordinary wake of the head, never a handoff it would not understand;
+/// 3. head is native and local (same domain as the releaser, or domain
+///    unknown treated as local-enough), **or** the bypass budget is spent →
+///    hand off to the head, reset the counter;
+/// 4. head is native and remote and budget remains: hand off to the
+///    longest-parked native *local* waiter if one exists (a bypass), else
+///    to the head.
+pub fn choose_handoff(
+    tokens: &[usize],
+    kind: usize,
+    releaser_domain: usize,
+    bypass: u32,
+    limit: u32,
+) -> Option<HandoffChoice> {
+    let head = *tokens.first()?;
+    if token_kind(head) != kind {
+        return Some(HandoffChoice {
+            index: 0,
+            handoff: false,
+            bypassed_head: false,
+        });
+    }
+    let head_local = match token_domain(head) {
+        Some(d) => d == releaser_domain,
+        None => true,
+    };
+    if head_local || bypass >= limit {
+        return Some(HandoffChoice {
+            index: 0,
+            handoff: true,
+            bypassed_head: false,
+        });
+    }
+    let local = tokens
+        .iter()
+        .position(|&t| token_kind(t) == kind && token_domain(t) == Some(releaser_domain));
+    match local {
+        Some(index) => Some(HandoffChoice {
+            index,
+            handoff: true,
+            bypassed_head: true,
+        }),
+        None => Some(HandoffChoice {
+            index: 0,
+            handoff: true,
+            bypassed_head: false,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIND: usize = 2; // TOKEN_MUTEX_WAITER
+
+    fn tok(domain: usize) -> usize {
+        encode_token(KIND, Some(domain))
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        for kind in 0..=KIND_MASK {
+            for domain in [None, Some(0), Some(1), Some(63)] {
+                let t = encode_token(kind, domain);
+                assert_eq!(token_kind(t), kind);
+                assert_eq!(token_domain(t), domain);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_queue_chooses_nobody() {
+        assert_eq!(choose_handoff(&[], KIND, 0, 0, 4), None);
+    }
+
+    #[test]
+    fn foreign_head_gets_an_ordinary_wake() {
+        // A requeued condvar waiter (kind 0) at the head is woken normally,
+        // never handed a token it would not understand — even if a native
+        // local waiter is queued behind it.
+        let tokens = [encode_token(0, None), tok(0)];
+        let c = choose_handoff(&tokens, KIND, 0, 0, 4).unwrap();
+        assert_eq!(c.index, 0);
+        assert!(!c.handoff);
+        assert!(!c.bypassed_head);
+    }
+
+    #[test]
+    fn local_head_is_handed_off() {
+        let tokens = [tok(1), tok(0)];
+        let c = choose_handoff(&tokens, KIND, 1, 0, 4).unwrap();
+        assert_eq!(c.index, 0);
+        assert!(c.handoff);
+        assert!(!c.bypassed_head);
+    }
+
+    #[test]
+    fn unknown_domain_head_counts_as_local() {
+        let tokens = [encode_token(KIND, None), tok(0)];
+        let c = choose_handoff(&tokens, KIND, 1, 0, 4).unwrap();
+        assert_eq!(c.index, 0);
+        assert!(c.handoff);
+    }
+
+    #[test]
+    fn remote_head_is_bypassed_for_the_first_local_waiter() {
+        // Head from domain 0, releaser in domain 1, local waiter at index 2.
+        let tokens = [tok(0), tok(0), tok(1), tok(1)];
+        let c = choose_handoff(&tokens, KIND, 1, 0, 4).unwrap();
+        assert_eq!(c.index, 2, "longest-parked local waiter");
+        assert!(c.handoff);
+        assert!(c.bypassed_head);
+    }
+
+    #[test]
+    fn remote_head_is_served_once_the_bypass_budget_is_spent() {
+        let tokens = [tok(0), tok(1)];
+        for bypass in 0..4 {
+            let c = choose_handoff(&tokens, KIND, 1, bypass, 4).unwrap();
+            assert_eq!(c.index, 1, "bypass {bypass} still within budget");
+            assert!(c.bypassed_head);
+        }
+        let c = choose_handoff(&tokens, KIND, 1, 4, 4).unwrap();
+        assert_eq!(c.index, 0, "budget spent: the remote head is admitted");
+        assert!(c.handoff);
+        assert!(!c.bypassed_head);
+    }
+
+    #[test]
+    fn remote_head_without_local_waiters_is_served_immediately() {
+        let tokens = [tok(0), tok(2)];
+        let c = choose_handoff(&tokens, KIND, 1, 0, 4).unwrap();
+        assert_eq!(c.index, 0);
+        assert!(c.handoff);
+        assert!(!c.bypassed_head);
+    }
+
+    #[test]
+    fn bypass_bound_holds_over_a_simulated_release_sequence() {
+        // Simulate the persisted-counter protocol: a remote head with an
+        // endless supply of local waiters is admitted after at most `limit`
+        // consecutive bypasses.
+        let limit = COHORT_BYPASS_LIMIT;
+        let mut bypass = 0u32;
+        let mut head_served_after = None;
+        for round in 0..32 {
+            let tokens = [tok(0), tok(1), tok(1), tok(1)];
+            let c = choose_handoff(&tokens, KIND, 1, bypass, limit).unwrap();
+            if c.index == 0 {
+                head_served_after = Some(round);
+                break;
+            }
+            bypass = if c.bypassed_head { bypass + 1 } else { 0 };
+        }
+        assert_eq!(
+            head_served_after,
+            Some(limit as usize),
+            "remote head admitted after exactly the bypass budget"
+        );
+    }
+}

@@ -23,6 +23,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use crate::cohort::{choose_handoff, encode_token, COHORT_BYPASS_LIMIT};
 use crate::park::{ParkingLot, DEFAULT_UNPARK_TOKEN};
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
 use crate::spin_wait::SpinWait;
@@ -36,17 +37,25 @@ const PARKED: u32 = 2;
 /// uncontended release always leaves the word at 0.
 const STREAK_SHIFT: u32 = 2;
 const STREAK_MASK: u32 = 0b111 << STREAK_SHIFT;
+/// Bits counting consecutive cohort handoffs that bypassed the queue head
+/// in favour of a same-cache-domain waiter (see [`crate::cohort`]). Written
+/// under the same holder-only discipline as the streak bits; bounded by
+/// [`COHORT_BYPASS_LIMIT`] so a remote queue head cannot starve.
+const BYPASS_SHIFT: u32 = 5;
+const BYPASS_MASK: u32 = 0b111 << BYPASS_SHIFT;
 
 /// After this many consecutive contended wakeups the release hands the lock
 /// directly to the woken waiter instead of letting it re-contend. Bounds
 /// how often a parked waiter can be barged past.
 pub const HANDOFF_WAKEUPS: u32 = 4;
 
-/// Park token tagging a native mutex waiter (distinct from
+/// Park-token kind tagging a native mutex waiter (distinct from
 /// [`DEFAULT_PARK_TOKEN`](crate::park::DEFAULT_PARK_TOKEN), which tags
 /// condvar waiters requeued onto the mutex — those must never receive a
-/// handoff token they would not understand).
-const TOKEN_MUTEX_WAITER: usize = 2;
+/// handoff token they would not understand). Native waiters stamp their
+/// cache domain into the token above the kind bits
+/// ([`crate::cohort::encode_token`]).
+pub const TOKEN_MUTEX_WAITER: usize = 2;
 
 /// Unpark token meaning "the lock is yours": the releaser kept `LOCKED`
 /// set on the woken waiter's behalf.
@@ -174,9 +183,14 @@ impl FutexLock {
             // Sleep until a release hands the parked bit to us. The
             // validation re-check runs under the bucket lock, closing the
             // race with a release that ran between our load and the park.
+            // The park token carries our cache domain so a handoff release
+            // can prefer a same-domain waiter (cohort handoff).
             let result = lot.park(
                 self.addr(),
-                TOKEN_MUTEX_WAITER,
+                encode_token(
+                    TOKEN_MUTEX_WAITER,
+                    Some(gls_runtime::topology::current_domain()),
+                ),
                 || {
                     let s = self.state.load(Ordering::Relaxed);
                     s & (LOCKED | PARKED) == LOCKED | PARKED
@@ -196,26 +210,59 @@ impl FutexLock {
     }
 
     #[cold]
-    fn unlock_slow(&self) {
-        // The parked bit is set: wake the longest-parked waiter. Only the
-        // holder writes the streak bits, so reading them outside the bucket
-        // lock is race-free. The state store happens in the callback, under
-        // the bucket lock, so a thread concurrently validating its park
-        // sees a consistent word.
-        let streak = (self.state.load(Ordering::Relaxed) & STREAK_MASK) >> STREAK_SHIFT;
+    fn unlock_slow(&self, cohort: bool) {
+        // The parked bit is set: wake a waiter. Only the holder writes the
+        // streak and bypass bits, so reading them outside the bucket lock is
+        // race-free. The state store happens in the callback, under the
+        // bucket lock, so a thread concurrently validating its park sees a
+        // consistent word.
+        let word = self.state.load(Ordering::Relaxed);
+        let streak = (word & STREAK_MASK) >> STREAK_SHIFT;
+        let bypass = (word & BYPASS_MASK) >> BYPASS_SHIFT;
+        let handoff_due = streak + 1 >= HANDOFF_WAKEUPS;
         let handoff = std::cell::Cell::new(false);
-        ParkingLot::global().unpark_one_with(
+        let bypassed = std::cell::Cell::new(false);
+        ParkingLot::global().unpark_choose_with(
             self.addr(),
-            |park_token| {
-                // Hand off only to native mutex waiters once the streak is
-                // exhausted; requeued condvar waiters (DEFAULT_PARK_TOKEN)
-                // would not understand a handoff and relock normally.
-                if park_token == TOKEN_MUTEX_WAITER && streak + 1 >= HANDOFF_WAKEUPS {
-                    handoff.set(true);
+            |tokens| {
+                let choice = if handoff_due {
+                    // Streak exhausted: hand the lock over. With cohort
+                    // handoff a same-domain waiter may be preferred over a
+                    // remote queue head, within the bypass budget; without
+                    // it the head is served (the single-domain policy).
+                    // Requeued condvar waiters (kind 0) always get an
+                    // ordinary wake — they would not understand a handoff.
+                    let releaser_domain = if cohort {
+                        gls_runtime::topology::current_domain()
+                    } else {
+                        usize::MAX // matches no stamped domain: head wins
+                    };
+                    choose_handoff(
+                        tokens,
+                        TOKEN_MUTEX_WAITER,
+                        releaser_domain,
+                        if cohort { bypass } else { COHORT_BYPASS_LIMIT },
+                        COHORT_BYPASS_LIMIT,
+                    )?
+                } else {
+                    // Streak still building: ordinary FIFO wake-and-recontend.
+                    if tokens.is_empty() {
+                        return None;
+                    }
+                    crate::cohort::HandoffChoice {
+                        index: 0,
+                        handoff: false,
+                        bypassed_head: false,
+                    }
+                };
+                handoff.set(choice.handoff);
+                bypassed.set(choice.bypassed_head);
+                let unpark_token = if choice.handoff {
                     HANDOFF_UNPARK_TOKEN
                 } else {
                     DEFAULT_UNPARK_TOKEN
-                }
+                };
+                Some((choice.index, unpark_token))
             },
             |result| {
                 let state = if result.unparked == 0 {
@@ -225,18 +272,45 @@ impl FutexLock {
                 } else if handoff.get() {
                     // Ownership transfers to the woken waiter: LOCKED stays
                     // set so bargers cannot steal the slot; streak resets.
-                    LOCKED | if result.have_more { PARKED } else { 0 }
+                    // The bypass counter advances when the head was
+                    // bypassed for a local waiter and resets when the head
+                    // was served, bounding consecutive bypasses.
+                    let next_bypass = if bypassed.get() {
+                        (bypass + 1).min(BYPASS_MASK >> BYPASS_SHIFT)
+                    } else {
+                        0
+                    };
+                    LOCKED
+                        | if result.have_more { PARKED } else { 0 }
+                        | (next_bypass << BYPASS_SHIFT)
                 } else if result.have_more {
                     // Contended wakeup with waiters remaining: release and
-                    // advance the streak (saturating at the mask).
+                    // advance the streak (saturating at the mask); the
+                    // bypass history survives until the next handoff.
                     let next = (streak + 1).min(STREAK_MASK >> STREAK_SHIFT);
-                    PARKED | (next << STREAK_SHIFT)
+                    PARKED | (next << STREAK_SHIFT) | (bypass << BYPASS_SHIFT)
                 } else {
                     0
                 };
                 self.state.store(state, Ordering::Release);
             },
         );
+    }
+
+    /// Releases the lock, choosing the handoff policy explicitly: with
+    /// `cohort` set, handoffs prefer a waiter parked from the releaser's
+    /// cache domain (bounded by [`COHORT_BYPASS_LIMIT`] consecutive
+    /// bypasses); without it, handoffs always serve the queue head.
+    /// [`RawLock::unlock`] is `unlock_cohort(true)`.
+    #[inline]
+    pub fn unlock_cohort(&self, cohort: bool) {
+        if self
+            .state
+            .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
+            .is_err()
+        {
+            self.unlock_slow(cohort);
+        }
     }
 }
 
@@ -305,13 +379,7 @@ impl RawLock for FutexLock {
 
     #[inline]
     fn unlock(&self) {
-        if self
-            .state
-            .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
-            .is_err()
-        {
-            self.unlock_slow();
-        }
+        self.unlock_cohort(true);
     }
 
     fn is_locked(&self) -> bool {

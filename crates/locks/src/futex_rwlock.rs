@@ -9,15 +9,28 @@
 //! density is the point.
 //!
 //! Readers and writers park on the same address with distinct park tokens;
-//! release uses [`ParkingLot::unpark_select`] to wake **the first parked
-//! writer if one exists, else every parked reader** — decided under the
-//! bucket lock, atomically with the parked-bit update, so the decision
+//! release uses [`ParkingLot::unpark_select_with`] to wake **the first
+//! parked writer if one exists, else every parked reader** — decided under
+//! the bucket lock, atomically with the parked-bit update, so the decision
 //! cannot race with newly parking waiters. Waking readers past a parked
 //! writer would be futile anyway (the writer's intent bit blocks them) and
 //! waking them *instead of* the writer would strand it forever.
+//!
+//! Like [`FutexLock`](crate::FutexLock), woken waiters normally re-contend
+//! with arriving threads (barging), but the bypass is **bounded**: the word
+//! counts consecutive contended wakeups and once the streak reaches
+//! [`HANDOFF_WAKEUPS`] the release *hands over* instead — a parked writer
+//! receives the word with `WRITER` pre-set (bargers cannot steal the slot),
+//! or, when no writer is parked, the whole parked reader cohort is woken
+//! with their read slots pre-charged into the reader count. Without this, a
+//! parked writer can be bypassed indefinitely by barging writers (readers
+//! are already fenced off by the intent bit), and a parked reader cohort
+//! can starve under writer churn: each wake loses the race to the next
+//! writer's intent bit and re-parks, forever.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use crate::futex_mutex::HANDOFF_WAKEUPS;
 use crate::park::{ParkingLot, DEFAULT_UNPARK_TOKEN};
 use crate::raw::{QueueInformed, RawLock, RawRwLock, RawTryLock};
 use crate::spin_wait::SpinWait;
@@ -28,13 +41,24 @@ const WRITER: u32 = 1 << 31;
 const INTENT: u32 = 1 << 30;
 /// Set while at least one waiter is (or is about to be) parked.
 const PARKED: u32 = 1 << 29;
-/// The remaining bits count active readers.
-const READERS: u32 = PARKED - 1;
+/// Bits counting consecutive contended wakeups (the handoff streak).
+/// Written only under the parking-lot bucket lock of this word's address
+/// (the release-wake path), and nonzero only while `PARKED` is set;
+/// acquisition CASes preserve it.
+const STREAK_SHIFT: u32 = 26;
+const STREAK_MASK: u32 = 0b111 << STREAK_SHIFT;
+/// The remaining bits count active readers (~67M, far beyond plausible).
+const READERS: u32 = (1 << STREAK_SHIFT) - 1;
 
 /// Park token tagging a parked reader.
 const TOKEN_READER: usize = 0;
 /// Park token tagging a parked writer.
 const TOKEN_WRITER: usize = 1;
+
+/// Unpark token meaning "the lock is yours": for a writer, `WRITER` was
+/// pre-set on its behalf; for a reader, its read slot was pre-charged into
+/// the reader count. No re-contention on wake.
+const HANDOFF_UNPARK_TOKEN: usize = 1;
 
 /// Number of bounded-spin rounds before a waiter parks.
 const SPIN_ATTEMPTS: u32 = 32;
@@ -125,7 +149,7 @@ impl FutexRwLock {
                     continue;
                 }
             }
-            lot.park(
+            let result = lot.park(
                 self.addr(),
                 TOKEN_READER,
                 || {
@@ -135,6 +159,12 @@ impl FutexRwLock {
                 || {},
                 None,
             );
+            // A handoff wake means the releaser pre-charged our read slot
+            // into the reader count: the read lock is ours, no
+            // re-contention (and no chance to lose to a writer's intent).
+            if result == crate::park::ParkResult::Unparked(HANDOFF_UNPARK_TOKEN) {
+                return;
+            }
             wait.reset();
             spins = 0;
         }
@@ -149,12 +179,14 @@ impl FutexRwLock {
             let state = self.state.load(Ordering::Relaxed);
             if state & (WRITER | READERS) == 0 {
                 // Free: claim it, consuming the intent bit (other waiting
-                // writers re-raise it) and preserving the parked bit.
+                // writers re-raise it) and preserving the parked bit and
+                // the handoff streak (a barger must not erase the parked
+                // waiters' progress towards a handoff).
                 if self
                     .state
                     .compare_exchange_weak(
                         state,
-                        (state & PARKED) | WRITER,
+                        (state & (PARKED | STREAK_MASK)) | WRITER,
                         Ordering::Acquire,
                         Ordering::Relaxed,
                     )
@@ -193,7 +225,7 @@ impl FutexRwLock {
                     continue;
                 }
             }
-            lot.park(
+            let result = lot.park(
                 self.addr(),
                 TOKEN_WRITER,
                 || {
@@ -203,6 +235,11 @@ impl FutexRwLock {
                 || {},
                 None,
             );
+            // A handoff wake means the releaser set WRITER on our behalf:
+            // the write lock is ours, bargers could not steal the slot.
+            if result == crate::park::ParkResult::Unparked(HANDOFF_UNPARK_TOKEN) {
+                return;
+            }
             wait.reset();
             spins = 0;
         }
@@ -211,15 +248,122 @@ impl FutexRwLock {
     /// Wakes the first parked writer, or — if no writer is parked — every
     /// parked reader; clears the parked bit when the queue drains. All of it
     /// is decided under one bucket lock, atomic with park validation.
+    ///
+    /// The handoff streak lives here too: every contended wakeup advances
+    /// the streak bits, and once the streak reaches [`HANDOFF_WAKEUPS`] the
+    /// wake becomes a *handoff* — the word is updated on the wakee's behalf
+    /// (WRITER pre-set for a writer; read slots pre-charged for the reader
+    /// cohort) before the wake, under the bucket lock, so bargers cannot
+    /// steal the slot. The commit must CAS-verify the word is actually
+    /// grantable *now*: this path is reached from `read_unlock` after the
+    /// count already dropped, so a barger may have acquired in between — in
+    /// that case nobody is woken (the parked bit stays set; the barger's own
+    /// release re-enters here).
     #[cold]
     fn unpark_waiters(&self) {
-        ParkingLot::global().unpark_preferred(
+        let lot = ParkingLot::global();
+        lot.unpark_select_with(
             self.addr(),
-            TOKEN_WRITER,
-            DEFAULT_UNPARK_TOKEN,
+            |tokens| {
+                // Everything below runs under the bucket lock: the streak
+                // bits are only written here (acquisition CASes preserve
+                // them), so read-modify-write on them is race-free.
+                let word = self.state.load(Ordering::Relaxed);
+                let streak = (word & STREAK_MASK) >> STREAK_SHIFT;
+                let handoff_due = streak + 1 >= HANDOFF_WAKEUPS;
+                let writer = tokens.iter().position(|&t| t == TOKEN_WRITER);
+                let advance_streak = || {
+                    let next = (streak + 1).min(STREAK_MASK >> STREAK_SHIFT);
+                    let mut cur = self.state.load(Ordering::Relaxed);
+                    loop {
+                        let new = (cur & !STREAK_MASK) | (next << STREAK_SHIFT);
+                        match self.state.compare_exchange_weak(
+                            cur,
+                            new,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => return,
+                            Err(actual) => cur = actual,
+                        }
+                    }
+                };
+                if let Some(index) = writer {
+                    if !handoff_due {
+                        advance_streak();
+                        return vec![(index, DEFAULT_UNPARK_TOKEN)];
+                    }
+                    // Writer handoff: set WRITER on the wakee's behalf,
+                    // provided the word is still free of holders. Intent
+                    // stays as-is (other writers may maintain it).
+                    let mut cur = self.state.load(Ordering::Relaxed);
+                    loop {
+                        if cur & (WRITER | READERS) != 0 {
+                            return Vec::new(); // barged; holder re-wakes
+                        }
+                        let new = (cur & (INTENT | PARKED)) | WRITER;
+                        match self.state.compare_exchange_weak(
+                            cur,
+                            new,
+                            Ordering::Acquire,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => return vec![(index, HANDOFF_UNPARK_TOKEN)],
+                            Err(actual) => cur = actual,
+                        }
+                    }
+                }
+                let readers: Vec<usize> = tokens
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &t)| t == TOKEN_READER)
+                    .map(|(i, _)| i)
+                    .collect();
+                if readers.is_empty() {
+                    return Vec::new();
+                }
+                if !handoff_due {
+                    advance_streak();
+                    return readers
+                        .into_iter()
+                        .map(|i| (i, DEFAULT_UNPARK_TOKEN))
+                        .collect();
+                }
+                // Reader-cohort handoff: pre-charge every woken reader's
+                // slot into the count, provided no writer holds or wants
+                // the lock (admitting readers past an intent bit would
+                // starve the spinning writer that raised it).
+                let n = readers.len() as u32;
+                let mut cur = self.state.load(Ordering::Relaxed);
+                loop {
+                    if cur & (WRITER | INTENT) != 0 {
+                        return Vec::new(); // the writer's release re-wakes
+                    }
+                    // n read slots pre-charged; streak resets to zero.
+                    let new = (cur & !STREAK_MASK) + n;
+                    match self.state.compare_exchange_weak(
+                        cur,
+                        new,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            return readers
+                                .into_iter()
+                                .map(|i| (i, HANDOFF_UNPARK_TOKEN))
+                                .collect()
+                        }
+                        Err(actual) => cur = actual,
+                    }
+                }
+            },
             |result| {
                 if !result.have_more {
-                    self.state.fetch_and(!PARKED, Ordering::Relaxed);
+                    // Queue drained: the parked bit goes, and the streak
+                    // with it (streak bits are only meaningful while
+                    // waiters exist; leaving them would dirty the word).
+                    self.state
+                        .fetch_and(!(PARKED | STREAK_MASK), Ordering::Relaxed);
                 }
             },
         );
@@ -317,7 +461,7 @@ impl RawTryLock for FutexRwLock {
             }
             match self.state.compare_exchange_weak(
                 state,
-                (state & PARKED) | WRITER,
+                (state & (PARKED | STREAK_MASK)) | WRITER,
                 Ordering::Acquire,
                 Ordering::Relaxed,
             ) {
@@ -474,6 +618,125 @@ mod tests {
         }
         assert_eq!(unsafe { (*shared.0.get()).0 }, 8_000);
         assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn parked_writer_bypass_is_bounded_under_barging_writers() {
+        // Regression test mirroring futex_mutex's parked-victim test: a
+        // parked writer must acquire within a bounded number of contended
+        // wakeups even while other writers barge on every release. The
+        // handoff streak guarantees every HANDOFF_WAKEUPS-th wake pre-sets
+        // WRITER on the victim's behalf; without it the woken victim loses
+        // the re-contention race to the bargers for unbounded stretches.
+        let lock = Arc::new(FutexRwLock::new());
+        let victim_done = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+        lock.write_lock();
+        let victim = {
+            let lock = Arc::clone(&lock);
+            let done = Arc::clone(&victim_done);
+            std::thread::spawn(move || {
+                lock.write_lock();
+                done.store(true, Ordering::SeqCst);
+                lock.write_unlock();
+            })
+        };
+        // Wait until the victim is parked (holder + parked waiter >= 2).
+        while lock.queue_length() < 2 {
+            std::thread::yield_now();
+        }
+        let bargers: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.write_lock();
+                        std::hint::spin_loop();
+                        lock.write_unlock();
+                        ops += 1;
+                    }
+                    ops
+                })
+            })
+            .collect();
+        lock.write_unlock();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !victim_done.load(Ordering::SeqCst) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "parked writer starved behind barging writers"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = bargers.into_iter().map(|h| h.join().unwrap()).sum();
+        victim.join().unwrap();
+        assert!(total > 0, "bargers must have run");
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0, "word fully clears");
+    }
+
+    #[test]
+    fn parked_reader_cohort_is_admitted_under_writer_churn() {
+        // The reader-side fairness bound: a cohort of parked readers under
+        // continuous writer churn must all be admitted within a bounded
+        // number of wakeups. The cohort handoff pre-charges their read
+        // slots into the count, so a woken reader cannot lose the race to
+        // the next writer's intent bit and re-park forever.
+        use std::sync::atomic::AtomicUsize;
+        let lock = Arc::new(FutexRwLock::new());
+        let readers_done = Arc::new(AtomicUsize::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        lock.write_lock();
+        let victims: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let done = Arc::clone(&readers_done);
+                std::thread::spawn(move || {
+                    lock.read_lock();
+                    done.fetch_add(1, Ordering::SeqCst);
+                    lock.read_unlock();
+                })
+            })
+            .collect();
+        // Wait until all four readers are parked behind the held write lock.
+        while lock.queue_length() < 5 {
+            std::thread::yield_now();
+        }
+        let churners: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.write_lock();
+                        std::hint::spin_loop();
+                        lock.write_unlock();
+                        ops += 1;
+                    }
+                    ops
+                })
+            })
+            .collect();
+        lock.write_unlock();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while readers_done.load(Ordering::SeqCst) < 4 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "parked readers starved under writer churn ({} of 4 ran)",
+                readers_done.load(Ordering::SeqCst)
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = churners.into_iter().map(|h| h.join().unwrap()).sum();
+        for v in victims {
+            v.join().unwrap();
+        }
+        assert!(total > 0, "writer churn must have run");
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0, "word fully clears");
     }
 
     #[test]

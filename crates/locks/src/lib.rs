@@ -49,6 +49,7 @@
 
 pub mod cache_padded;
 pub mod clh;
+pub mod cohort;
 pub mod futex_mutex;
 pub mod futex_rwlock;
 pub mod kind;

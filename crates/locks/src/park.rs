@@ -548,6 +548,66 @@ impl ParkingLot {
         result
     }
 
+    /// Wakes one caller-chosen waiter on `addr`, not necessarily the
+    /// longest-parked one.
+    ///
+    /// `choose` receives the park tokens of every waiter on `addr` in FIFO
+    /// order and returns `(index, unpark_token)` for the waiter to wake, or
+    /// `None` to wake nobody (an out-of-range index also wakes nobody).
+    /// Both `choose` and `callback` run under the bucket lock, so the
+    /// decision is atomic with park validation and with the lock-word
+    /// update in `callback`.
+    ///
+    /// This is the primitive behind topology-aware (cohort) handoff: a
+    /// releasing holder inspects the domains stamped in the park tokens and
+    /// hands the lock to a same-cache-domain waiter — bounded by a bypass
+    /// budget the policy enforces — instead of strictly the queue head.
+    /// [`ParkingLot::unpark_one_with`] is the `choose = head` special case.
+    pub fn unpark_choose_with(
+        &self,
+        addr: usize,
+        choose: impl FnOnce(&[usize]) -> Option<(usize, usize)>,
+        callback: impl FnOnce(&UnparkResult),
+    ) -> UnparkResult {
+        let mut woken: Option<(Arc<Parker>, usize)> = None;
+        let result;
+        {
+            let mut queue = self.queue_of(addr);
+            let tokens: Vec<usize> = queue
+                .iter()
+                .filter(|w| w.addr == addr)
+                .map(|w| w.park_token)
+                .collect();
+            if let Some((chosen, unpark_token)) = choose(&tokens) {
+                // Map the per-address position back to a queue position.
+                let mut matching = 0usize;
+                for (queue_index, waiter) in queue.iter().enumerate() {
+                    if waiter.addr != addr {
+                        continue;
+                    }
+                    if matching == chosen {
+                        let waiter = queue.remove(queue_index);
+                        woken = Some((waiter.parker, unpark_token));
+                        break;
+                    }
+                    matching += 1;
+                }
+            }
+            if woken.is_some() {
+                self.parked.fetch_sub(1, Ordering::Relaxed);
+            }
+            result = UnparkResult {
+                unparked: usize::from(woken.is_some()),
+                have_more: queue.iter().any(|w| w.addr == addr),
+            };
+            callback(&result);
+        }
+        if let Some((parker, token)) = woken {
+            parker.unpark(token);
+        }
+        result
+    }
+
     /// Wakes every waiter parked on `addr`, in FIFO order. Returns how many
     /// were woken.
     pub fn unpark_all(&self, addr: usize, unpark_token: usize) -> usize {
@@ -640,7 +700,33 @@ impl ParkingLot {
         unpark_token: usize,
         callback: impl FnOnce(&UnparkResult),
     ) -> UnparkResult {
-        let mut woken: Vec<Arc<Parker>> = Vec::new();
+        self.unpark_select_with(
+            addr,
+            |tokens| {
+                select(tokens)
+                    .into_iter()
+                    .map(|i| (i, unpark_token))
+                    .collect()
+            },
+            callback,
+        )
+    }
+
+    /// Like [`ParkingLot::unpark_select`], but each selected waiter gets its
+    /// own unpark token: `select` returns `(index, unpark_token)` pairs.
+    ///
+    /// Reader-writer handoff needs this: one release may wake a parked
+    /// writer with a "the write lock is yours" token while a later release
+    /// wakes a cohort of readers with "a read slot is pre-charged for you" —
+    /// and requeued condvar waiters sharing the address must still receive
+    /// a token they understand.
+    pub fn unpark_select_with(
+        &self,
+        addr: usize,
+        select: impl FnOnce(&[usize]) -> Vec<(usize, usize)>,
+        callback: impl FnOnce(&UnparkResult),
+    ) -> UnparkResult {
+        let mut woken: Vec<(Arc<Parker>, usize)> = Vec::new();
         let result;
         {
             let mut queue = self.queue_of(addr);
@@ -650,23 +736,23 @@ impl ParkingLot {
                 .map(|w| w.park_token)
                 .collect();
             let mut chosen = select(&tokens);
-            chosen.sort_unstable();
-            chosen.dedup();
+            chosen.sort_unstable_by_key(|&(i, _)| i);
+            chosen.dedup_by_key(|&mut (i, _)| i);
             // Walk the queue once, mapping per-address positions back to
             // queue positions; remove back-to-front to keep indices stable.
             let mut matching = 0usize;
-            let mut remove: Vec<usize> = Vec::with_capacity(chosen.len());
+            let mut remove: Vec<(usize, usize)> = Vec::with_capacity(chosen.len());
             for (queue_index, waiter) in queue.iter().enumerate() {
                 if waiter.addr != addr {
                     continue;
                 }
-                if chosen.binary_search(&matching).is_ok() {
-                    remove.push(queue_index);
+                if let Ok(pos) = chosen.binary_search_by_key(&matching, |&(i, _)| i) {
+                    remove.push((queue_index, chosen[pos].1));
                 }
                 matching += 1;
             }
-            for &queue_index in remove.iter().rev() {
-                woken.push(queue.remove(queue_index).parker);
+            for &(queue_index, unpark_token) in remove.iter().rev() {
+                woken.push((queue.remove(queue_index).parker, unpark_token));
             }
             woken.reverse(); // back-to-front removal reversed FIFO order
             result = UnparkResult {
@@ -676,7 +762,7 @@ impl ParkingLot {
             self.parked.fetch_sub(result.unparked, Ordering::Relaxed);
             callback(&result);
         }
-        for parker in woken {
+        for (parker, unpark_token) in woken {
             parker.unpark(unpark_token);
         }
         result

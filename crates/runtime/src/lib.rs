@@ -50,4 +50,4 @@ pub use histogram::LatencyHistogram;
 pub use stats::LockStats;
 pub use sysload::{SystemLoadMonitor, SystemLoadSnapshot};
 pub use thread_id::ThreadId;
-pub use topology::hardware_contexts;
+pub use topology::{cache_domains, current_domain, domain_of, hardware_contexts, pin_to};

@@ -5,7 +5,11 @@
 //! lock objects, (iii) the duration of the critical section in CPU cycles.
 //! After every iteration threads wait a short duration outside the critical
 //! section to avoid long runs. On every iteration each thread selects a lock
-//! at random (uniformly or zipfian-skewed). Threads are not pinned to cores.
+//! at random (uniformly or zipfian-skewed). Worker threads are pinned
+//! round-robin over the hardware contexts
+//! ([`gls_runtime::topology::pin_worker`]) so measurements come from a known
+//! placement; on platforms without affinity support the pin is a no-op and
+//! the scheduler places them, as before.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -120,6 +124,11 @@ pub fn run(locks: &[Arc<dyn BenchLock>], config: &MicrobenchConfig) -> Microbenc
             let delay_cycles = config.delay_cycles;
             let seed = config.seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             std::thread::spawn(move || {
+                // Workers measure from a known placement (round-robin over
+                // the hardware contexts); background spinners stay unpinned
+                // on purpose — they model other applications floating under
+                // the OS scheduler.
+                gls_runtime::topology::pin_worker(t);
                 let _runnable = monitor.as_ref().map(|m| m.runnable_guard());
                 let mut rng = StdRng::seed_from_u64(seed);
                 let mut ops = 0u64;

@@ -111,6 +111,7 @@ pub fn run(service: &Arc<GlsService>, config: &PcConfig) -> PcResult {
             let items = config.items_per_producer;
             let capacity = config.capacity;
             std::thread::spawn(move || {
+                gls_runtime::topology::pin_worker(p);
                 let addr = GlsService::address_of(shared.as_ref());
                 for i in 0..items {
                     let value = (p as u64) << 32 | i;
@@ -142,13 +143,16 @@ pub fn run(service: &Arc<GlsService>, config: &PcConfig) -> PcResult {
         .collect();
 
     let consumers: Vec<_> = (0..config.consumers)
-        .map(|_| {
+        .map(|c| {
             let service = Arc::clone(service);
             let shared = Arc::clone(&shared);
             let not_empty = Arc::clone(&not_empty);
             let not_full = Arc::clone(&not_full);
             let timeout = config.wait_timeout;
+            let producers = config.producers;
             std::thread::spawn(move || {
+                // Consumers continue the producers' round-robin placement.
+                gls_runtime::topology::pin_worker(producers + c);
                 let addr = GlsService::address_of(shared.as_ref());
                 let mut consumed = 0u64;
                 let mut checksum = 0u64;

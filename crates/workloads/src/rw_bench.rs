@@ -217,6 +217,8 @@ pub fn run(lock: &Arc<dyn RwBenchLock>, config: &RwSweepConfig) -> RwSweepResult
             let delay_cycles = config.delay_cycles;
             let seed = config.seed ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             std::thread::spawn(move || {
+                // Measure from a known placement, as in the mutex drivers.
+                gls_runtime::topology::pin_worker(t);
                 let mut rng = StdRng::seed_from_u64(seed);
                 let cs = || spin_cycles(cs_cycles);
                 let (mut reads, mut writes) = (0u64, 0u64);
