@@ -5,6 +5,10 @@
 //! the library, for GLK, and for `std::sync::Mutex` as an external
 //! reference point.
 
+// Benchmarks measure against raw std primitives as the baseline and pace
+// phases with wall-clock sleeps; both are deliberate (see clippy.toml).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -38,6 +38,10 @@
 //! shrinks the sweep and point duration so CI can validate the artifact
 //! end to end.
 
+// Benchmarks measure against raw std primitives as the baseline and pace
+// phases with wall-clock sleeps; both are deliberate (see clippy.toml).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -36,6 +36,10 @@
 //! layout so runs from different machines stay comparable. `--smoke`
 //! shrinks the sweep for CI.
 
+// Benchmarks measure against raw std primitives as the baseline and pace
+// phases with wall-clock sleeps; both are deliberate (see clippy.toml).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};

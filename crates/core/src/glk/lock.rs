@@ -1,7 +1,7 @@
 //! The GLK lock: structure, acquisition protocol and adaptation policy.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex as StdMutex;
+use gls_sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+use gls_sync::sync::Mutex as StdMutex;
 
 use gls_locks::{FutexLock, McsLock, MutexLock, QueueInformed, RawLock, RawTryLock, TicketLock};
 use gls_runtime::LockStats;
@@ -806,6 +806,9 @@ impl GlkLock {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use gls_runtime::sysload::{SystemLoadConfig, SystemLoadMonitor};
@@ -861,6 +864,8 @@ mod tests {
         let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let guard = std::cell::UnsafeCell::new(0u64);
         struct Shared(std::cell::UnsafeCell<u64>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Shared {}
         let shared = Arc::new(Shared(guard));
         let handles: Vec<_> = (0..8)
@@ -873,6 +878,7 @@ mod tests {
                         lock.lock();
                         // Non-atomic increment: lost updates reveal any
                         // mutual-exclusion violation across mode switches.
+                        // SAFETY: written while holding the lock under test.
                         unsafe { *shared.0.get() += 1 };
                         counter.fetch_add(1, Ordering::Relaxed);
                         lock.unlock();
@@ -884,6 +890,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 80_000);
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { *shared.0.get() }, 80_000);
     }
 
@@ -1070,6 +1077,8 @@ mod tests {
         ));
         assert!(matches!(lock.mutex, BlockingMutex::Parking(_)));
         struct Shared(std::cell::UnsafeCell<u64>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Shared {}
         let shared = Arc::new(Shared(std::cell::UnsafeCell::new(0)));
         let handles: Vec<_> = (0..6)
@@ -1082,6 +1091,7 @@ mod tests {
                         // Non-atomic increment: lost updates reveal any
                         // exclusion violation across mode switches into the
                         // futex-backed mutex mode.
+                        // SAFETY: written while holding the lock under test.
                         unsafe { *shared.0.get() += 1 };
                         gls_runtime::spin_cycles(100);
                         lock.unlock();
@@ -1092,6 +1102,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { *shared.0.get() }, 60_000);
         assert!(
             lock.transitions()
@@ -1157,6 +1168,8 @@ mod tests {
         use super::super::config::BlockingDensity;
         use std::sync::Arc;
         struct Shared(std::cell::UnsafeCell<u64>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Shared {}
         let density = Arc::new(BlockingDensity::new());
         let lock = Arc::new(AutoBlockingMutex::new());
@@ -1190,6 +1203,7 @@ mod tests {
                         lock.lock(&density, 4);
                         // Non-atomic increment: lost updates reveal an
                         // exclusion violation across a backend migration.
+                        // SAFETY: written while holding the lock under test.
                         unsafe { *shared.0.get() += 1 };
                         lock.unlock(&density, 4);
                     }
@@ -1201,6 +1215,7 @@ mod tests {
         }
         stop.store(true, Ordering::Relaxed);
         churn.join().unwrap();
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { *shared.0.get() }, 60_000);
         assert!(!lock.is_locked());
         assert_eq!(lock.queue_length(), 0);

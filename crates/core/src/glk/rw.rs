@@ -732,6 +732,9 @@ impl GlkRwLock {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use gls_runtime::sysload::{SystemLoadConfig, SystemLoadMonitor};
@@ -1062,6 +1065,8 @@ mod tests {
     #[test]
     fn readers_and_writers_stay_consistent_across_mode_flips() {
         struct Shared(std::cell::UnsafeCell<(u64, u64)>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Shared {}
         // Aggressive adaptation so the test exercises the transition
         // protocol; the monitor flips multiprogramming on and off.
@@ -1097,6 +1102,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..5_000 {
                         lock.write_lock();
+                        // SAFETY: written while holding the write lock under test.
                         unsafe {
                             (*shared.0.get()).0 += 1;
                             (*shared.0.get()).1 += 1;
@@ -1113,6 +1119,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..5_000 {
                         lock.read_lock();
+                        // SAFETY: read under the read lock; writers are excluded.
                         let (a, b) = unsafe { *shared.0.get() };
                         assert_eq!(a, b, "reader overlapped a writer across a mode flip");
                         lock.read_unlock();
@@ -1125,6 +1132,7 @@ mod tests {
         }
         stop.store(true, Ordering::Relaxed);
         flipper.join().unwrap();
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { (*shared.0.get()).0 }, 15_000);
     }
 }

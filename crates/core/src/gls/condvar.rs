@@ -312,6 +312,9 @@ impl GlsCondvar {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;

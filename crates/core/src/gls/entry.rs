@@ -1,6 +1,6 @@
 //! The per-address lock object stored in the GLS hash table.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use gls_sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use gls_locks::{

@@ -1,8 +1,9 @@
 //! The GLS service: mapping arbitrary addresses to lock objects.
 
+use gls_sync::atomic::{AtomicU64, Ordering};
+use gls_sync::sync::Mutex as StdMutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex as StdMutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use gls_clht::{Clht, ClhtStats};
@@ -1088,6 +1089,9 @@ impl GlsService {
                     .debug
                     .confirmation_wait(&candidate, self.config.deadlock_check_after);
                 if !wait.is_zero() {
+                    // A wall-clock grace period is the detector's contract
+                    // (deadlock_check_after); nothing can signal it early.
+                    #[allow(clippy::disallowed_methods)]
                     std::thread::sleep(wait);
                 }
                 // The lock may have been released while we slept.
@@ -1313,6 +1317,9 @@ impl Drop for GlsWriteGuard<'_> {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use crate::glk::GlkConfig;
@@ -1666,6 +1673,8 @@ mod tests {
         // across free/resurrect cycles (asserted by the non-atomic
         // counter). No sleeps anywhere on the release path.
         struct Shared(std::cell::UnsafeCell<u64>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Shared {}
         let svc = Arc::new(GlsService::new());
         let shared = Arc::new(Shared(std::cell::UnsafeCell::new(0)));
@@ -1690,6 +1699,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..20_000 {
                         svc.lock_addr(0xF5EE).unwrap();
+                        // SAFETY: written while holding the lock under test.
                         unsafe { *shared.0.get() += 1 };
                         svc.unlock_addr(0xF5EE)
                             .expect("a racing free must never strand a holder's release");
@@ -1703,6 +1713,7 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         let frees = freer.join().unwrap();
         assert!(frees > 0, "the freer must have raced at least once");
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { *shared.0.get() }, 60_000);
         assert!(
             svc.retired_count() <= 2,

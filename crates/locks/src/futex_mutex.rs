@@ -21,7 +21,7 @@
 //! times before it is served. Strict FIFO admission remains the domain of
 //! ticket/MCS/CLH.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use gls_sync::atomic::{AtomicU32, Ordering};
 
 use crate::cohort::{choose_handoff, encode_token, COHORT_BYPASS_LIMIT};
 use crate::park::{ParkingLot, DEFAULT_UNPARK_TOKEN};
@@ -46,8 +46,14 @@ const BYPASS_MASK: u32 = 0b111 << BYPASS_SHIFT;
 
 /// After this many consecutive contended wakeups the release hands the lock
 /// directly to the woken waiter instead of letting it re-contend. Bounds
-/// how often a parked waiter can be barged past.
+/// how often a parked waiter can be barged past. The model build shortens
+/// the streak so exhaustive exploration reaches the handoff path within the
+/// preemption budget; the bound-vs-handoff logic is identical.
+#[cfg(not(gls_model))]
 pub const HANDOFF_WAKEUPS: u32 = 4;
+/// Model-build value of the handoff streak bound (see above).
+#[cfg(gls_model)]
+pub const HANDOFF_WAKEUPS: u32 = 2;
 
 /// Park-token kind tagging a native mutex waiter (distinct from
 /// [`DEFAULT_PARK_TOKEN`](crate::park::DEFAULT_PARK_TOKEN), which tags
@@ -61,8 +67,12 @@ pub const TOKEN_MUTEX_WAITER: usize = 2;
 /// set on the woken waiter's behalf.
 const HANDOFF_UNPARK_TOKEN: usize = 1;
 
-/// Number of bounded-spin rounds before a waiter parks.
+/// Number of bounded-spin rounds before a waiter parks. A single model
+/// round covers the spin-vs-park split without exploding the state space.
+#[cfg(not(gls_model))]
 const SPIN_ATTEMPTS: u32 = 32;
+#[cfg(gls_model)]
+const SPIN_ATTEMPTS: u32 = 1;
 
 /// A word-sized blocking (spin-then-park) mutual-exclusion lock.
 ///
@@ -85,6 +95,16 @@ const SPIN_ATTEMPTS: u32 = 32;
 #[derive(Debug, Default)]
 pub struct FutexLock {
     state: AtomicU32,
+    /// Model-only observables (raw std atomics so they add no scheduling
+    /// points; both only written under the bucket lock): the current and
+    /// the maximum run of *consecutive* handoffs that bypassed the queue
+    /// head for a same-domain waiter. [`choose_handoff`] serves the head
+    /// once the persisted budget is spent, so the maximum can never exceed
+    /// [`COHORT_BYPASS_LIMIT`] — the property the cohort model test checks.
+    #[cfg(gls_model)]
+    consec_head_bypasses: std::sync::atomic::AtomicU32,
+    #[cfg(gls_model)]
+    max_head_bypasses: std::sync::atomic::AtomicU32,
 }
 
 impl FutexLock {
@@ -92,7 +112,18 @@ impl FutexLock {
     pub const fn new() -> Self {
         Self {
             state: AtomicU32::new(0),
+            #[cfg(gls_model)]
+            consec_head_bypasses: std::sync::atomic::AtomicU32::new(0),
+            #[cfg(gls_model)]
+            max_head_bypasses: std::sync::atomic::AtomicU32::new(0),
         }
+    }
+
+    /// Longest observed run of consecutive head-bypassing cohort handoffs.
+    #[cfg(gls_model)]
+    pub fn model_max_consecutive_head_bypasses(&self) -> u32 {
+        self.max_head_bypasses
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The parking-lot key: the address of the lock word.
@@ -126,6 +157,18 @@ impl FutexLock {
         // and miss both.
         self.state.store(0, Ordering::Release);
         ParkingLot::global().unpark_all(self.addr(), DEFAULT_UNPARK_TOKEN);
+    }
+
+    /// The abandonment this lock shipped with *before*
+    /// [`unlock_and_wake_all`](Self::unlock_and_wake_all) existed: release
+    /// the word and wake only the queue head. A requeued condvar waiter
+    /// parked behind the head never re-releases this word, so the one-wake
+    /// chain strands everyone behind it — the regression model test drives
+    /// this to show the explorer finds that stranding as a deadlock.
+    #[cfg(gls_model)]
+    pub fn model_unlock_and_wake_one(&self) {
+        self.state.store(0, Ordering::Release);
+        ParkingLot::global().unpark_one(self.addr(), DEFAULT_UNPARK_TOKEN, |_| {});
     }
 
     #[inline]
@@ -280,6 +323,16 @@ impl FutexLock {
                     } else {
                         0
                     };
+                    #[cfg(gls_model)]
+                    {
+                        use std::sync::atomic::Ordering::Relaxed;
+                        if bypassed.get() {
+                            let run = self.consec_head_bypasses.fetch_add(1, Relaxed) + 1;
+                            self.max_head_bypasses.fetch_max(run, Relaxed);
+                        } else {
+                            self.consec_head_bypasses.store(0, Relaxed);
+                        }
+                    }
                     LOCKED
                         | if result.have_more { PARKED } else { 0 }
                         | (next_bypass << BYPASS_SHIFT)
@@ -407,6 +460,9 @@ impl QueueInformed for FutexLock {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
@@ -515,7 +571,7 @@ mod tests {
             let done = Arc::clone(&victim_done);
             std::thread::spawn(move || {
                 lock.lock();
-                done.store(true, Ordering::SeqCst);
+                done.store(true, Ordering::Release);
                 lock.unlock();
             })
         };
@@ -541,7 +597,7 @@ mod tests {
             .collect();
         lock.unlock();
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while !victim_done.load(Ordering::SeqCst) {
+        while !victim_done.load(Ordering::Acquire) {
             assert!(
                 std::time::Instant::now() < deadline,
                 "parked waiter starved behind barging threads"
@@ -561,6 +617,8 @@ mod tests {
         // and over; mutual exclusion and full word cleanup must survive.
         let lock = Arc::new(FutexLock::new());
         struct Shared(std::cell::UnsafeCell<u64>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Shared {}
         let shared = Arc::new(Shared(std::cell::UnsafeCell::new(0)));
         let handles: Vec<_> = (0..8)
@@ -572,6 +630,7 @@ mod tests {
                         lock.lock();
                         // Non-atomic increment: lost updates reveal a
                         // broken handoff (two owners at once).
+                        // SAFETY: written while holding the lock under test.
                         unsafe { *shared.0.get() += 1 };
                         lock.unlock();
                     }
@@ -581,6 +640,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { *shared.0.get() }, 80_000);
         assert_eq!(lock.state.load(Ordering::Relaxed), 0);
     }
@@ -590,13 +650,22 @@ mod tests {
         let lock = FutexLock::new();
         // Free lock: a requeue must not be prepared (the waiter would
         // sleep on a mutex nobody will release).
+        // SAFETY: the lock word is live and the test is single-threaded, so
+        // the decision cannot race with a parker or a releaser (the reason
+        // the contract wants the bucket lock held).
         assert!(!unsafe { prepare_direct_requeue(lock.addr()) });
         lock.lock();
         // Held lock: the parked bit is raised, so the eventual release
         // cannot take the fast path and will wake the requeued waiter.
+        // SAFETY: the lock word is live and the test is single-threaded, so
+        // the decision cannot race with a parker or a releaser (the reason
+        // the contract wants the bucket lock held).
         assert!(unsafe { prepare_direct_requeue(lock.addr()) });
         assert_eq!(lock.state.load(Ordering::Relaxed), LOCKED | PARKED);
         // Idempotent while held.
+        // SAFETY: the lock word is live and the test is single-threaded, so
+        // the decision cannot race with a parker or a releaser (the reason
+        // the contract wants the bucket lock held).
         assert!(unsafe { prepare_direct_requeue(lock.addr()) });
         // The release wakes nobody (nothing is actually parked) and heals
         // the word back to zero.

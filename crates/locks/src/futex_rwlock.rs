@@ -28,7 +28,7 @@
 //! can starve under writer churn: each wake loses the race to the next
 //! writer's intent bit and re-parks, forever.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use gls_sync::atomic::{AtomicU32, Ordering};
 
 use crate::futex_mutex::HANDOFF_WAKEUPS;
 use crate::park::{ParkingLot, DEFAULT_UNPARK_TOKEN};
@@ -60,8 +60,12 @@ const TOKEN_WRITER: usize = 1;
 /// the reader count. No re-contention on wake.
 const HANDOFF_UNPARK_TOKEN: usize = 1;
 
-/// Number of bounded-spin rounds before a waiter parks.
+/// Number of bounded-spin rounds before a waiter parks. A single model
+/// round covers the spin-vs-park split without exploding the state space.
+#[cfg(not(gls_model))]
 const SPIN_ATTEMPTS: u32 = 32;
+#[cfg(gls_model)]
+const SPIN_ATTEMPTS: u32 = 1;
 
 /// A word-sized blocking (spin-then-park) reader-writer lock.
 ///
@@ -81,6 +85,16 @@ const SPIN_ATTEMPTS: u32 = 32;
 #[derive(Debug, Default)]
 pub struct FutexRwLock {
     state: AtomicU32,
+    /// Model-only observables (raw std atomics so they add no scheduling
+    /// points; both only written under the bucket lock): the current and
+    /// the maximum run of *consecutive* ordinary (non-handoff) writer
+    /// wakeups, where any handoff or queue drain ends the run. The streak
+    /// protocol bounds the maximum at `HANDOFF_WAKEUPS - 1` on every
+    /// schedule; the pre-streak policy does not. Production stays one word.
+    #[cfg(gls_model)]
+    consec_writer_bypasses: std::sync::atomic::AtomicU32,
+    #[cfg(gls_model)]
+    max_writer_bypasses: std::sync::atomic::AtomicU32,
 }
 
 impl FutexRwLock {
@@ -88,6 +102,10 @@ impl FutexRwLock {
     pub const fn new() -> Self {
         Self {
             state: AtomicU32::new(0),
+            #[cfg(gls_model)]
+            consec_writer_bypasses: std::sync::atomic::AtomicU32::new(0),
+            #[cfg(gls_model)]
+            max_writer_bypasses: std::sync::atomic::AtomicU32::new(0),
         }
     }
 
@@ -291,6 +309,8 @@ impl FutexRwLock {
                 if let Some(index) = writer {
                     if !handoff_due {
                         advance_streak();
+                        #[cfg(gls_model)]
+                        self.note_writer_bypass();
                         return vec![(index, DEFAULT_UNPARK_TOKEN)];
                     }
                     // Writer handoff: set WRITER on the wakee's behalf,
@@ -308,7 +328,11 @@ impl FutexRwLock {
                             Ordering::Acquire,
                             Ordering::Relaxed,
                         ) {
-                            Ok(_) => return vec![(index, HANDOFF_UNPARK_TOKEN)],
+                            Ok(_) => {
+                                #[cfg(gls_model)]
+                                self.reset_writer_bypasses();
+                                return vec![(index, HANDOFF_UNPARK_TOKEN)];
+                            }
                             Err(actual) => cur = actual,
                         }
                     }
@@ -348,10 +372,12 @@ impl FutexRwLock {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            #[cfg(gls_model)]
+                            self.reset_writer_bypasses();
                             return readers
                                 .into_iter()
                                 .map(|i| (i, HANDOFF_UNPARK_TOKEN))
-                                .collect()
+                                .collect();
                         }
                         Err(actual) => cur = actual,
                     }
@@ -362,6 +388,78 @@ impl FutexRwLock {
                     // Queue drained: the parked bit goes, and the streak
                     // with it (streak bits are only meaningful while
                     // waiters exist; leaving them would dirty the word).
+                    #[cfg(gls_model)]
+                    self.reset_writer_bypasses();
+                    self.state
+                        .fetch_and(!(PARKED | STREAK_MASK), Ordering::Relaxed);
+                }
+            },
+        );
+    }
+}
+
+/// Model-build-only support for the protocol model tests: an observable
+/// for the bounded-bypass property, and a faithful re-introduction of the
+/// pre-streak release policy so the explorer can rediscover the writer
+/// starvation it allowed.
+#[cfg(gls_model)]
+impl FutexRwLock {
+    fn note_writer_bypass(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let run = self.consec_writer_bypasses.fetch_add(1, Relaxed) + 1;
+        self.max_writer_bypasses.fetch_max(run, Relaxed);
+    }
+
+    fn reset_writer_bypasses(&self) {
+        self.consec_writer_bypasses
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Longest run of consecutive ordinary (non-handoff) writer wakeups
+    /// observed so far, where any handoff or queue drain ends a run. The
+    /// streak protocol keeps this at `HANDOFF_WAKEUPS - 1` or below on
+    /// every schedule: an ordinary writer wake needs the streak at zero,
+    /// leaves it at one, and the streak only returns to zero through a
+    /// handoff or a drain — both of which end the run.
+    pub fn model_max_consecutive_writer_bypasses(&self) -> u32 {
+        self.max_writer_bypasses
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The release policy this lock shipped with *before* the handoff
+    /// streak existed: always wake the first parked writer (else the
+    /// reader cohort) with an ordinary token and let it re-contend. The
+    /// regression model test drives this to show the explorer finds the
+    /// unbounded-bypass schedule the streak was added to kill.
+    pub fn model_write_unlock_pre_handoff(&self) {
+        if self
+            .state
+            .compare_exchange(WRITER, 0, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        let prev = self.state.fetch_and(!WRITER, Ordering::Release);
+        if prev & PARKED == 0 {
+            return;
+        }
+        ParkingLot::global().unpark_select_with(
+            self.addr(),
+            |tokens| {
+                if let Some(index) = tokens.iter().position(|&t| t == TOKEN_WRITER) {
+                    self.note_writer_bypass();
+                    return vec![(index, DEFAULT_UNPARK_TOKEN)];
+                }
+                tokens
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &t)| t == TOKEN_READER)
+                    .map(|(i, _)| (i, DEFAULT_UNPARK_TOKEN))
+                    .collect()
+            },
+            |result| {
+                if !result.have_more {
+                    self.reset_writer_bypasses();
                     self.state
                         .fetch_and(!(PARKED | STREAK_MASK), Ordering::Relaxed);
                 }
@@ -483,6 +581,9 @@ impl QueueInformed for FutexRwLock {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
@@ -580,6 +681,8 @@ mod tests {
     #[test]
     fn readers_and_writers_interleave_consistently() {
         struct Shared(std::cell::UnsafeCell<(u64, u64)>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Shared {}
         let lock = Arc::new(FutexRwLock::new());
         let shared = Arc::new(Shared(std::cell::UnsafeCell::new((0, 0))));
@@ -590,6 +693,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..2_000 {
                         lock.write_lock();
+                        // SAFETY: written while holding the write lock under test.
                         unsafe {
                             (*shared.0.get()).0 += 1;
                             (*shared.0.get()).1 += 1;
@@ -606,6 +710,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..2_000 {
                         lock.read_lock();
+                        // SAFETY: read under the read lock; writers are excluded.
                         let (a, b) = unsafe { *shared.0.get() };
                         assert_eq!(a, b, "reader overlapped a writer");
                         lock.read_unlock();
@@ -616,6 +721,7 @@ mod tests {
         for h in writers.into_iter().chain(readers) {
             h.join().unwrap();
         }
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { (*shared.0.get()).0 }, 8_000);
         assert_eq!(lock.state.load(Ordering::Relaxed), 0);
     }
@@ -637,7 +743,7 @@ mod tests {
             let done = Arc::clone(&victim_done);
             std::thread::spawn(move || {
                 lock.write_lock();
-                done.store(true, Ordering::SeqCst);
+                done.store(true, Ordering::Release);
                 lock.write_unlock();
             })
         };
@@ -663,7 +769,7 @@ mod tests {
             .collect();
         lock.write_unlock();
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while !victim_done.load(Ordering::SeqCst) {
+        while !victim_done.load(Ordering::Acquire) {
             assert!(
                 std::time::Instant::now() < deadline,
                 "parked writer starved behind barging writers"
@@ -695,7 +801,7 @@ mod tests {
                 let done = Arc::clone(&readers_done);
                 std::thread::spawn(move || {
                     lock.read_lock();
-                    done.fetch_add(1, Ordering::SeqCst);
+                    done.fetch_add(1, Ordering::Release);
                     lock.read_unlock();
                 })
             })
@@ -722,11 +828,11 @@ mod tests {
             .collect();
         lock.write_unlock();
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while readers_done.load(Ordering::SeqCst) < 4 {
+        while readers_done.load(Ordering::Acquire) < 4 {
             assert!(
                 std::time::Instant::now() < deadline,
                 "parked readers starved under writer churn ({} of 4 ran)",
-                readers_done.load(Ordering::SeqCst)
+                readers_done.load(Ordering::Acquire)
             );
             std::thread::sleep(Duration::from_millis(1));
         }

@@ -8,8 +8,8 @@
 //! is deliberately lighter than glibc's, leaving sanity checks to the GLS
 //! debug mode; this implementation follows that split.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use gls_sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use gls_sync::sync::{Condvar, Mutex};
 
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};
@@ -20,8 +20,13 @@ const FREE: u32 = 0;
 const HELD: u32 = 1;
 const CONTENDED: u32 = 2;
 
-/// Number of bounded-spin attempts before a waiter goes to sleep.
+/// Number of bounded-spin attempts before a waiter goes to sleep. Under the
+/// model a single attempt exposes every spin-vs-sleep interleaving; more
+/// only blow up the exhaustive state space.
+#[cfg(not(gls_model))]
 const SPIN_ATTEMPTS: u32 = 64;
+#[cfg(gls_model)]
+const SPIN_ATTEMPTS: u32 = 1;
 
 /// A blocking (spin-then-sleep) mutual-exclusion lock.
 ///
@@ -149,6 +154,9 @@ impl QueueInformed for MutexLock {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use std::sync::Arc;

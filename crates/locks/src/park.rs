@@ -59,9 +59,11 @@
 //! total retained memory below one current-table size), so references to
 //! buckets never dangle. Unpark and timeout paths never grow.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+use gls_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use gls_sync::sync::{Condvar, Mutex, MutexGuard};
 
 use crate::cache_padded::CachePadded;
 
@@ -170,11 +172,17 @@ impl Parker {
             let remaining = deadline
                 .checked_duration_since(Instant::now())
                 .filter(|r| !r.is_zero())?;
-            state = self
+            let (guard, timeout_result) = self
                 .condvar
                 .wait_timeout(state, remaining)
-                .expect("parker poisoned")
-                .0;
+                .expect("parker poisoned");
+            state = guard;
+            // Inside a model execution a reported timeout is the driver
+            // *choosing* the timeout path, not wall-clock expiry; honor it
+            // immediately or the schedule would depend on real time.
+            if gls_sync::in_model_execution() && timeout_result.timed_out() && !state.signaled {
+                return None;
+            }
         }
         state.signaled = false;
         Some(state.unpark_token)
@@ -911,9 +919,31 @@ impl ParkingLot {
     pub fn total_parked(&self) -> usize {
         self.parked.load(Ordering::Relaxed)
     }
+
+    /// Discards every parked waiter without waking anyone. Model builds
+    /// only: an *expected-failure* exploration aborts its virtual threads
+    /// wherever they stand, which can leave their (now dead) waiter entries
+    /// in the global lot; a later exploration reusing the same addresses
+    /// would let those stale entries absorb wakeups meant for live waiters.
+    /// Regression tests call this between explorations, when no virtual
+    /// thread is alive.
+    #[cfg(gls_model)]
+    pub fn model_purge(&self) {
+        let (table, _) = self.current();
+        let mut removed = 0usize;
+        for bucket in table.buckets.iter() {
+            let mut queue = bucket.queue.lock().expect("parking-lot bucket poisoned");
+            removed += queue.len();
+            queue.clear();
+        }
+        self.parked.fetch_sub(removed, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -1165,7 +1195,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let r = lot.park(addr, DEFAULT_PARK_TOKEN, || true, || {}, None);
                     if i == 0 {
-                        counter.fetch_add(1, Ordering::SeqCst);
+                        counter.fetch_add(1, Ordering::Release);
                     }
                     r
                 })
@@ -1177,7 +1207,7 @@ mod tests {
         assert_eq!(lot.parked_count(0x10), 1);
         assert_eq!(lot.parked_count(0x20), 1);
         assert_eq!(lot.unpark_all(0x10, DEFAULT_UNPARK_TOKEN), 1);
-        while woken_a.load(Ordering::SeqCst) == 0 {
+        while woken_a.load(Ordering::Acquire) == 0 {
             std::thread::yield_now();
         }
         assert_eq!(lot.parked_count(0x20), 1, "other address undisturbed");

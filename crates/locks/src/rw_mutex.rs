@@ -7,6 +7,11 @@
 //! is writer-preferring — arriving readers wait behind any announced writer,
 //! so writers cannot starve behind a reader stream.
 
+// This lock is deliberately *built on* std `Mutex`/`Condvar` — it is the
+// paper's baseline blocking rwlock, unported to the gls_sync facade and
+// excluded from model exploration (see clippy.toml).
+#![allow(clippy::disallowed_types)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -185,6 +190,9 @@ impl QueueInformed for RwMutexLock {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
@@ -275,6 +283,8 @@ mod tests {
     #[test]
     fn readers_and_writers_interleave_consistently() {
         struct Shared(std::cell::UnsafeCell<(u64, u64)>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Shared {}
         let lock = Arc::new(RwMutexLock::new());
         let shared = Arc::new(Shared(std::cell::UnsafeCell::new((0, 0))));
@@ -285,6 +295,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..2_000 {
                         lock.write_lock();
+                        // SAFETY: written while holding the write lock under test.
                         unsafe {
                             (*shared.0.get()).0 += 1;
                             (*shared.0.get()).1 += 1;
@@ -301,6 +312,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..2_000 {
                         lock.read_lock();
+                        // SAFETY: read under the read lock; writers are excluded.
                         let (a, b) = unsafe { *shared.0.get() };
                         assert_eq!(a, b, "reader overlapped a writer");
                         lock.read_unlock();
@@ -311,6 +323,7 @@ mod tests {
         for h in writers.into_iter().chain(readers) {
             h.join().unwrap();
         }
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { (*shared.0.get()).0 }, 8_000);
     }
 }

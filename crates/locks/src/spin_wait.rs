@@ -40,17 +40,34 @@ impl SpinWait {
         Self { round: 0 }
     }
 
+    /// How many pause instructions round `round` issues. Under the model
+    /// every pause is a scheduling point, so one per round is enough to
+    /// expose the interleavings — 2^round of them would only multiply the
+    /// state space without adding behaviors.
+    #[inline]
+    fn pauses(round: u32) -> u32 {
+        #[cfg(gls_model)]
+        {
+            let _ = round;
+            1
+        }
+        #[cfg(not(gls_model))]
+        {
+            1u32 << round
+        }
+    }
+
     /// Waits one round: a short exponentially growing spin early on, a
     /// scheduler yield once the spin budget is exhausted.
     #[inline]
     pub fn spin(&mut self) {
         if self.round < Self::SPIN_ROUNDS {
-            for _ in 0..(1u32 << self.round) {
-                std::hint::spin_loop();
+            for _ in 0..Self::pauses(self.round) {
+                gls_sync::hint::spin_loop();
             }
             self.round += 1;
         } else {
-            std::thread::yield_now();
+            gls_sync::thread::yield_now();
         }
     }
 
@@ -61,8 +78,8 @@ impl SpinWait {
     /// yielding.
     #[inline]
     pub fn spin_bounded(&mut self) {
-        for _ in 0..(1u32 << self.round.min(Self::SPIN_ROUNDS)) {
-            std::hint::spin_loop();
+        for _ in 0..Self::pauses(self.round.min(Self::SPIN_ROUNDS)) {
+            gls_sync::hint::spin_loop();
         }
         if self.round < Self::SPIN_ROUNDS {
             self.round += 1;

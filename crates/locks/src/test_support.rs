@@ -41,6 +41,7 @@ pub fn check_mutual_exclusion<R: RawLock + 'static>(threads: usize, iters: u64) 
     for h in handles {
         h.join().unwrap();
     }
+    // SAFETY: all worker threads are joined; nothing races this read.
     let total = unsafe { *shared.value.get() };
     assert_eq!(
         total,

@@ -181,7 +181,7 @@ mod tests {
             }
             handles.push(std::thread::spawn(move || {
                 l.lock();
-                let pos = o.fetch_add(1, Ordering::SeqCst);
+                let pos = o.fetch_add(1, Ordering::Relaxed);
                 l.unlock();
                 (i, pos)
             }));

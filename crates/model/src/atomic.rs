@@ -1,0 +1,291 @@
+//! Instrumented drop-in replacements for `std::sync::atomic`.
+//!
+//! Every operation is a scheduling point *before* it executes, so the
+//! driver can interleave other threads between any two shared-memory
+//! accesses; the access itself then happens atomically at the chosen step.
+//! Memory orderings are accepted for API compatibility but the exploration
+//! is sequentially consistent — the explorer checks protocol logic, not
+//! weak-memory reorderings (the TSan CI lane covers data races instead).
+//!
+//! When the calling thread is not part of an active execution the yield is
+//! a no-op and the types behave exactly like their `std` counterparts, so a
+//! `--cfg gls_model` build still runs the ordinary test suites correctly.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::sched;
+
+macro_rules! int_atomic {
+    ($name:ident, $std:ty, $int:ty) => {
+        /// Instrumented counterpart of the matching `std::sync::atomic` type.
+        #[derive(Default, Debug)]
+        #[repr(transparent)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $int) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $int {
+                sched::yield_point();
+                self.inner.load(order)
+            }
+
+            #[inline]
+            pub fn store(&self, v: $int, order: Ordering) {
+                sched::yield_point();
+                self.inner.store(v, order)
+            }
+
+            #[inline]
+            pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                sched::yield_point();
+                self.inner.swap(v, order)
+            }
+
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                sched::yield_point();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                sched::yield_point();
+                // Model executions use the strong variant so schedules stay
+                // deterministic: a spurious weak-CAS failure would be a
+                // nondeterministic branch the replay machinery cannot steer.
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            #[inline]
+            pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                sched::yield_point();
+                self.inner.fetch_add(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                sched::yield_point();
+                self.inner.fetch_sub(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_and(&self, v: $int, order: Ordering) -> $int {
+                sched::yield_point();
+                self.inner.fetch_and(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_or(&self, v: $int, order: Ordering) -> $int {
+                sched::yield_point();
+                self.inner.fetch_or(v, order)
+            }
+
+            #[inline]
+            pub fn fetch_xor(&self, v: $int, order: Ordering) -> $int {
+                sched::yield_point();
+                self.inner.fetch_xor(v, order)
+            }
+
+            #[inline]
+            pub fn into_inner(self) -> $int {
+                self.inner.into_inner()
+            }
+
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.inner.get_mut()
+            }
+        }
+
+        impl From<$int> for $name {
+            fn from(v: $int) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Instrumented counterpart of `std::sync::atomic::AtomicBool`.
+#[derive(Default, Debug)]
+#[repr(transparent)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> bool {
+        sched::yield_point();
+        self.inner.load(order)
+    }
+
+    #[inline]
+    pub fn store(&self, v: bool, order: Ordering) {
+        sched::yield_point();
+        self.inner.store(v, order)
+    }
+
+    #[inline]
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        sched::yield_point();
+        self.inner.swap(v, order)
+    }
+
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        sched::yield_point();
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        sched::yield_point();
+        // Strong variant under the model for deterministic replay.
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    #[inline]
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        sched::yield_point();
+        self.inner.fetch_and(v, order)
+    }
+
+    #[inline]
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        sched::yield_point();
+        self.inner.fetch_or(v, order)
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> bool {
+        self.inner.into_inner()
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> Self {
+        Self::new(v)
+    }
+}
+
+/// Instrumented counterpart of `std::sync::atomic::AtomicPtr`.
+#[derive(Debug)]
+#[repr(transparent)]
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    #[inline]
+    pub fn load(&self, order: Ordering) -> *mut T {
+        sched::yield_point();
+        self.inner.load(order)
+    }
+
+    #[inline]
+    pub fn store(&self, p: *mut T, order: Ordering) {
+        sched::yield_point();
+        self.inner.store(p, order)
+    }
+
+    #[inline]
+    pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+        sched::yield_point();
+        self.inner.swap(p, order)
+    }
+
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        sched::yield_point();
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        sched::yield_point();
+        // Strong variant under the model for deterministic replay.
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> *mut T {
+        self.inner.into_inner()
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+}

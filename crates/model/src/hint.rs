@@ -1,0 +1,15 @@
+//! Model-aware spin hints.
+
+use crate::sched;
+
+/// Model-aware [`std::hint::spin_loop`]: inside an execution a spin is a
+/// scheduling point (otherwise a spin loop would never let the thread it is
+/// waiting on run); outside it is the plain CPU hint.
+#[inline]
+pub fn spin_loop() {
+    if sched::in_execution() {
+        sched::yield_point();
+    } else {
+        std::hint::spin_loop();
+    }
+}

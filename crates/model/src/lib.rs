@@ -1,0 +1,60 @@
+//! Deterministic concurrency explorer for the GLS lock protocols.
+//!
+//! This crate is a vendored, offline, loom/shuttle-style model checker
+//! (the `vendor/rand` pattern — no network dependencies). A *model* is an
+//! ordinary closure that spawns virtual threads via [`thread::spawn`] and
+//! touches shared state through the instrumented [`atomic`] types and the
+//! model-aware [`sync::Mutex`]/[`sync::Condvar`]. The [`Explorer`] runs the
+//! closure many times, each time driving a different interleaving:
+//!
+//! * **Exhaustive mode** ([`Explorer::exhaustive`]) walks the schedule tree
+//!   depth-first under a preemption bound (Musuvathi & Qadeer-style context
+//!   bounding): voluntary switches at blocking points are free, and at most
+//!   `preemption_bound` involuntary switches are inserted per execution.
+//!   Small models (2–4 threads, tens of steps) are covered completely.
+//! * **Random mode** ([`Explorer::random`]) samples seeded schedules for
+//!   larger models. Every failure report carries the per-iteration seed so
+//!   the exact interleaving replays with `Explorer::random(1, seed)` (or
+//!   `GLS_MODEL_SEED=<seed>` for the suites wired through
+//!   [`Explorer::random_from_env`]).
+//!
+//! ## How virtual threads work
+//!
+//! Virtual threads are real OS threads coordinated by a baton: exactly one
+//! runs at any moment, and it hands control back to the driver at every
+//! *yield point* (each instrumented atomic op, lock acquisition, condvar
+//! operation, spawn and join). The driver picks the next runnable thread
+//! according to the active scheduling policy. Because only sequentially
+//! consistent interleavings are generated, the explorer checks protocol
+//! logic (lost wakeups, lost waiters, double-acquire, stale resurrection),
+//! **not** weak-memory effects — that is what the ThreadSanitizer CI lane
+//! is for.
+//!
+//! ## Failure taxonomy
+//!
+//! A schedule fails if a virtual thread panics (assertion failure), if no
+//! thread is runnable while some are unfinished (deadlock — this is the
+//! detector that catches lost wakeups and stranded waiters), or if the
+//! execution exceeds the step limit (livelock suspicion). The failure
+//! report includes the decision-by-decision schedule and, in random mode,
+//! the replay seed.
+//!
+//! The instrumented types fall back to plain `std` behaviour whenever no
+//! model execution is active on the current thread, so code built against
+//! them (via the `gls_sync` facade with `--cfg gls_model`) still runs its
+//! ordinary test suite correctly.
+
+// This crate implements the synchronization discipline the rest of the
+// workspace is linted against, so it is the one place allowed to touch the
+// raw std primitives directly.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
+pub mod atomic;
+pub mod explore;
+pub mod hint;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use explore::{Explorer, Failure, FailureKind};
+pub use sched::in_execution;

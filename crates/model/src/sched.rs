@@ -1,0 +1,443 @@
+//! The execution scheduler: virtual-thread state, the baton handshake, and
+//! the driver-side stepping interface used by [`crate::explore`].
+//!
+//! Virtual threads are real OS threads, but exactly one is ever runnable:
+//! every instrumented operation funnels through [`yield_point`] (or one of
+//! the blocking entry points), which parks the calling thread and hands the
+//! baton to the driver. The driver inspects the thread states, asks the
+//! scheduling policy for the next thread, and grants it the baton. All
+//! coordination happens under one `Mutex<Inner>` + `Condvar` pair; with the
+//! handful of threads a model uses, `notify_all` broadcast wakeups are
+//! cheaper than per-thread parking machinery and trivially correct.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Panic payload used to unwind virtual threads out of an aborted
+/// execution (after another thread already failed). The per-thread
+/// catch-unwind recognises it and does not report it as a failure.
+pub(crate) struct ModelAborted;
+
+/// Why a virtual thread is not runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BlockKind {
+    /// Waiting for `lock_released(addr)` on a model mutex.
+    Lock(usize),
+    /// Waiting on a model condvar. `timeout_eligible` waits may be woken
+    /// spuriously by the driver "firing the timeout" as a scheduling choice.
+    Condvar { timeout_eligible: bool },
+    /// Waiting for thread `tid` to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Runnable: will proceed when granted the baton.
+    Ready,
+    /// Holds the baton and is executing user code.
+    Running,
+    Blocked(BlockKind),
+    Finished,
+}
+
+struct ThreadRecord {
+    state: State,
+    /// Set when a condvar notify targeted this thread before it actually
+    /// blocked (the enqueue→block window); consumed by `condvar_block`.
+    cv_woken: bool,
+    /// Set when the driver fired this thread's condvar timeout.
+    cv_timed_out: bool,
+}
+
+struct Inner {
+    threads: Vec<ThreadRecord>,
+    /// Thread currently holding the baton (none while the driver decides).
+    running: Option<usize>,
+    /// Baton grant: the thread with this id may transition to Running.
+    granted: Option<usize>,
+    /// FIFO wait queues per condvar address.
+    cv_queues: HashMap<usize, VecDeque<usize>>,
+    /// First panic payload rendered to a string, plus the panicking tid.
+    panic: Option<(usize, String)>,
+    abort: bool,
+    /// Chosen tid per step, for failure reports.
+    schedule: Vec<usize>,
+}
+
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+thread_local! {
+    /// Handle installed on every virtual thread for the duration of its
+    /// body: (scheduler, my thread id).
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    // A virtual thread never panics while holding this mutex, but the
+    // driver-side abort path may unwind user code that re-enters here;
+    // recovering poison keeps later executions in the same process usable.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True when the calling thread is a virtual thread of an active execution.
+/// The instrumented types use this to fall back to plain `std` behaviour in
+/// ordinary (non-model) code.
+#[inline]
+pub fn in_execution() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn with_current<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|(s, t)| f(s, *t)))
+}
+
+pub(crate) fn install(sched: Arc<Scheduler>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+pub(crate) fn uninstall() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn current_scheduler() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Scheduler {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Scheduler {
+            inner: Mutex::new(Inner {
+                threads: Vec::new(),
+                running: None,
+                granted: None,
+                cv_queues: HashMap::new(),
+                panic: None,
+                abort: false,
+                schedule: Vec::new(),
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual-thread side
+    // ------------------------------------------------------------------
+
+    /// Registers a new virtual thread (state Ready) and returns its id.
+    /// Called by the *spawner* before the OS thread exists so the driver
+    /// sees the thread immediately.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut g = lock(&self.inner);
+        g.threads.push(ThreadRecord {
+            state: State::Ready,
+            cv_woken: false,
+            cv_timed_out: false,
+        });
+        g.threads.len() - 1
+    }
+
+    /// Parks the calling virtual thread until the driver grants it the
+    /// baton. The caller must already have set its state/`running` fields
+    /// appropriately under `g`. Panics with [`ModelAborted`] if the
+    /// execution is aborted while waiting.
+    fn wait_for_grant<'a>(
+        &self,
+        mut g: MutexGuard<'a, Inner>,
+        tid: usize,
+    ) -> MutexGuard<'a, Inner> {
+        loop {
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(ModelAborted);
+            }
+            if g.granted == Some(tid) {
+                g.granted = None;
+                g.running = Some(tid);
+                g.threads[tid].state = State::Running;
+                return g;
+            }
+            g = self.cond.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// First parking of a freshly spawned virtual thread: its record is
+    /// already Ready (set by `register_thread`), so it only waits for the
+    /// baton without touching any scheduler state.
+    pub(crate) fn wait_initial(&self, tid: usize) {
+        let g = lock(&self.inner);
+        drop(self.wait_for_grant(g, tid));
+    }
+
+    /// Yields the baton back to the driver and waits to be rescheduled.
+    pub(crate) fn yield_here(&self, tid: usize) {
+        let mut g = lock(&self.inner);
+        g.threads[tid].state = State::Ready;
+        g.running = None;
+        self.cond.notify_all();
+        drop(self.wait_for_grant(g, tid));
+    }
+
+    /// Blocks the calling thread until `lock_released(addr)` readies it and
+    /// the driver grants it.
+    pub(crate) fn block_on_lock(&self, tid: usize, addr: usize) {
+        let mut g = lock(&self.inner);
+        g.threads[tid].state = State::Blocked(BlockKind::Lock(addr));
+        g.running = None;
+        self.cond.notify_all();
+        drop(self.wait_for_grant(g, tid));
+    }
+
+    /// A model mutex was released: every thread blocked on it becomes
+    /// runnable again (they re-race via `try_lock`, which models the
+    /// non-FIFO std mutex faithfully). Never blocks and never panics, so it
+    /// is safe to call from guard drops, including during unwinding.
+    pub(crate) fn lock_released(&self, addr: usize) {
+        let mut g = lock(&self.inner);
+        for t in g.threads.iter_mut() {
+            if t.state == State::Blocked(BlockKind::Lock(addr)) {
+                t.state = State::Ready;
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Enqueues the calling thread on condvar `cv`. Must be called while
+    /// the associated mutex is still held (before the guard drops) so no
+    /// notify can be missed.
+    pub(crate) fn condvar_enqueue(&self, tid: usize, cv: usize) {
+        let mut g = lock(&self.inner);
+        g.cv_queues.entry(cv).or_default().push_back(tid);
+    }
+
+    /// Completes a condvar wait begun with `condvar_enqueue`: blocks until
+    /// notified (or, when `timeout_eligible`, until the driver fires the
+    /// timeout). Returns true if the wakeup was a timeout.
+    pub(crate) fn condvar_block(&self, tid: usize, _cv: usize, timeout_eligible: bool) -> bool {
+        let mut g = lock(&self.inner);
+        if !g.threads[tid].cv_woken {
+            g.threads[tid].state = State::Blocked(BlockKind::Condvar { timeout_eligible });
+            g.running = None;
+            self.cond.notify_all();
+            g = self.wait_for_grant(g, tid);
+        }
+        let rec = &mut g.threads[tid];
+        rec.cv_woken = false;
+        let timed_out = rec.cv_timed_out;
+        rec.cv_timed_out = false;
+        // A timed-out waiter was removed from the queue by the driver; a
+        // notified waiter (including one caught in the enqueue→block
+        // window) was removed by the notifier. Nothing to dequeue here.
+        timed_out
+    }
+
+    /// Wakes one (or all) waiters of condvar `cv`. Readying only — the
+    /// woken thread still competes for the baton like everyone else.
+    pub(crate) fn condvar_notify(&self, cv: usize, all: bool) {
+        let mut g = lock(&self.inner);
+        while let Some(tid) = g.cv_queues.get_mut(&cv).and_then(VecDeque::pop_front) {
+            let rec = &mut g.threads[tid];
+            rec.cv_woken = true;
+            if matches!(rec.state, State::Blocked(BlockKind::Condvar { .. })) {
+                rec.state = State::Ready;
+            }
+            if !all {
+                break;
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Blocks the calling thread until thread `target` finishes.
+    pub(crate) fn block_on_join(&self, tid: usize, target: usize) {
+        let mut g = lock(&self.inner);
+        if g.threads[target].state == State::Finished {
+            return;
+        }
+        g.threads[tid].state = State::Blocked(BlockKind::Join(target));
+        g.running = None;
+        self.cond.notify_all();
+        drop(self.wait_for_grant(g, tid));
+    }
+
+    /// Marks the calling thread finished; wakes joiners.
+    pub(crate) fn finish_thread(&self, tid: usize, panic_msg: Option<String>) {
+        let mut g = lock(&self.inner);
+        g.threads[tid].state = State::Finished;
+        if let Some(msg) = panic_msg {
+            if g.panic.is_none() {
+                g.panic = Some((tid, msg));
+            }
+        }
+        for t in g.threads.iter_mut() {
+            if t.state == State::Blocked(BlockKind::Join(tid)) {
+                t.state = State::Ready;
+            }
+        }
+        if g.running == Some(tid) {
+            g.running = None;
+        }
+        self.cond.notify_all();
+    }
+
+    // ------------------------------------------------------------------
+    // Driver side
+    // ------------------------------------------------------------------
+
+    /// Waits until no virtual thread holds the baton, then reports the
+    /// execution status: the set of grantable thread ids (sorted), whether
+    /// all threads finished, and any recorded panic.
+    pub(crate) fn wait_quiescent(&self) -> StepStatus {
+        let mut g = lock(&self.inner);
+        // A pending grant counts as "someone is running": the granted
+        // thread just has not woken yet. Treating it as quiescent would
+        // double-grant.
+        while (g.running.is_some() || g.granted.is_some()) && g.panic.is_none() {
+            g = self.cond.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some((tid, msg)) = g.panic.clone() {
+            return StepStatus::Panicked { tid, message: msg };
+        }
+        let mut eligible = Vec::new();
+        let mut unfinished = Vec::new();
+        for (tid, t) in g.threads.iter().enumerate() {
+            match t.state {
+                State::Ready => eligible.push(tid),
+                State::Blocked(BlockKind::Condvar {
+                    timeout_eligible: true,
+                }) => eligible.push(tid),
+                State::Finished => continue,
+                _ => {}
+            }
+            if t.state != State::Finished {
+                unfinished.push((tid, t.state));
+            }
+        }
+        if unfinished.is_empty() {
+            return StepStatus::Complete;
+        }
+        if eligible.is_empty() {
+            let blocked = unfinished
+                .iter()
+                .map(|(tid, st)| format!("thread {tid}: {}", describe(*st)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            return StepStatus::Deadlock {
+                blocked,
+                schedule: g.schedule.clone(),
+            };
+        }
+        StepStatus::Choose { eligible }
+    }
+
+    /// Grants the baton to `tid`. Granting a condvar waiter that is only
+    /// eligible through its timeout fires the timeout: the waiter leaves
+    /// the queue and wakes with `timed_out = true`.
+    pub(crate) fn grant(&self, tid: usize) {
+        let mut g = lock(&self.inner);
+        if let State::Blocked(BlockKind::Condvar { .. }) = g.threads[tid].state {
+            for q in g.cv_queues.values_mut() {
+                if let Some(pos) = q.iter().position(|&t| t == tid) {
+                    q.remove(pos);
+                }
+            }
+            let rec = &mut g.threads[tid];
+            rec.cv_timed_out = true;
+            rec.state = State::Ready;
+        }
+        g.schedule.push(tid);
+        g.granted = Some(tid);
+        self.cond.notify_all();
+    }
+
+    /// Aborts the execution: every parked virtual thread unwinds with
+    /// [`ModelAborted`] the next time it checks in.
+    pub(crate) fn abort(&self) {
+        let mut g = lock(&self.inner);
+        g.abort = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocks the driver until every virtual thread has reported finished.
+    /// Called after an abort so no unwinding thread leaks into the next
+    /// execution (stale threads could still touch process-global state such
+    /// as the parking lot while tearing down).
+    pub(crate) fn wait_all_finished(&self) {
+        let mut g = lock(&self.inner);
+        while g.threads.iter().any(|t| t.state != State::Finished) {
+            g = self.cond.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    pub(crate) fn schedule_so_far(&self) -> Vec<usize> {
+        lock(&self.inner).schedule.clone()
+    }
+}
+
+fn describe(state: State) -> String {
+    match state {
+        State::Blocked(BlockKind::Lock(addr)) => format!("blocked on mutex {addr:#x}"),
+        State::Blocked(BlockKind::Condvar { timeout_eligible }) => {
+            if timeout_eligible {
+                "waiting on condvar (timeout-eligible)".into()
+            } else {
+                "waiting on condvar".into()
+            }
+        }
+        State::Blocked(BlockKind::Join(t)) => format!("joining thread {t}"),
+        State::Ready => "ready".into(),
+        State::Running => "running".into(),
+        State::Finished => "finished".into(),
+    }
+}
+
+/// Driver-visible execution status after quiescence.
+pub(crate) enum StepStatus {
+    /// Pick one of `eligible` and call [`Scheduler::grant`].
+    Choose { eligible: Vec<usize> },
+    /// All threads finished cleanly.
+    Complete,
+    /// No runnable thread but some unfinished: lost wakeup / lock cycle.
+    Deadlock {
+        blocked: String,
+        schedule: Vec<usize>,
+    },
+    /// A virtual thread panicked (assertion failure in the model).
+    Panicked { tid: usize, message: String },
+}
+
+// ----------------------------------------------------------------------
+// Free-function façade used by the instrumented types. All of these are
+// no-ops (or plain fallbacks) when the calling thread is not a virtual
+// thread of an active execution.
+// ----------------------------------------------------------------------
+
+/// The universal scheduling point: called before every instrumented
+/// shared-memory operation.
+#[inline]
+pub fn yield_point() {
+    with_current(|s, tid| s.yield_here(tid));
+}
+
+pub(crate) fn block_on_lock(addr: usize) {
+    with_current(|s, tid| s.block_on_lock(tid, addr));
+}
+
+pub(crate) fn lock_released(addr: usize) {
+    with_current(|s, _| s.lock_released(addr));
+}
+
+pub(crate) fn condvar_enqueue(cv: usize) {
+    with_current(|s, tid| s.condvar_enqueue(tid, cv));
+}
+
+pub(crate) fn condvar_block(cv: usize, timeout_eligible: bool) -> bool {
+    with_current(|s, tid| s.condvar_block(tid, cv, timeout_eligible)).unwrap_or(false)
+}
+
+pub(crate) fn condvar_notify(cv: usize, all: bool) {
+    with_current(|s, _| s.condvar_notify(cv, all));
+}

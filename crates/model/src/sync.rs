@@ -1,0 +1,277 @@
+//! Model-aware `Mutex` and `Condvar`.
+//!
+//! Inside an execution, `lock()` is a loop of scheduling points:
+//!
+//! ```text
+//! loop { yield_point(); try_lock() -> ok => hold; would-block => block }
+//! ```
+//!
+//! The baton protocol makes the classic try-then-block race impossible: a
+//! thread that observes the mutex held is the *only* running thread, so the
+//! holder cannot release between the failed `try_lock` and the block — a
+//! release can only happen on a later step, and `lock_released` readies
+//! every blocked contender then. Woken contenders re-race through
+//! `try_lock`, which models the non-FIFO std mutex faithfully.
+//!
+//! Guard drop announces the release to the scheduler but is **not** a
+//! scheduling point: yielding (or worse, panicking) inside `Drop` would
+//! abort the process when the drop happens during an unwind. The release
+//! is therefore glued to the previous step — a safe under-approximation
+//! (it can only *miss* interleavings that a coarser protocol would also
+//! miss, never fabricate impossible ones).
+//!
+//! Poisoning: inside the model, poisoned state is silently recovered —
+//! aborted executions routinely unwind virtual threads that hold guards
+//! (including process-global ones like the parking-lot buckets), and the
+//! *next* execution must still be able to lock them. Outside the model the
+//! std semantics pass through unchanged.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+use std::time::Duration;
+
+use crate::sched;
+
+/// Model-aware counterpart of [`std::sync::Mutex`].
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Guard for [`Mutex`]. Holds the underlying std guard in `ManuallyDrop`
+/// so the drop order (unlock, then announce) is explicit.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    fn wrap<'a>(&'a self, g: std::sync::MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            lock: self,
+            inner: ManuallyDrop::new(g),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if sched::in_execution() {
+            loop {
+                sched::yield_point();
+                match self.inner.try_lock() {
+                    Ok(g) => return Ok(self.wrap(g)),
+                    Err(TryLockError::Poisoned(p)) => return Ok(self.wrap(p.into_inner())),
+                    Err(TryLockError::WouldBlock) => sched::block_on_lock(self.addr()),
+                }
+            }
+        }
+        // Also recover poison on the non-execution path: in a model build
+        // the *previous* (aborted) execution may have poisoned a
+        // process-global mutex — e.g. a parking-lot bucket — and the test
+        // harness thread still needs to inspect it between explorations.
+        match self.inner.lock() {
+            Ok(g) => Ok(self.wrap(g)),
+            Err(p) => Ok(self.wrap(p.into_inner())),
+        }
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        if sched::in_execution() {
+            sched::yield_point();
+            return match self.inner.try_lock() {
+                Ok(g) => Ok(self.wrap(g)),
+                Err(TryLockError::Poisoned(p)) => Ok(self.wrap(p.into_inner())),
+                Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            };
+        }
+        match self.inner.try_lock() {
+            Ok(g) => Ok(self.wrap(g)),
+            Err(TryLockError::Poisoned(p)) => Ok(self.wrap(p.into_inner())),
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let announce = sched::in_execution();
+        let addr = self.lock.addr();
+        // SAFETY: the guard is dropped exactly once, here; `inner` is never
+        // touched again after this point.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if announce {
+            sched::lock_released(addr);
+        }
+    }
+}
+
+/// Result of a [`Condvar::wait_timeout`]. The std type has no public
+/// constructor, so the model defines its own with the same reading API.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Model-aware counterpart of [`std::sync::Condvar`].
+///
+/// Inside an execution, waits enqueue on a FIFO keyed by the condvar's
+/// address *before* the mutex is released, so no notify can be lost; a
+/// `wait_timeout` is additionally wakeable by the driver "firing the
+/// timeout" as an ordinary scheduling choice, which lets the explorer
+/// cover timeout paths deterministically.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn model_wait<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout_eligible: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let mutex = guard.lock;
+        sched::yield_point();
+        // Enqueue while the mutex is still held: a notifier must hold the
+        // mutex to race us here, and it cannot acquire it until the drop
+        // below, so the wakeup cannot be lost.
+        sched::condvar_enqueue(self.addr());
+        drop(guard);
+        let timed_out = sched::condvar_block(self.addr(), timeout_eligible);
+        let guard = mutex.lock().unwrap_or_else(PoisonError::into_inner);
+        (guard, timed_out)
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if sched::in_execution() {
+            let (guard, _) = self.model_wait(guard, false);
+            return Ok(guard);
+        }
+        let mutex = guard.lock;
+        let mut guard = ManuallyDrop::new(guard);
+        // SAFETY: the std guard is extracted exactly once and the wrapper's
+        // Drop is suppressed, so the vacated slot is never touched again.
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        match self.inner.wait(std_guard) {
+            Ok(g) => Ok(mutex.wrap(g)),
+            Err(p) => Err(PoisonError::new(mutex.wrap(p.into_inner()))),
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if sched::in_execution() {
+            let (guard, timed_out) = self.model_wait(guard, true);
+            return Ok((guard, WaitTimeoutResult { timed_out }));
+        }
+        let mutex = guard.lock;
+        let mut guard = ManuallyDrop::new(guard);
+        // SAFETY: as in `wait` — single extraction, wrapper Drop suppressed.
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        match self.inner.wait_timeout(std_guard, dur) {
+            Ok((g, r)) => Ok((
+                mutex.wrap(g),
+                WaitTimeoutResult {
+                    timed_out: r.timed_out(),
+                },
+            )),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                Err(PoisonError::new((
+                    mutex.wrap(g),
+                    WaitTimeoutResult {
+                        timed_out: r.timed_out(),
+                    },
+                )))
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if sched::in_execution() {
+            sched::yield_point();
+            sched::condvar_notify(self.addr(), false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if sched::in_execution() {
+            sched::yield_point();
+            sched::condvar_notify(self.addr(), true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}

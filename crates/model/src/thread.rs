@@ -1,0 +1,129 @@
+//! Virtual-thread spawn/join. Inside an execution these register with the
+//! scheduler and participate in the baton protocol; outside they are plain
+//! `std::thread` operations, so code built against the facade still works
+//! in ordinary tests.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::sched::{self, Scheduler};
+
+/// A handle to a (possibly virtual) spawned thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    /// Virtual-thread id when spawned inside an execution.
+    vtid: Option<(Arc<Scheduler>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside an
+    /// execution this is a scheduling point and blocks the virtual thread
+    /// until the target finishes.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((sched, target)) = &self.vtid {
+            if let Some((_, me)) = sched::current_scheduler() {
+                sched::yield_point();
+                sched.block_on_join(me, *target);
+            }
+        }
+        self.inner.join()
+    }
+
+    /// Whether the thread has finished (non-instrumented).
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+/// Spawns a thread. Inside an execution the new thread is a virtual thread:
+/// it starts Ready and runs only when the scheduler grants it the baton.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T,
+    F: Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current_scheduler() {
+        Some((sched, _)) => {
+            // Register at a deterministic point in the parent's schedule,
+            // and create the OS thread *before* yielding: the yield lets the
+            // driver grant the new tid immediately, and that grant can only
+            // be consumed if the OS thread exists (the parent, who creates
+            // it, is itself waiting for a grant after the yield).
+            let tid = sched.register_thread();
+            let sched2 = Arc::clone(&sched);
+            let inner = std::thread::spawn(move || run_vthread(sched2, tid, f));
+            sched::yield_point();
+            JoinHandle {
+                inner,
+                vtid: Some((sched, tid)),
+            }
+        }
+        None => JoinHandle {
+            inner: std::thread::spawn(f),
+            vtid: None,
+        },
+    }
+}
+
+/// Body wrapper for every virtual thread: installs the thread-local
+/// scheduler handle, waits for the first baton grant, runs the closure, and
+/// reports completion (or the panic) to the driver. The initial wait sits
+/// *inside* the `catch_unwind` so an abort that lands before the thread ever
+/// ran still reaches `finish_thread` — otherwise the driver would wait for
+/// it forever.
+pub(crate) fn run_vthread<F, T>(sched: Arc<Scheduler>, tid: usize, f: F) -> T
+where
+    F: FnOnce() -> T,
+{
+    sched::install(Arc::clone(&sched), tid);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        sched.wait_initial(tid);
+        f()
+    }));
+    sched::uninstall();
+    match result {
+        Ok(value) => {
+            sched.finish_thread(tid, None);
+            value
+        }
+        Err(payload) => {
+            // User guards already dropped during the unwind that
+            // `catch_unwind` absorbed, so reporting finished here cannot be
+            // followed by further model operations from this thread.
+            let msg = if is_abort_payload(payload.as_ref()) {
+                None
+            } else {
+                Some(panic_message(payload.as_ref()))
+            };
+            sched.finish_thread(tid, msg);
+            resume_unwind(payload)
+        }
+    }
+}
+
+/// Yields the baton inside an execution; plain `yield_now` outside.
+#[inline]
+pub fn yield_now() {
+    if sched::in_execution() {
+        sched::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Renders a panic payload for failure reports.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+pub(crate) fn is_abort_payload(payload: &(dyn Any + Send)) -> bool {
+    payload.is::<sched::ModelAborted>()
+}

@@ -1,0 +1,227 @@
+//! Self-tests for the explorer itself: these run in ordinary `cargo test`
+//! (no `--cfg gls_model` needed) because `gls_model`'s own types are always
+//! instrumented. They pin down the properties the protocol suites rely on:
+//! the DFS actually finds races, the preemption bound behaves, deadlock
+//! detection catches lost wakeups, and random-mode seeds replay.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gls_model::atomic::{AtomicU32, Ordering};
+use gls_model::sync::{Condvar, Mutex};
+use gls_model::{thread, Explorer, FailureKind};
+
+/// The canonical lost update: two threads doing load-then-store increments.
+/// Exhaustive exploration with the default bound must find the schedule
+/// where both observe 0.
+#[test]
+fn exhaustive_finds_lost_update() {
+    let failure = Explorer::exhaustive()
+        .find_failure("lost-update", || {
+            let c = Arc::new(AtomicU32::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+        })
+        .expect("exhaustive exploration must find the lost update");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.description.contains("lost update"), "{failure}");
+}
+
+/// With a preemption bound of 0 every thread runs to its next blocking
+/// point uninterrupted, so the same racy increment cannot interleave: the
+/// bound genuinely prunes involuntary switches.
+#[test]
+fn preemption_bound_zero_hides_the_race() {
+    let failure =
+        Explorer::exhaustive()
+            .preemption_bound(0)
+            .find_failure("lost-update-bound0", || {
+                let c = Arc::new(AtomicU32::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let c = Arc::clone(&c);
+                        thread::spawn(move || {
+                            let v = c.load(Ordering::Relaxed);
+                            c.store(v + 1, Ordering::Relaxed);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(c.load(Ordering::Relaxed), 2);
+            });
+    assert!(failure.is_none(), "bound 0 must serialize the threads");
+}
+
+/// The same increment protected by the model mutex is correct under every
+/// schedule.
+#[test]
+fn mutex_protects_the_update() {
+    Explorer::exhaustive().check("mutex-increment", || {
+        let c = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    let mut g = c.lock().unwrap();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*c.lock().unwrap(), 2);
+    });
+}
+
+/// Opposite-order lock acquisition: the explorer must find the cycle and
+/// report it as a deadlock (not hang).
+#[test]
+fn finds_lock_order_deadlock() {
+    let failure = Explorer::exhaustive()
+        .find_failure("ab-ba-deadlock", || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let _ga = a1.lock().unwrap();
+                let _gb = b1.lock().unwrap();
+            });
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = thread::spawn(move || {
+                let _gb = b2.lock().unwrap();
+                let _ga = a2.lock().unwrap();
+            });
+            t1.join().unwrap();
+            t2.join().unwrap();
+        })
+        .expect("must find the AB-BA deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}
+
+/// A correct condvar handshake never deadlocks under any schedule —
+/// including schedules where the notify lands in the enqueue→block window.
+#[test]
+fn condvar_handshake_is_wakeup_safe() {
+    Explorer::exhaustive().check("condvar-handshake", || {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let mut g = m.lock().unwrap();
+                while !*g {
+                    g = cv.wait(g).unwrap();
+                }
+            })
+        };
+        let (m, cv) = &*pair;
+        {
+            let mut g = m.lock().unwrap();
+            *g = true;
+        }
+        cv.notify_one();
+        waiter.join().unwrap();
+    });
+}
+
+/// Setting the flag without notifying strands the waiter: the classic lost
+/// wakeup, surfaced as a deadlock.
+#[test]
+fn finds_missing_notify() {
+    let failure = Explorer::exhaustive()
+        .find_failure("missing-notify", || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let waiter = {
+                let pair = Arc::clone(&pair);
+                thread::spawn(move || {
+                    let (m, cv) = &*pair;
+                    let mut g = m.lock().unwrap();
+                    while !*g {
+                        g = cv.wait(g).unwrap();
+                    }
+                })
+            };
+            let (m, _cv) = &*pair;
+            *m.lock().unwrap() = true; // bug: no notify
+            waiter.join().unwrap();
+        })
+        .expect("must find the lost wakeup");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.description.contains("condvar"), "{failure}");
+}
+
+/// A timed wait with no notifier completes via the driver firing the
+/// timeout, and reports `timed_out()`.
+#[test]
+fn wait_timeout_fires_without_notifier() {
+    Explorer::exhaustive().check("timeout-fires", || {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let (m, cv) = &*pair;
+                let g = m.lock().unwrap();
+                let (_g, res) = cv.wait_timeout(g, Duration::from_millis(1)).unwrap();
+                assert!(res.timed_out());
+            })
+        };
+        waiter.join().unwrap();
+    });
+}
+
+/// A spawned-but-never-joined thread still runs to completion before the
+/// execution is considered done.
+#[test]
+fn detached_threads_still_complete() {
+    Explorer::exhaustive().check("detached", || {
+        let c = Arc::new(AtomicU32::new(0));
+        let c2 = Arc::clone(&c);
+        drop(thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        }));
+    });
+}
+
+/// Random mode: a failing iteration's seed replays the identical schedule.
+#[test]
+fn random_seed_replays_identically() {
+    let body = || {
+        let c = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    let v = c.load(Ordering::Relaxed);
+                    c.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    };
+    let found = Explorer::random(2_000, 7)
+        .find_failure("random-lost-update", body)
+        .expect("2000 random schedules should hit the race");
+    let seed = found.seed.expect("random failures carry a seed");
+    let replay = Explorer::random(1, seed)
+        .find_failure("random-lost-update-replay", body)
+        .expect("replaying the seed must reproduce the failure");
+    assert_eq!(found.schedule, replay.schedule, "replay must be exact");
+    assert_eq!(replay.executions, 1);
+}

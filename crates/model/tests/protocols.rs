@@ -1,0 +1,562 @@
+//! Model checks for the GLS lock protocols.
+//!
+//! These tests only exist in model builds: run them with
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg gls_model" cargo test -p gls_model --test protocols
+//! ```
+//!
+//! Every test drives *real* protocol code — `FutexLock`, `FutexRwLock`,
+//! `AutoBlockingMutex`, `GlsService` — through the deterministic explorer:
+//! exhaustive DFS over thread interleavings with a preemption bound, plus
+//! one seeded-random sweep. A "lost wakeup" or "stranded waiter" surfaces
+//! as a deadlock the driver detects (no runnable thread, unfinished
+//! threads); safety violations surface as assertion panics inside the
+//! model. The two `rediscovers_*` tests re-introduce bugs this repository
+//! actually shipped and fixed, and check the explorer finds them.
+//!
+//! Test-design rules (the explorer makes these hard requirements):
+//! * orchestration waits only through blocking primitives (park, condvar,
+//!   join) — a poll loop never blocks, so exhaustive DFS would drive it
+//!   to the step limit on the no-preemption schedule;
+//! * GLS service models pin entries to `LockKind::Futex` (or `Mutex`):
+//!   the pure spin algorithms (TAS/ticket/MCS/CLH) are deliberately not
+//!   ported to the facade, and a spinning virtual thread never yields the
+//!   baton.
+
+#![cfg(gls_model)]
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use gls::glk::{AutoBlockingMutex, BlockingDensity};
+use gls::{GlsCondvar, GlsService, LockKind};
+use gls_locks::cohort::COHORT_BYPASS_LIMIT;
+use gls_locks::park::DEFAULT_PARK_TOKEN;
+use gls_locks::{
+    FutexLock, FutexRwLock, ParkResult, ParkingLot, QueueInformed, RawLock, RawRwLock, RawTryLock,
+};
+use gls_model::{Explorer, FailureKind};
+use gls_sync::thread;
+
+/// A counter the model threads mutate through raw, unsynchronized writes:
+/// if the lock under test ever admits two holders, the explorer finds an
+/// interleaving where an increment is lost and the final assertion fires.
+struct RacyCounter(UnsafeCell<u64>);
+
+// SAFETY: all access happens inside model executions, where the lock
+// protocol under test is what serializes the writes — that is the claim
+// being checked.
+unsafe impl Sync for RacyCounter {}
+
+impl RacyCounter {
+    fn new() -> Self {
+        RacyCounter(UnsafeCell::new(0))
+    }
+
+    /// A deliberately non-atomic read-modify-write.
+    fn bump(&self) {
+        // SAFETY: serialized by the lock under test (see struct docs).
+        unsafe {
+            let p = self.0.get();
+            let v = p.read();
+            // A yield between read and write would widen the race window,
+            // but the surrounding lock operations already provide the
+            // scheduling points the explorer needs.
+            p.write(v + 1);
+        }
+    }
+
+    fn get(&self) -> u64 {
+        // SAFETY: called after every writer joined.
+        unsafe { *self.0.get() }
+    }
+}
+
+/// A condvar predicate: a plain bool whose every access must happen under
+/// the service lock of the test's address — which is the claim the model
+/// checks.
+struct SharedFlag(UnsafeCell<bool>);
+
+// SAFETY: accesses are serialized by the service lock (see struct docs).
+unsafe impl Sync for SharedFlag {}
+
+impl SharedFlag {
+    fn new() -> Self {
+        SharedFlag(UnsafeCell::new(false))
+    }
+
+    fn read(&self) -> bool {
+        // SAFETY: caller holds the service lock.
+        unsafe { *self.0.get() }
+    }
+
+    fn set(&self) {
+        // SAFETY: caller holds the service lock.
+        unsafe { *self.0.get() = true }
+    }
+}
+
+/// Property 1 — `FutexLock` provides mutual exclusion and loses no
+/// wakeups. Three threads contend for one lock (model spin budget is a
+/// single attempt, so park/unpark and the handoff streak — model bound 2 —
+/// are all reachable). A lost wakeup is a deadlock; a broken handoff
+/// leaves the word dirty.
+#[test]
+fn futex_lock_mutual_exclusion_and_no_lost_wakeups() {
+    Explorer::exhaustive().check("futex-mutex", || {
+        let lock = Arc::new(FutexLock::new());
+        let counter = Arc::new(RacyCounter::new());
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    lock.lock();
+                    counter.bump();
+                    lock.unlock();
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("model worker panicked");
+        }
+        assert_eq!(counter.get(), 3, "an increment was lost under the lock");
+        assert!(!lock.is_locked(), "lock word left locked after drain");
+        assert_eq!(lock.queue_length(), 0, "waiters left parked after drain");
+    });
+}
+
+/// Property 2 — cohort handoff never bypasses the queue head more than
+/// `COHORT_BYPASS_LIMIT` times in a row, across every interleaving of a
+/// topology where bypassing is reachable: a remote waiter at the head of
+/// the queue and a same-domain waiter behind it at handoff time.
+///
+/// The scenario needs four threads because a bypass needs history: an
+/// ordinary wake must first advance the streak (H's release), a thief from
+/// the local domain (E) must then hold the lock while the woken local
+/// waiter re-parks *behind* the remote one, and E's release is the handoff
+/// that may bypass. The coverage flag proves the bypass branch actually
+/// ran in at least one execution.
+#[test]
+fn futex_cohort_bypass_is_bounded() {
+    static SAW_BYPASS: AtomicBool = AtomicBool::new(false);
+    Explorer::exhaustive().check("futex-cohort", || {
+        let lock = Arc::new(FutexLock::new());
+        let counter = Arc::new(RacyCounter::new());
+        // The root holds the lock while the two parkers queue up: its
+        // release is the ordinary wake that builds the streak. The thief
+        // never parks — a single try-lock in the wake window is enough to
+        // reach the re-park-behind-the-remote shape on some schedule.
+        gls_runtime::topology::set_model_domain(Some(0));
+        lock.lock();
+        let parkers: Vec<_> = [0usize, 1] // local, then remote
+            .into_iter()
+            .map(|domain| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    gls_runtime::topology::set_model_domain(Some(domain));
+                    lock.lock();
+                    counter.bump();
+                    lock.unlock_cohort(true);
+                })
+            })
+            .collect();
+        let thief = {
+            let lock = Arc::clone(&lock);
+            thread::spawn(move || {
+                gls_runtime::topology::set_model_domain(Some(0));
+                if lock.try_lock() {
+                    lock.unlock_cohort(true);
+                }
+            })
+        };
+        lock.unlock_cohort(true);
+        for parker in parkers {
+            parker.join().expect("model parker panicked");
+        }
+        thief.join().expect("model thief panicked");
+        assert_eq!(counter.get(), 2, "an increment was lost under the lock");
+        assert!(!lock.is_locked(), "lock word left locked after drain");
+        assert_eq!(lock.queue_length(), 0, "waiters left parked after drain");
+        let run = lock.model_max_consecutive_head_bypasses();
+        assert!(
+            run <= COHORT_BYPASS_LIMIT,
+            "cohort handoff bypassed the queue head {run} times in a row \
+             (limit {COHORT_BYPASS_LIMIT})"
+        );
+        if run > 0 {
+            SAW_BYPASS.store(true, StdOrdering::Relaxed);
+        }
+    });
+    assert!(
+        SAW_BYPASS.load(StdOrdering::Relaxed),
+        "no execution reached a head bypass — the scenario no longer \
+         exercises the cohort policy"
+    );
+}
+
+/// Property 3 — the Auto backend never loses a waiter across a backend
+/// flip. Two threads fight for an [`AutoBlockingMutex`] while the root
+/// thread moves the blocking-density population across the decision
+/// threshold, so on some schedules the backend migrates per-lock ⇄ parking
+/// mid-contention. A waiter stranded on the abandoned backend is a
+/// deadlock the driver reports.
+#[test]
+fn auto_backend_migration_loses_no_waiter() {
+    static SAW_FLIP_TO_PARKING: AtomicBool = AtomicBool::new(false);
+    static SAW_FLIP_BACK: AtomicBool = AtomicBool::new(false);
+    Explorer::exhaustive().check("auto-migration", || {
+        let lock = Arc::new(AutoBlockingMutex::new());
+        let density = Arc::new(BlockingDensity::new());
+        let counter = Arc::new(RacyCounter::new());
+        const THRESHOLD: usize = 1;
+        // Pin the first decision: with the population at zero the backend
+        // decides per-lock, so any execution that *ends* on the parking
+        // backend must have migrated mid-run.
+        lock.lock(&density, THRESHOLD);
+        lock.unlock(&density, THRESHOLD);
+        assert_eq!(lock.uses_parking_lot(), Some(false));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let density = Arc::clone(&density);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    lock.lock(&density, THRESHOLD);
+                    counter.bump();
+                    lock.unlock(&density, THRESHOLD);
+                })
+            })
+            .collect();
+        // Racing with the workers: push the live blocking population over
+        // the threshold, so re-decisions taken during the contention above
+        // flip the backend and drain waiters off the abandoned one.
+        density.enter();
+        for worker in workers {
+            worker.join().expect("model worker panicked");
+        }
+        let migrated = lock.uses_parking_lot() == Some(true);
+        if migrated {
+            SAW_FLIP_TO_PARKING.store(true, StdOrdering::Relaxed);
+        }
+        // Phase 2 — migrate back (the direction whose release must
+        // *broadcast* to the abandoned futex queue) while one more locker
+        // races the flip.
+        density.leave();
+        let straggler = {
+            let lock = Arc::clone(&lock);
+            let density = Arc::clone(&density);
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                lock.lock(&density, THRESHOLD);
+                counter.bump();
+                lock.unlock(&density, THRESHOLD);
+            })
+        };
+        lock.lock(&density, THRESHOLD);
+        lock.unlock(&density, THRESHOLD);
+        straggler.join().expect("model straggler panicked");
+        if migrated && lock.uses_parking_lot() == Some(false) {
+            SAW_FLIP_BACK.store(true, StdOrdering::Relaxed);
+        }
+        assert_eq!(counter.get(), 3, "an increment was lost across the flip");
+        assert!(!lock.is_locked(), "lock left held after drain");
+        assert_eq!(lock.queue_length(), 0, "waiters left parked after drain");
+    });
+    assert!(
+        SAW_FLIP_TO_PARKING.load(StdOrdering::Relaxed),
+        "no execution migrated per-lock → parking — the scenario no longer \
+         exercises the flip"
+    );
+    assert!(
+        SAW_FLIP_BACK.load(StdOrdering::Relaxed),
+        "no execution migrated parking → per-lock — the broadcast drain \
+         path was never exercised"
+    );
+}
+
+/// Property 4 — the pending-free protocol never resurrects a stale entry
+/// and never strands a racing user. One thread locks/unlocks an address
+/// through the service while another frees it; the root then re-creates
+/// the address. Every interleaving must keep all operations well-defined
+/// (the racing locker either beats the free or re-creates the entry) and
+/// leave the service able to serve the address again.
+#[test]
+fn pending_free_never_resurrects_stale_entries() {
+    static SAW_MARKER_RELEASE: AtomicBool = AtomicBool::new(false);
+    Explorer::exhaustive().check("pending-free", || {
+        let service = Arc::new(GlsService::new());
+        let slot = Arc::new(0u8);
+        let addr = Arc::as_ptr(&slot) as usize;
+        // Materialize the entry with an explicitly blocking algorithm:
+        // spin algorithms are not ported to the model facade.
+        service
+            .lock_with(LockKind::Futex, addr)
+            .expect("create entry");
+        service.unlock_addr(addr).expect("release fresh entry");
+        let locker = {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                service
+                    .lock_with(LockKind::Futex, addr)
+                    .expect("racing lock");
+                if service.lock_count() == 0 {
+                    // The free claimed the address while we hold its lock:
+                    // the unlock below must resolve through the pending-
+                    // free marker, not the table.
+                    SAW_MARKER_RELEASE.store(true, StdOrdering::Relaxed);
+                }
+                service.unlock_addr(addr).expect("racing unlock");
+            })
+        };
+        let freer = {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                // May observe the entry live or already gone; both are
+                // fine — what must never happen is a deadlock or a
+                // use-after-retire panic in the locker.
+                let _ = service.free_addr(addr);
+            })
+        };
+        locker.join().expect("locker panicked");
+        freer.join().expect("freer panicked");
+        service
+            .lock_with(LockKind::Futex, addr)
+            .expect("address must be creatable after a free");
+        service.unlock_addr(addr).expect("release re-created entry");
+        drop(slot);
+    });
+    assert!(
+        SAW_MARKER_RELEASE.load(StdOrdering::Relaxed),
+        "no execution released through the pending-free marker — the \
+         scenario no longer exercises the unmap window"
+    );
+}
+
+/// Property 5 — condvar requeue-on-notify never strands a waiter behind a
+/// free mutex. The waiter blocks on the service condvar under a futex
+/// entry; the notifier flips the predicate and notifies *while holding the
+/// mutex*, so the waiter is requeued onto the mutex word and must be woken
+/// by the notifier's unlock on every schedule. A requeue onto a word
+/// nobody releases again would deadlock.
+#[test]
+fn condvar_requeue_strands_no_waiter() {
+    Explorer::exhaustive().check("condvar-requeue", || {
+        let service = Arc::new(GlsService::new());
+        let cv = Arc::new(GlsCondvar::new());
+        let flag = Arc::new(SharedFlag::new());
+        let slot = Arc::new(0u8);
+        let addr = Arc::as_ptr(&slot) as usize;
+        service
+            .lock_with(LockKind::Futex, addr)
+            .expect("create entry");
+        service.unlock_addr(addr).expect("release fresh entry");
+        let waiter = {
+            let service = Arc::clone(&service);
+            let cv = Arc::clone(&cv);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                service.lock_with(LockKind::Futex, addr).expect("lock");
+                while !flag.read() {
+                    service.wait_addr(&cv, addr).expect("wait");
+                }
+                service.unlock_addr(addr).expect("unlock");
+            })
+        };
+        let notifier = {
+            let service = Arc::clone(&service);
+            let cv = Arc::clone(&cv);
+            let flag = Arc::clone(&flag);
+            thread::spawn(move || {
+                service.lock_with(LockKind::Futex, addr).expect("lock");
+                flag.set();
+                // Notify while holding the mutex: the waiter (if already
+                // asleep) is requeued onto the mutex word and must ride
+                // the unlock below.
+                service.notify_one_addr(&cv, addr);
+                service.unlock_addr(addr).expect("unlock");
+            })
+        };
+        waiter.join().expect("waiter panicked");
+        notifier.join().expect("notifier panicked");
+        drop(slot);
+    });
+}
+
+/// Regression (PR 5) — a release that abandons a futex word must
+/// *broadcast*. The one-wake variant this repository originally shipped
+/// relied on each woken waiter re-acquiring and re-releasing the word, but
+/// a requeued condvar waiter re-acquires through whatever now serves the
+/// lock and never touches the abandoned word again — stranding everyone
+/// queued behind it. The explorer must rediscover that stranding as a
+/// deadlock; the shipped broadcast must pass the same model clean.
+#[test]
+fn rediscovers_the_abandoned_word_single_wake_bug() {
+    // Two parked waiters shaped like requeued condvar waiters: kind-0
+    // tokens, and — crucially — no re-release of the word when woken.
+    let scenario = |wake_all: bool| {
+        move || {
+            let lock = Arc::new(FutexLock::new());
+            let holder = {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    lock.lock();
+                    if wake_all {
+                        lock.unlock_and_wake_all();
+                    } else {
+                        lock.model_unlock_and_wake_one();
+                    }
+                })
+            };
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let lock = Arc::clone(&lock);
+                    thread::spawn(move || {
+                        let result = ParkingLot::global().park(
+                            lock.park_addr(),
+                            DEFAULT_PARK_TOKEN,
+                            || lock.is_locked(),
+                            || {},
+                            None,
+                        );
+                        // Invalid means the word was already free when we
+                        // tried to park — a schedule with nothing to check.
+                        assert!(matches!(
+                            result,
+                            ParkResult::Unparked(_) | ParkResult::Invalid
+                        ));
+                    })
+                })
+                .collect();
+            holder.join().expect("holder panicked");
+            for waiter in waiters {
+                waiter.join().expect("waiter panicked");
+            }
+        }
+    };
+
+    let failure = Explorer::exhaustive()
+        .cleanup(|| ParkingLot::global().model_purge())
+        .find_failure("abandoned-word-single-wake", scenario(false))
+        .expect("the explorer must find the stranded waiter the single-wake release leaves");
+    assert_eq!(
+        failure.kind,
+        FailureKind::Deadlock,
+        "expected a stranded-waiter deadlock, got: {failure}"
+    );
+
+    // The shipped fix — broadcast on abandonment — passes the same model.
+    Explorer::exhaustive()
+        .cleanup(|| ParkingLot::global().model_purge())
+        .check("abandoned-word-broadcast", scenario(true));
+}
+
+/// Regression (PR 6) — `FutexRwLock` releases must run the handoff
+/// streak. The pre-streak policy woke the first parked writer with an
+/// ordinary token every time and let it re-contend; a barger could steal
+/// the word in the wake window again and again, bypassing parked writers
+/// without bound. With the streak, an ordinary writer wake needs the
+/// streak at zero and leaves it at one, and only a handoff or a queue
+/// drain returns it to zero — so ordinary-wake runs are bounded at one.
+/// The explorer must find a two-in-a-row run under the old policy and
+/// verify the bound under the shipped one.
+#[test]
+fn rediscovers_the_writer_wake_streak_bug() {
+    let scenario = |pre_handoff: bool| {
+        move || {
+            let rw = Arc::new(FutexRwLock::new());
+            let unlock = move |rw: &FutexRwLock| {
+                if pre_handoff {
+                    rw.model_write_unlock_pre_handoff();
+                } else {
+                    rw.write_unlock();
+                }
+            };
+            // The root holds the lock while two victim writers park: two
+            // victims keep the queue non-empty across a wake, which is
+            // what lets an unbounded policy string ordinary wakes together
+            // without an intervening drain.
+            rw.write_lock();
+            let victims: Vec<_> = (0..2)
+                .map(|_| {
+                    let rw = Arc::clone(&rw);
+                    thread::spawn(move || {
+                        rw.write_lock();
+                        unlock(&rw);
+                    })
+                })
+                .collect();
+            // The barger: one try-lock (never parks), stealing the word
+            // inside a wake-to-reacquire window on some schedules.
+            let barger = {
+                let rw = Arc::clone(&rw);
+                thread::spawn(move || {
+                    if rw.try_write_lock() {
+                        unlock(&rw);
+                    }
+                })
+            };
+            unlock(&rw);
+            for victim in victims {
+                victim.join().expect("victim panicked");
+            }
+            barger.join().expect("barger panicked");
+            assert!(!rw.is_write_locked(), "word left write-locked");
+            let run = rw.model_max_consecutive_writer_bypasses();
+            assert!(
+                run <= 1,
+                "{run} consecutive ordinary writer wakes — parked writers \
+                 can be bypassed without bound"
+            );
+        }
+    };
+
+    let failure = Explorer::exhaustive()
+        .cleanup(|| ParkingLot::global().model_purge())
+        .find_failure("rw-pre-streak-release", scenario(true))
+        .expect("the explorer must find an unbounded ordinary-wake run under the old policy");
+    assert_eq!(
+        failure.kind,
+        FailureKind::Panic,
+        "expected the bypass-bound assertion to fire, got: {failure}"
+    );
+
+    // The shipped streak policy holds the bound on every schedule.
+    Explorer::exhaustive()
+        .cleanup(|| ParkingLot::global().model_purge())
+        .check("rw-streak-release", scenario(false));
+}
+
+/// Seeded random sweep — long, non-exhaustive schedules over the futex
+/// mutex model. `GLS_MODEL_ITERS` scales the iteration count (CI's
+/// release lane runs 10 000); `GLS_MODEL_SEED` replays one failing seed
+/// printed by a previous run.
+#[test]
+fn random_sweep_futex_mutex() {
+    Explorer::random_from_env(2_000).check("futex-mutex-random", || {
+        let lock = Arc::new(FutexLock::new());
+        let counter = Arc::new(RacyCounter::new());
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    for _ in 0..2 {
+                        lock.lock();
+                        counter.bump();
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("model worker panicked");
+        }
+        assert_eq!(counter.get(), 6, "an increment was lost under the lock");
+        assert!(!lock.is_locked(), "lock word left locked after drain");
+        assert_eq!(lock.queue_length(), 0, "waiters left parked after drain");
+    });
+}

@@ -146,6 +146,9 @@ impl SystemLoadMonitor {
             .spawn(move || {
                 while !thread_shared.shutdown.load(Ordering::Relaxed) {
                     Self::poll_shared(&thread_shared, source, slack);
+                    // The background sampler is wall-clock paced by design
+                    // and never runs under the model explorer.
+                    #[allow(clippy::disallowed_methods)]
                     thread::sleep(interval);
                 }
             })
@@ -260,6 +263,9 @@ pub fn procs_running() -> Option<usize> {
 }
 
 #[cfg(test)]
+// Raw std sync and wall-clock sleeps are fine in stress tests: they pace
+// real threads, not modeled ones (see clippy.toml).
+#[allow(clippy::disallowed_types, clippy::disallowed_methods)]
 mod tests {
     use super::*;
 

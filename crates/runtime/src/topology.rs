@@ -107,6 +107,19 @@ thread_local! {
     static PINNED_CONTEXT: Cell<Option<usize>> = const { Cell::new(None) };
     /// Cached cache-domain of this thread (`usize::MAX` = not yet computed).
     static THREAD_DOMAIN: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Model-build override: a virtual thread's declared cache domain.
+    #[cfg(gls_model)]
+    static MODEL_DOMAIN: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Declares the calling thread's cache domain for the model build: the
+/// concurrency explorer's virtual threads all run wherever the OS puts
+/// them, so cohort policies would see one domain and never branch. Tests
+/// assign domains explicitly instead, keeping schedules hardware
+/// -independent. `None` removes the override.
+#[cfg(gls_model)]
+pub fn set_model_domain(domain: Option<usize>) {
+    MODEL_DOMAIN.with(|d| d.set(domain));
 }
 
 /// Pins the calling thread to hardware context `ctx`.
@@ -167,6 +180,8 @@ fn sched_setaffinity_single(ctx: usize) -> bool {
     let mut mask = [0u64; 16];
     mask[ctx / 64] = 1u64 << (ctx % 64);
     let ret: isize;
+    // SAFETY: raw syscall; the kernel only reads/writes the stack-local
+    // buffer passed in, and nothing escapes the call.
     unsafe {
         std::arch::asm!(
             "syscall",
@@ -190,6 +205,8 @@ fn sched_setaffinity_single(ctx: usize) -> bool {
     let mut mask = [0u64; 16];
     mask[ctx / 64] = 1u64 << (ctx % 64);
     let ret: isize;
+    // SAFETY: raw syscall; the kernel only reads/writes the stack-local
+    // buffer passed in, and nothing escapes the call.
     unsafe {
         std::arch::asm!(
             "svc 0",
@@ -215,6 +232,8 @@ fn sched_setaffinity_single(_ctx: usize) -> bool {
 fn getcpu() -> Option<usize> {
     let mut cpu: u32 = 0;
     let ret: isize;
+    // SAFETY: raw syscall; the kernel only reads/writes the stack-local
+    // buffer passed in, and nothing escapes the call.
     unsafe {
         std::arch::asm!(
             "syscall",
@@ -238,6 +257,8 @@ fn getcpu() -> Option<usize> {
 fn getcpu() -> Option<usize> {
     let mut cpu: u32 = 0;
     let ret: isize;
+    // SAFETY: raw syscall; the kernel only reads/writes the stack-local
+    // buffer passed in, and nothing escapes the call.
     unsafe {
         std::arch::asm!(
             "svc 0",
@@ -305,6 +326,10 @@ pub fn domain_of(ctx: usize) -> usize {
 /// The answer is cached per thread (and refreshed by [`pin_to`]) so it is
 /// cheap enough for lock release paths.
 pub fn current_domain() -> usize {
+    #[cfg(gls_model)]
+    if let Some(domain) = MODEL_DOMAIN.with(|d| d.get()) {
+        return domain;
+    }
     THREAD_DOMAIN.with(|d| {
         let cached = d.get();
         if cached != usize::MAX {

@@ -9,6 +9,10 @@
 //! configurable read ratio (the paper's WT / WT-RD / RD configurations are
 //! 10%, 50% and 90% reads).
 
+// The simulated system busy-loops and sleeps stand in for real I/O and
+// compute latencies; wall-clock pacing is the point (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -13,6 +13,10 @@
 //! The miniatures below keep exactly those lock populations and access
 //! skews; the data plane is a set of in-memory hash maps / a B-tree.
 
+// The simulated system busy-loops and sleeps stand in for real I/O and
+// compute latencies; wall-clock pacing is the point (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -538,6 +538,8 @@ mod tests {
         for provider in all_providers() {
             let m = StdArc::new(provider.new_mutex());
             struct Cell(std::cell::UnsafeCell<u64>);
+            // SAFETY: the cell is only touched while holding the lock under
+            // test; that exclusion is exactly what the test verifies.
             unsafe impl Sync for Cell {}
             let value = StdArc::new(Cell(std::cell::UnsafeCell::new(0)));
             let handles: Vec<_> = (0..4)
@@ -546,6 +548,7 @@ mod tests {
                     let value = StdArc::clone(&value);
                     std::thread::spawn(move || {
                         for _ in 0..5_000 {
+                            // SAFETY: written while holding the lock under test.
                             m.with(|| unsafe { *value.0.get() += 1 });
                         }
                     })
@@ -555,6 +558,7 @@ mod tests {
                 h.join().unwrap();
             }
             assert_eq!(
+                // SAFETY: all worker threads are joined; nothing races this read.
                 unsafe { *value.0.get() },
                 20_000,
                 "provider {}",

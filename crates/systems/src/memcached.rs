@@ -18,6 +18,10 @@
 //! acquired it. Both are invisible with plain mutexes but are flagged by the
 //! GLS debug mode.
 
+// The simulated system busy-loops and sleeps stand in for real I/O and
+// compute latencies; wall-clock pacing is the point (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

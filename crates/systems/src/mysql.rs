@@ -18,6 +18,10 @@
 //! outside any lock, which lowers lock traffic exactly like a disk-bound
 //! LinkBench run.
 
+// The simulated system busy-loops and sleeps stand in for real I/O and
+// compute latencies; wall-clock pacing is the point (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -13,6 +13,10 @@
 //! a TPC-C-flavoured transaction mix (new-order / payment / stock-level) over
 //! a warehouse/district/stock schema stored in B-trees.
 
+// The simulated system busy-loops and sleeps stand in for real I/O and
+// compute latencies; wall-clock pacing is the point (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

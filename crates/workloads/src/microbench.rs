@@ -11,6 +11,10 @@
 //! placement; on platforms without affinity support the pin is a no-op and
 //! the scheduler places them, as before.
 
+// Workload think-time is modeled as real wall-clock sleeps by design
+// (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -9,6 +9,10 @@
 //! same lock reached through the GLS service (address mapping + lock cache +
 //! adaptivity), and [`std::sync::RwLock`] as the system baseline.
 
+// Workload think-time is modeled as real wall-clock sleeps by design
+// (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Enforce the workspace's `Ordering::SeqCst` allowlist.
+
+SeqCst is almost never what a lock protocol wants: it hides missing
+acquire/release pairs behind a global total order the hardware pays for
+on every access, and it makes the *intended* synchronisation edge
+impossible to read off the code. Every atomic in the lock crates is
+expected to name the edge it implements (Acquire/Release/AcqRel) or to
+be explicitly order-free (Relaxed).
+
+The deadlock detector is the deliberate exception: its waits-for
+bookkeeping relies on a total order over edge stores from *different*
+threads (two threads closing a cycle must each see the other's edge —
+see the module docs of `crates/core/src/gls/debug.rs`), which is
+precisely the guarantee only SeqCst gives. Those modules are allowlisted
+below, each with the reason recorded here.
+
+Any other `SeqCst` in workspace Rust sources fails CI. To add one,
+either fix the ordering (usual case) or add the file to ALLOWLIST with a
+written reason.
+
+Usage: check_ordering.py [ROOT]
+"""
+
+import pathlib
+import re
+import sys
+
+# file (relative to repo root) -> why SeqCst is the correct order there
+ALLOWLIST = {
+    "crates/core/src/gls/debug.rs": (
+        "waits-for edges: threads racing to close a cycle must agree on a "
+        "single total order of edge stores, or both can miss the cycle"
+    ),
+    "crates/core/src/gls/entry.rs": (
+        "owner word: the detector's owner walk pairs with debug.rs edge "
+        "stores and needs the same total order (see entry.rs owner docs)"
+    ),
+    "crates/clht/src/table.rs": (
+        "resizing flag: publication must be totally ordered against bucket "
+        "in-progress bits across helper threads during a resize"
+    ),
+}
+
+# Directories that are not workspace sources.
+SKIP_DIRS = {"target", "vendor", ".git"}
+
+SEQCST = re.compile(r"\bSeqCst\b")
+LINE_COMMENT = re.compile(r"(^|[^:])//.*$")
+
+
+def strip_comments(line):
+    """Drop `//`/`///`/`//!` comment text (good enough: the workspace has
+    no SeqCst inside string literals or block comments)."""
+    return LINE_COMMENT.sub(r"\1", line)
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    violations = []
+    for path in sorted(root.rglob("*.rs")):
+        rel = path.relative_to(root)
+        if SKIP_DIRS & set(rel.parts):
+            continue
+        if str(rel) in ALLOWLIST:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if SEQCST.search(strip_comments(line)):
+                violations.append(f"{rel}:{lineno}: {line.strip()}")
+    if violations:
+        print("SeqCst outside the allowlist (see scripts/check_ordering.py):")
+        for v in violations:
+            print(f"  {v}")
+        print(
+            f"\n{len(violations)} violation(s). Name the synchronisation edge "
+            "(Acquire/Release/AcqRel/Relaxed) or allowlist the file with a "
+            "written reason."
+        )
+        return 1
+    print(f"check_ordering: OK ({len(ALLOWLIST)} allowlisted files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Require a written safety argument at every `unsafe` site.
+
+`unsafe_op_in_unsafe_fn` is denied workspace-wide (see the root
+Cargo.toml `[workspace.lints.rust]`), so every unsafe *operation* is
+wrapped in an explicit `unsafe { .. }` block — which makes the block the
+natural place to demand the proof obligation be discharged in writing:
+
+- every `unsafe {` block and `unsafe impl` must be preceded by a
+  `// SAFETY:` comment (within the few lines above, blank lines and
+  attributes allowed in between);
+- every `unsafe fn` must document its contract in a `/// # Safety`
+  doc section (what the *caller* must uphold), since the obligation
+  lives at the call sites, not inside the body.
+
+An unsafe block whose justification is "obviously fine" still gets a
+comment — if it is obvious, the comment is one line.
+
+Usage: check_safety_comments.py [ROOT]
+"""
+
+import pathlib
+import re
+import sys
+
+SKIP_DIRS = {"target", "vendor", ".git"}
+
+UNSAFE_BLOCK = re.compile(r"(^|[^'\w])unsafe\s*\{")
+UNSAFE_IMPL = re.compile(r"(^|[^'\w])unsafe\s+impl\b")
+UNSAFE_FN = re.compile(r"(^|[^'\w])unsafe\s+(extern\s+\"[^\"]*\"\s+)?fn\b")
+# Accept qualified forms like `// SAFETY (here and below):` too.
+SAFETY_COMMENT = re.compile(r"//\s*SAFETY\b", re.IGNORECASE)
+SAFETY_DOC = re.compile(r"///?\s*#\s*Safety", re.IGNORECASE)
+# How far above the site we look for the comment. A plain window (no
+# stop-at-code rule) deliberately tolerates the two idioms a stricter
+# scan rejects: one SAFETY comment shared by consecutive `unsafe impl`s,
+# and a comment above the compound expression that contains the block.
+LOOKBACK = 6
+
+COMMENT = re.compile(r"//.*$")
+
+
+def code_part(line):
+    """The non-comment part of a line (no block-comment handling; the
+    workspace does not use `/* */`)."""
+    return COMMENT.sub("", line)
+
+
+def has_safety_above(lines, idx, pattern):
+    lo = max(0, idx - LOOKBACK)
+    return any(pattern.search(lines[j]) for j in range(lo, idx))
+
+
+DOC_OR_ATTR = re.compile(r"^\s*(///|//|#\[)")
+
+
+def has_safety_doc(lines, idx):
+    """Walk the doc-comment/attribute block attached to the item at `idx`
+    (however long) looking for a `# Safety` section."""
+    j = idx - 1
+    while j >= 0 and DOC_OR_ATTR.match(lines[j]):
+        if SAFETY_DOC.search(lines[j]):
+            return True
+        j -= 1
+    return False
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    violations = []
+    for path in sorted(root.rglob("*.rs")):
+        rel = path.relative_to(root)
+        if SKIP_DIRS & set(rel.parts):
+            continue
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            code = code_part(line)
+            if UNSAFE_FN.search(code):
+                if not has_safety_doc(lines, i):
+                    violations.append(
+                        f"{rel}:{i + 1}: unsafe fn without a `# Safety` doc section"
+                    )
+            elif UNSAFE_IMPL.search(code) or UNSAFE_BLOCK.search(code):
+                if not SAFETY_COMMENT.search(line) and not has_safety_above(
+                    lines, i, SAFETY_COMMENT
+                ):
+                    violations.append(
+                        f"{rel}:{i + 1}: unsafe site without a `// SAFETY:` comment"
+                    )
+    if violations:
+        print("unsafe without a written safety argument:")
+        for v in violations:
+            print(f"  {v}")
+        print(
+            f"\n{len(violations)} violation(s). State why the operation is "
+            "sound in a `// SAFETY:` comment directly above it (or a "
+            "`# Safety` doc section for an unsafe fn)."
+        )
+        return 1
+    print("check_safety_comments: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

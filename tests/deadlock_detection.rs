@@ -1,5 +1,9 @@
 //! Runtime deadlock detection (§4.2): real threads, real locks, real cycle.
 
+// Integration stress tests drive real OS threads on wall-clock time;
+// raw std sync and sleeps are the point here (see clippy.toml).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Duration;

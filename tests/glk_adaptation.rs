@@ -2,6 +2,10 @@
 //! mode the paper predicts for each contention regime and must keep mutual
 //! exclusion while switching.
 
+// Integration stress tests drive real OS threads on wall-clock time;
+// raw std sync and sleeps are the point here (see clippy.toml).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -134,6 +138,8 @@ fn mutual_exclusion_holds_across_thousands_of_adaptations() {
     // Tiny periods force constant re-evaluation; a non-atomic counter exposes
     // any mutual-exclusion gap during mode switches.
     struct Shared(std::cell::UnsafeCell<u64>);
+    // SAFETY: the cell is only touched while holding the lock under test;
+    // that exclusion is exactly what the test verifies.
     unsafe impl Sync for Shared {}
 
     let lock = Arc::new(GlkLock::with_config(
@@ -151,6 +157,7 @@ fn mutual_exclusion_holds_across_thousands_of_adaptations() {
             std::thread::spawn(move || {
                 for _ in 0..iters {
                     lock.lock();
+                    // SAFETY: written while holding the lock under test.
                     unsafe { *shared.0.get() += 1 };
                     lock.unlock();
                 }
@@ -160,6 +167,7 @@ fn mutual_exclusion_holds_across_thousands_of_adaptations() {
     for h in handles {
         h.join().unwrap();
     }
+    // SAFETY: all worker threads are joined; nothing races this read.
     assert_eq!(unsafe { *shared.0.get() }, threads as u64 * iters);
     // `num_acquired` counts low-level acquisitions, which includes the extra
     // acquisition performed when a thread adapts the mode and retries, so it
@@ -181,10 +189,10 @@ fn try_lock_never_blocks_and_never_double_grants() {
             std::thread::spawn(move || {
                 for _ in 0..50_000 {
                     if lock.try_lock() {
-                        if holders.fetch_add(1, Ordering::SeqCst) != 0 {
-                            violations.fetch_add(1, Ordering::SeqCst);
+                        if holders.fetch_add(1, Ordering::AcqRel) != 0 {
+                            violations.fetch_add(1, Ordering::Relaxed);
                         }
-                        holders.fetch_sub(1, Ordering::SeqCst);
+                        holders.fetch_sub(1, Ordering::AcqRel);
                         lock.unlock();
                     }
                 }
@@ -194,5 +202,5 @@ fn try_lock_never_blocks_and_never_double_grants() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(violations.load(Ordering::SeqCst), 0);
+    assert_eq!(violations.load(Ordering::Relaxed), 0);
 }

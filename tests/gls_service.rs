@@ -13,6 +13,8 @@ fn service_protects_disjoint_counters_per_address() {
     const SLOTS: usize = 32;
     // Plain (non-atomic) counters protected purely by GLS address locks.
     struct Slots(std::cell::UnsafeCell<[u64; SLOTS]>);
+    // SAFETY: the cell is only touched while holding the lock under test;
+    // that exclusion is exactly what the test verifies.
     unsafe impl Sync for Slots {}
     let slots = Arc::new(Slots(std::cell::UnsafeCell::new([0; SLOTS])));
 
@@ -27,6 +29,7 @@ fn service_protects_disjoint_counters_per_address() {
                     let slot = (i * 7 + t) % SLOTS;
                     let addr = 0x9000 + slot * 8;
                     svc.lock_addr(addr).unwrap();
+                    // SAFETY: written while holding the lock under test.
                     unsafe {
                         (*slots.0.get())[slot] += 1;
                     }
@@ -38,6 +41,7 @@ fn service_protects_disjoint_counters_per_address() {
     for h in handles {
         h.join().unwrap();
     }
+    // SAFETY: all worker threads are joined; nothing races this read.
     let total: u64 = unsafe { (*slots.0.get()).iter().sum() };
     assert_eq!(total, (threads * iters) as u64);
     assert_eq!(svc.lock_count(), SLOTS);
@@ -49,6 +53,8 @@ fn every_explicit_algorithm_provides_mutual_exclusion_through_the_service() {
         let svc = Arc::new(GlsService::new());
         let counter = Arc::new(AtomicU64::new(0));
         struct Cell(std::cell::UnsafeCell<u64>);
+        // SAFETY: the cell is only touched while holding the lock under
+        // test; that exclusion is exactly what the test verifies.
         unsafe impl Sync for Cell {}
         let raw = Arc::new(Cell(std::cell::UnsafeCell::new(0)));
         let handles: Vec<_> = (0..6)
@@ -59,6 +65,7 @@ fn every_explicit_algorithm_provides_mutual_exclusion_through_the_service() {
                 std::thread::spawn(move || {
                     for _ in 0..5_000 {
                         svc.lock_with(kind, 0x4242).unwrap();
+                        // SAFETY: written while holding the lock under test.
                         unsafe { *raw.0.get() += 1 };
                         counter.fetch_add(1, Ordering::Relaxed);
                         svc.unlock_with(kind, 0x4242).unwrap();
@@ -70,6 +77,7 @@ fn every_explicit_algorithm_provides_mutual_exclusion_through_the_service() {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 30_000, "algorithm {kind}");
+        // SAFETY: all worker threads are joined; nothing races this read.
         assert_eq!(unsafe { *raw.0.get() }, 30_000, "algorithm {kind}");
         assert_eq!(svc.algorithm_of(0x4242), Some(kind));
     }
@@ -140,11 +148,11 @@ fn trylock_contention_only_one_winner_at_a_time() {
             std::thread::spawn(move || {
                 for _ in 0..30_000 {
                     if svc.try_lock_addr(0x777).unwrap() {
-                        if concurrent.fetch_add(1, Ordering::SeqCst) != 0 {
-                            violations.fetch_add(1, Ordering::SeqCst);
+                        if concurrent.fetch_add(1, Ordering::AcqRel) != 0 {
+                            violations.fetch_add(1, Ordering::Relaxed);
                         }
                         acquired.fetch_add(1, Ordering::Relaxed);
-                        concurrent.fetch_sub(1, Ordering::SeqCst);
+                        concurrent.fetch_sub(1, Ordering::AcqRel);
                         svc.unlock_addr(0x777).unwrap();
                     }
                 }
@@ -154,7 +162,7 @@ fn trylock_contention_only_one_winner_at_a_time() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(violations.load(Ordering::SeqCst), 0);
+    assert_eq!(violations.load(Ordering::Relaxed), 0);
     assert!(acquired.load(Ordering::Relaxed) > 0);
 }
 

@@ -3,6 +3,10 @@
 //! service mode, and the debug-mode guarantees (no phantom deadlock
 //! reports from sleeping waiters).
 
+// Integration stress tests drive real OS threads on wall-clock time;
+// raw std sync and sleeps are the point here (see clippy.toml).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -73,6 +77,8 @@ fn glk_with_parking_backend_keeps_exclusion_through_the_service() {
         ),
     ));
     struct Cell(std::cell::UnsafeCell<u64>);
+    // SAFETY: the cell is only touched while holding the lock under test;
+    // that exclusion is exactly what the test verifies.
     unsafe impl Sync for Cell {}
     let value = Arc::new(Cell(std::cell::UnsafeCell::new(0)));
     let handles: Vec<_> = (0..8)
@@ -82,6 +88,7 @@ fn glk_with_parking_backend_keeps_exclusion_through_the_service() {
             std::thread::spawn(move || {
                 for _ in 0..5_000 {
                     svc.lock_addr(0xAB00).unwrap();
+                    // SAFETY: written while holding the lock under test.
                     unsafe { *value.0.get() += 1 };
                     svc.unlock_addr(0xAB00).unwrap();
                 }
@@ -91,6 +98,7 @@ fn glk_with_parking_backend_keeps_exclusion_through_the_service() {
     for h in handles {
         h.join().unwrap();
     }
+    // SAFETY: all worker threads are joined; nothing races this read.
     assert_eq!(unsafe { *value.0.get() }, 40_000);
 }
 
@@ -171,7 +179,7 @@ fn notify_one_hands_over_fifo_and_notify_all_drains() {
                 svc.lock_addr(0xEE00).unwrap();
                 svc.wait_addr(&cv, 0xEE00).unwrap();
                 svc.unlock_addr(0xEE00).unwrap();
-                woken.fetch_add(1, Ordering::SeqCst);
+                woken.fetch_add(1, Ordering::Release);
             })
         })
         .collect();
@@ -180,11 +188,11 @@ fn notify_one_hands_over_fifo_and_notify_all_drains() {
     }
     assert!(cv.notify_one());
     let deadline = Instant::now() + Duration::from_secs(5);
-    while woken.load(Ordering::SeqCst) < 1 && Instant::now() < deadline {
+    while woken.load(Ordering::Acquire) < 1 && Instant::now() < deadline {
         std::thread::yield_now();
     }
     assert_eq!(
-        woken.load(Ordering::SeqCst),
+        woken.load(Ordering::Acquire),
         1,
         "notify_one wakes exactly one"
     );
@@ -192,7 +200,7 @@ fn notify_one_hands_over_fifo_and_notify_all_drains() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(woken.load(Ordering::SeqCst), 4);
+    assert_eq!(woken.load(Ordering::Acquire), 4);
     assert_eq!(cv.waiters(), 0);
 }
 
@@ -273,6 +281,8 @@ fn condvar_requeue_mpmc_loses_no_items() {
     // notify), consumers wait in the standard predicate loop. Every
     // produced item must be consumed exactly once.
     struct Queue(std::cell::UnsafeCell<std::collections::VecDeque<u64>>);
+    // SAFETY: the queue cell is only touched while holding the service
+    // mutex at `addr`.
     unsafe impl Sync for Queue {}
     const PRODUCERS: u64 = 3;
     const CONSUMERS: usize = 4;
@@ -393,7 +403,7 @@ fn requeued_waiters_survive_a_backend_migration() {
                 svc.lock_addr(addr).unwrap();
                 svc.wait_addr(&cv, addr).unwrap();
                 svc.unlock_addr(addr).unwrap();
-                woken.fetch_add(1, Ordering::SeqCst);
+                woken.fetch_add(1, Ordering::Release);
             })
         })
         .collect();
@@ -412,12 +422,12 @@ fn requeued_waiters_survive_a_backend_migration() {
     }
     svc.unlock_addr(addr).unwrap();
     let deadline = Instant::now() + Duration::from_secs(10);
-    while woken.load(Ordering::SeqCst) < 3 {
+    while woken.load(Ordering::Acquire) < 3 {
         assert!(
             Instant::now() < deadline,
             "requeued waiters stranded across the backend migration \
              ({} of 3 woke)",
-            woken.load(Ordering::SeqCst)
+            woken.load(Ordering::Acquire)
         );
         std::thread::sleep(Duration::from_millis(1));
     }

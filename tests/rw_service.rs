@@ -2,6 +2,10 @@
 //! consistency under mixed reader/writer stress with deadlock detection
 //! enabled, and writer liveness under continuous reader churn.
 
+// Integration stress tests drive real OS threads on wall-clock time;
+// raw std sync and sleeps are the point here (see clippy.toml).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,6 +46,8 @@ fn rw_guards_share_and_exclude_through_the_service() {
 #[test]
 fn mixed_rw_stress_with_deadlock_detection_stays_clean() {
     struct Shared(std::cell::UnsafeCell<(u64, u64)>);
+    // SAFETY: the cell is only touched while holding the lock under test;
+    // that exclusion is exactly what the test verifies.
     unsafe impl Sync for Shared {}
 
     let svc = Arc::new(GlsService::with_config(
@@ -63,6 +69,7 @@ fn mixed_rw_stress_with_deadlock_detection_stays_clean() {
                         // order, so never a deadlock).
                         svc.write_lock_addr(outer).unwrap();
                         svc.write_lock_addr(inner).unwrap();
+                        // SAFETY: written while holding the write lock under test.
                         unsafe {
                             (*shared.0.get()).0 += 1;
                             (*shared.0.get()).1 += 1;
@@ -73,6 +80,7 @@ fn mixed_rw_stress_with_deadlock_detection_stays_clean() {
                         // Reader: shared on the outer lock; the pair must
                         // never be observed torn.
                         svc.read_lock_addr(outer).unwrap();
+                        // SAFETY: read under the read lock; writers are excluded.
                         let (a, b) = unsafe { *shared.0.get() };
                         assert_eq!(a, b, "torn read under the service rw lock");
                         svc.read_unlock_addr(outer).unwrap();
@@ -85,6 +93,7 @@ fn mixed_rw_stress_with_deadlock_detection_stays_clean() {
         h.join().unwrap();
     }
 
+    // SAFETY: all worker threads are joined; nothing races this read.
     let (a, b) = unsafe { *shared.0.get() };
     assert_eq!(a, b);
     assert!(a > 0, "writers must have made progress");

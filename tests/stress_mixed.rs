@@ -70,6 +70,8 @@ fn per_thread_lock_cache_survives_interleaved_addresses() {
     // lock cache keeps missing; correctness must not depend on hits.
     let svc = Arc::new(GlsService::new());
     struct Pair(std::cell::UnsafeCell<(u64, u64)>);
+    // SAFETY: the cell is only touched while holding the lock under test;
+    // that exclusion is exactly what the test verifies.
     unsafe impl Sync for Pair {}
     let pair = Arc::new(Pair(std::cell::UnsafeCell::new((0, 0))));
 
@@ -80,10 +82,12 @@ fn per_thread_lock_cache_survives_interleaved_addresses() {
             std::thread::spawn(move || {
                 for _ in 0..10_000 {
                     svc.lock_addr(0xAAA0).unwrap();
+                    // SAFETY: written while holding the lock under test.
                     unsafe { (*pair.0.get()).0 += 1 };
                     svc.unlock_addr(0xAAA0).unwrap();
 
                     svc.lock_addr(0xBBB0).unwrap();
+                    // SAFETY: written while holding the lock under test.
                     unsafe { (*pair.0.get()).1 += 1 };
                     svc.unlock_addr(0xBBB0).unwrap();
                 }
@@ -93,6 +97,7 @@ fn per_thread_lock_cache_survives_interleaved_addresses() {
     for h in handles {
         h.join().unwrap();
     }
+    // SAFETY: all worker threads are joined; nothing races this read.
     let (a, b) = unsafe { *pair.0.get() };
     assert_eq!(a, 80_000);
     assert_eq!(b, 80_000);

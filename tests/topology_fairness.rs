@@ -11,6 +11,10 @@
 //!   contended workload settles in a *spin* mode when the workers fit the
 //!   machine and in *blocking* mutex mode when they exceed it.
 
+// Integration stress tests drive real OS threads on wall-clock time;
+// raw std sync and sleeps are the point here (see clippy.toml).
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
