@@ -10,7 +10,7 @@
 //! thrashes from 2 locks on, the set-associative cache holds up to
 //! `CACHE_SETS × CACHE_WAYS` mappings per thread.
 //!
-//! Four flavors per working-set size:
+//! Five flavors per working-set size:
 //!
 //! * `raw_ttas`    — a plain [`TtasLock`] per address: the floor.
 //! * `gls_cached`  — GLS with TTAS entries, per-thread lock cache on.
@@ -19,11 +19,16 @@
 //!   cache buys; the gap to `raw_ttas` is the total service overhead.
 //! * `gls_profiled`— profile mode, measuring what enabling the profiler
 //!   costs on the fast path now that its stats are sharded per thread.
+//! * `gls_sampled` — profile mode with the adaptive sampling gate
+//!   (`GlsConfig::with_sampling`): the cycle counter is read on every Nth
+//!   acquisition only, with N adapted per thread toward the samples/sec
+//!   budget. Acquisition *counts* stay exact either way.
 //!
-//! A second, contended section compares normal vs profile mode on **one
-//! shared** lock across threads: pre-sharding, the profiler serialized
-//! contended acquirers on a shared stat cacheline before they even reached
-//! the lock word.
+//! A second, contended section compares normal vs profile mode (full
+//! measurement and sampled) on **one shared** lock across threads:
+//! pre-sharding, the profiler serialized contended acquirers on a shared
+//! stat cacheline before they even reached the lock word; sampling removes
+//! most of the remaining timestamp cost.
 //!
 //! Worker threads are pinned round-robin over the hardware contexts; the
 //! thread sweep runs up to one worker per context (the multi-core headline)
@@ -54,6 +59,11 @@ use gls_locks::{LockKind, RawLock, TtasLock};
 use gls_runtime::spin_cycles;
 use gls_workloads::report::SeriesTable;
 
+/// Sampling budget used by the `gls_sampled` flavors: plenty of fidelity
+/// (10k measured acquisitions per second per thread) while keeping the two
+/// `rdtsc` reads off virtually every fast-path acquisition.
+const SAMPLING_BUDGET: u64 = 10_000;
+
 /// GLS service flavors measured against the raw lock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Flavor {
@@ -61,14 +71,16 @@ enum Flavor {
     GlsCached,
     GlsUncached,
     GlsProfiled,
+    GlsSampled,
 }
 
 impl Flavor {
-    const ALL: [Flavor; 4] = [
+    const ALL: [Flavor; 5] = [
         Flavor::RawTtas,
         Flavor::GlsCached,
         Flavor::GlsUncached,
         Flavor::GlsProfiled,
+        Flavor::GlsSampled,
     ];
 
     fn name(self) -> &'static str {
@@ -77,6 +89,7 @@ impl Flavor {
             Flavor::GlsCached => "gls_cached",
             Flavor::GlsUncached => "gls_uncached",
             Flavor::GlsProfiled => "gls_profiled",
+            Flavor::GlsSampled => "gls_sampled",
         }
     }
 
@@ -89,6 +102,10 @@ impl Flavor {
             Flavor::GlsCached => Some(GlsService::with_config(base)),
             Flavor::GlsUncached => Some(GlsService::with_config(base.with_lock_cache(false))),
             Flavor::GlsProfiled => Some(GlsService::with_config(base.with_mode(GlsMode::Profile))),
+            Flavor::GlsSampled => Some(GlsService::with_config(
+                base.with_mode(GlsMode::Profile)
+                    .with_sampling(SAMPLING_BUDGET),
+            )),
         }
     }
 }
@@ -205,14 +222,42 @@ struct SharedPoint {
     mops_per_sec: f64,
 }
 
+/// Profiler configuration of a shared-lock point: off, on with full
+/// measurement (every acquisition timed), or on with adaptive sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SharedMode {
+    Normal,
+    ProfiledFull,
+    ProfiledSampled,
+}
+
+impl SharedMode {
+    const ALL: [SharedMode; 3] = [
+        SharedMode::Normal,
+        SharedMode::ProfiledFull,
+        SharedMode::ProfiledSampled,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            SharedMode::Normal => "gls_normal",
+            SharedMode::ProfiledFull => "gls_profiled",
+            SharedMode::ProfiledSampled => "gls_sampled",
+        }
+    }
+}
+
 /// All threads hammer **one** shared GLS lock; compares normal mode against
-/// profile mode, i.e. what turning the profiler on costs under contention.
-fn run_shared_point(profiled: bool, threads: usize) -> SharedPoint {
+/// profile mode (full measurement and adaptive sampling), i.e. what turning
+/// the profiler on costs under contention.
+fn run_shared_point(mode: SharedMode, threads: usize) -> SharedPoint {
     let config = GlsConfig::default().with_default_kind(LockKind::Ttas);
-    let config = if profiled {
-        config.with_mode(GlsMode::Profile)
-    } else {
-        config
+    let config = match mode {
+        SharedMode::Normal => config,
+        SharedMode::ProfiledFull => config.with_mode(GlsMode::Profile),
+        SharedMode::ProfiledSampled => config
+            .with_mode(GlsMode::Profile)
+            .with_sampling(SAMPLING_BUDGET),
     };
     let service = Arc::new(GlsService::with_config(config));
     const SHARED_ADDR: usize = 0x5EED_0000;
@@ -244,11 +289,7 @@ fn run_shared_point(profiled: bool, threads: usize) -> SharedPoint {
     let elapsed = start.elapsed();
     let ops: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     SharedPoint {
-        mode: if profiled {
-            "gls_profiled"
-        } else {
-            "gls_normal"
-        },
+        mode: mode.name(),
         threads,
         mops_per_sec: ops as f64 / elapsed.as_secs_f64() / 1e6,
     }
@@ -325,19 +366,20 @@ fn main() {
 
     let mut shared_points = Vec::new();
     let mut shared_table = SeriesTable::new(
-        "Figure 17b: one shared lock, profiler off vs on (Mops/s)",
+        "Figure 17b: one shared lock, profiler off vs full vs sampled (Mops/s)",
         "threads",
-        vec!["gls_normal".to_string(), "gls_profiled".to_string()],
+        SharedMode::ALL
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect(),
     );
     for &n in &threads {
-        let normal = run_shared_point(false, n);
-        let profiled = run_shared_point(true, n);
-        shared_table.push_row(
-            n.to_string(),
-            vec![normal.mops_per_sec, profiled.mops_per_sec],
-        );
-        shared_points.push(normal);
-        shared_points.push(profiled);
+        let row: Vec<SharedPoint> = SharedMode::ALL
+            .iter()
+            .map(|&m| run_shared_point(m, n))
+            .collect();
+        shared_table.push_row(n.to_string(), row.iter().map(|p| p.mops_per_sec).collect());
+        shared_points.extend(row);
     }
     shared_table.print();
 

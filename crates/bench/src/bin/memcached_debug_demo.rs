@@ -5,6 +5,11 @@
 //! issue log — which must contain exactly the two warnings the paper shows
 //! (an uninitialized `stats_lock` and an already-free
 //! `slabs_rebalance_lock`), and nothing else.
+//!
+//! While the workload runs, a background telemetry publisher prints a
+//! [`gls::TelemetrySnapshot`] every 100 ms — the always-on observability
+//! view of the same run. `--snapshot-json PATH` additionally writes the
+//! final snapshot as JSON so CI can validate it against the snapshot schema.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -15,6 +20,17 @@ use gls_systems::memcached::{self, MemcachedConfig};
 use gls_systems::LockProvider;
 
 fn main() {
+    let mut snapshot_json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--snapshot-json" => {
+                snapshot_json = Some(args.next().expect("--snapshot-json needs a path"));
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
     banner(
         "§5.1 debug demo",
         "detecting the two latent Memcached locking bugs with GLS debug mode",
@@ -29,11 +45,26 @@ fn main() {
     }
     .with_legacy_bugs(true);
 
+    // Periodic observability: print a telemetry snapshot while the workload
+    // runs, exactly as a long-lived server would.
+    let publisher = service.spawn_telemetry_publisher(Duration::from_millis(100), |snapshot| {
+        println!("{snapshot}");
+    });
+
     let result = memcached::run(&provider, &config);
+    publisher.stop();
     println!(
         "# workload finished: {} operations in {:?}",
         result.operations, result.elapsed
     );
+
+    let snapshot = service.telemetry_snapshot();
+    println!("# final telemetry snapshot:");
+    println!("{snapshot}");
+    if let Some(path) = snapshot_json {
+        std::fs::write(&path, snapshot.to_json()).expect("writing the snapshot JSON");
+        println!("# wrote {path}");
+    }
 
     println!("# issues reported by GLS:");
     let issues = service.issues();

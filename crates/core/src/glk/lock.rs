@@ -16,6 +16,38 @@ pub(crate) const AUTO_UNDECIDED: u8 = 0;
 pub(crate) const AUTO_PER_LOCK: u8 = 1;
 pub(crate) const AUTO_PARKING: u8 = 2;
 
+// Raw std atomics: process-wide migration counters are pure telemetry,
+// updated on the (rare) migration path, and stay invisible to the model
+// explorer's scheduling points.
+static MIGRATIONS_TO_PARKING: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static MIGRATIONS_TO_PER_LOCK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Cumulative Auto backend migrations (process-wide, since start): how many
+/// times density pressure moved a blocking lock onto the shared parking lot
+/// and how many times relief moved one back to its embedded per-lock mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AutoMigrationStats {
+    /// Migrations onto the word-sized parking-lot backend.
+    pub to_parking: u64,
+    /// Migrations back to the embedded per-lock backend.
+    pub to_per_lock: u64,
+}
+
+impl AutoMigrationStats {
+    /// Total migrations in either direction.
+    pub fn total(&self) -> u64 {
+        self.to_parking + self.to_per_lock
+    }
+}
+
+/// The current process-wide Auto backend-migration counters.
+pub fn auto_migration_stats() -> AutoMigrationStats {
+    AutoMigrationStats {
+        to_parking: MIGRATIONS_TO_PARKING.load(std::sync::atomic::Ordering::Relaxed),
+        to_per_lock: MIGRATIONS_TO_PER_LOCK.load(std::sync::atomic::Ordering::Relaxed),
+    }
+}
+
 /// The density decision: enter the parking lot at the threshold, leave it
 /// below half the threshold (hysteresis damps migration churn).
 pub(crate) fn decide_backend(density: &BlockingDensity, threshold: usize, current: u8) -> u8 {
@@ -130,6 +162,17 @@ impl<T: Default> AutoCore<T> {
         let migrated = target != current;
         if migrated {
             self.backend.store(target, Ordering::Release);
+            let to_parking = target == AUTO_PARKING;
+            if to_parking {
+                MIGRATIONS_TO_PARKING.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            } else {
+                MIGRATIONS_TO_PER_LOCK.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            gls_runtime::flight::record(
+                gls_runtime::flight::FlightEventKind::BackendMigration,
+                self as *const _ as usize,
+                u64::from(to_parking),
+            );
         }
         (current, migrated)
     }
@@ -742,6 +785,11 @@ impl GlkLock {
             }
         }
         self.stats.record_transition();
+        gls_runtime::flight::record(
+            gls_runtime::flight::FlightEventKind::ModeTransition,
+            self as *const _ as usize,
+            (u64::from(current.as_raw()) << 8) | u64::from(target.as_raw()),
+        );
         self.mode.store(target.as_raw(), Ordering::Release);
         // Maintain the blocking-lock density the Auto backend heuristic
         // reads — *after* publishing the mode, so a racing

@@ -31,6 +31,6 @@ pub use config::{
     BlockingBackend, BlockingDensity, DensityHandle, GlkConfig, MonitorHandle,
     DEFAULT_BLOCKING_DENSITY_THRESHOLD,
 };
-pub use lock::{AutoBlockingMutex, GlkLock};
+pub use lock::{auto_migration_stats, AutoBlockingMutex, AutoMigrationStats, GlkLock};
 pub use mode::{GlkMode, ModeTransition};
 pub use rw::{GlkRwLock, GlkRwMode};

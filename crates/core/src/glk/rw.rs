@@ -689,6 +689,11 @@ impl GlkRwLock {
             return false;
         }
         self.stats.record_transition();
+        gls_runtime::flight::record(
+            gls_runtime::flight::FlightEventKind::ModeTransition,
+            self as *const _ as usize,
+            (u64::from(current.as_raw()) << 8) | u64::from(target.as_raw()),
+        );
         self.mode.store(target.as_raw(), Ordering::Release);
         // Maintain the blocking-lock density the Auto backend heuristic
         // reads — after publishing the mode, so a racing

@@ -24,6 +24,10 @@
 //! [`thread_cache_stats`] for tests, benchmarks and profiling.
 
 use std::cell::Cell;
+// Raw std atomics: the retired-stats accumulator is pure telemetry, updated
+// once per thread exit, and stays invisible to the model explorer's
+// scheduling points.
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of sets in the per-thread cache (a power of two: set selection is
 /// a multiply and a shift).
@@ -74,6 +78,23 @@ struct ThreadCache {
     hits: Cell<u64>,
     misses: Cell<u64>,
     invalidations: Cell<u64>,
+}
+
+/// Process-wide accumulator of the counters of *exited* threads: the
+/// thread-local counters are plain `Cell`s (free on the hot path) and
+/// therefore unreadable from other threads, so each cache folds its totals
+/// in here when its thread exits. [`aggregated_cache_stats`] = this
+/// accumulator + the calling thread's own live counters.
+static RETIRED_HITS: AtomicU64 = AtomicU64::new(0);
+static RETIRED_MISSES: AtomicU64 = AtomicU64::new(0);
+static RETIRED_INVALIDATIONS: AtomicU64 = AtomicU64::new(0);
+
+impl Drop for ThreadCache {
+    fn drop(&mut self) {
+        RETIRED_HITS.fetch_add(self.hits.get(), Ordering::Relaxed);
+        RETIRED_MISSES.fetch_add(self.misses.get(), Ordering::Relaxed);
+        RETIRED_INVALIDATIONS.fetch_add(self.invalidations.get(), Ordering::Relaxed);
+    }
 }
 
 thread_local! {
@@ -244,6 +265,36 @@ pub fn reset_thread_cache_stats() {
     });
 }
 
+/// Folds the calling thread's lock-cache counters into the process-wide
+/// accumulator and zeroes them, so a long-lived worker can publish its
+/// counters to [`aggregated_cache_stats`] without exiting. The drop of the
+/// thread-local cache does this automatically at thread exit.
+pub fn flush_thread_cache_stats() {
+    CACHE.with(|cache| {
+        RETIRED_HITS.fetch_add(cache.hits.get(), Ordering::Relaxed);
+        RETIRED_MISSES.fetch_add(cache.misses.get(), Ordering::Relaxed);
+        RETIRED_INVALIDATIONS.fetch_add(cache.invalidations.get(), Ordering::Relaxed);
+        cache.hits.set(0);
+        cache.misses.set(0);
+        cache.invalidations.set(0);
+    });
+}
+
+/// Lock-cache counters aggregated across threads: everything folded into
+/// the process-wide accumulator (threads that exited, plus explicit
+/// [`flush_thread_cache_stats`] calls) plus the calling thread's live
+/// counters. Live counters of *other* running threads are not included —
+/// they are plain `Cell`s and unreadable across threads by design; workers
+/// flush on exit, so the aggregate converges as they finish.
+pub fn aggregated_cache_stats() -> CacheStats {
+    let retired = CacheStats {
+        hits: RETIRED_HITS.load(Ordering::Relaxed),
+        misses: RETIRED_MISSES.load(Ordering::Relaxed),
+        invalidations: RETIRED_INVALIDATIONS.load(Ordering::Relaxed),
+    };
+    retired + thread_cache_stats()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,5 +452,45 @@ mod tests {
         let other = std::thread::spawn(|| probe(1, 0x100)).join().unwrap();
         assert_eq!(other, None);
         assert_eq!(probe(1, 0x100), Some(0xcccc));
+    }
+
+    #[test]
+    fn exited_threads_fold_into_the_aggregate() {
+        let before = aggregated_cache_stats();
+        std::thread::spawn(|| {
+            clear();
+            store(7, 0x700, 0x7007, LIVE);
+            assert!(probe(7, 0x700).is_some()); // 1 hit
+            assert!(probe(7, 0x704).is_none()); // 1 miss
+        })
+        .join()
+        .unwrap();
+        let after = aggregated_cache_stats();
+        // Concurrent tests also touch the cache, so lower-bound the deltas.
+        assert!(after.hits > before.hits);
+        assert!(after.misses > before.misses);
+    }
+
+    #[test]
+    fn flush_publishes_live_counters_without_thread_exit() {
+        std::thread::spawn(|| {
+            clear();
+            reset_thread_cache_stats();
+            store(9, 0x900, 0x9009, LIVE);
+            assert!(probe(9, 0x900).is_some());
+            let live = thread_cache_stats();
+            assert_eq!(live.hits, 1);
+            let before = aggregated_cache_stats();
+            flush_thread_cache_stats();
+            assert_eq!(thread_cache_stats(), CacheStats::default());
+            let after = aggregated_cache_stats();
+            // The flushed hit moved from the live counter to the
+            // accumulator: the aggregate must not have shrunk.
+            assert!(after.hits >= before.hits);
+            // Prevent double-fold at thread exit from inflating totals: the
+            // counters were zeroed, so drop adds nothing.
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -30,9 +30,24 @@ use std::sync::Mutex as StdMutex;
 use std::time::{Duration, Instant};
 
 use gls_runtime::thread_id::MAX_THREADS;
-use gls_runtime::ThreadId;
+use gls_runtime::{FlightEvent, ThreadId};
 
 use crate::error::GlsError;
+
+/// The flight-recorder trail dumped when the deadlock detector confirmed a
+/// cycle: the confirming thread's most recent lock events (slow-path
+/// acquisitions, parks, handoffs, mode transitions …), turning "we
+/// deadlocked" into a replayable event sequence. Collected automatically;
+/// retrieve via [`GlsService::deadlock_trails`](crate::GlsService::deadlock_trails).
+#[derive(Debug, Clone)]
+pub struct DeadlockTrail {
+    /// The thread that confirmed the cycle (whose ring was dumped).
+    pub thread: ThreadId,
+    /// The confirmed waits-for cycle, as reported in the issue.
+    pub cycle: Vec<(ThreadId, usize)>,
+    /// The thread's retained flight events, oldest first.
+    pub events: Vec<FlightEvent>,
+}
 
 /// A candidate deadlock: the waits-for cycle plus the epoch at which every
 /// participating thread's waiting record was observed. Confirmation requires
@@ -97,6 +112,8 @@ pub(crate) struct DebugState {
     /// re-detections under churn) confirm in one period of wall time
     /// instead of stacking them.
     confirmations: StdMutex<HashMap<u64, Instant>>,
+    /// Flight-recorder trails of confirmed deadlocks, in confirmation order.
+    trails: StdMutex<Vec<DeadlockTrail>>,
 }
 
 impl DebugState {
@@ -107,7 +124,20 @@ impl DebugState {
             issues: StdMutex::new(Vec::new()),
             candidates: AtomicU64::new(0),
             confirmations: StdMutex::new(HashMap::new()),
+            trails: StdMutex::new(Vec::new()),
         }
+    }
+
+    /// Stores the flight-recorder trail of a just-confirmed deadlock.
+    pub(crate) fn record_trail(&self, trail: DeadlockTrail) {
+        if let Ok(mut trails) = self.trails.lock() {
+            trails.push(trail);
+        }
+    }
+
+    /// A snapshot of the trails dumped by confirmed deadlocks so far.
+    pub(crate) fn trails(&self) -> Vec<DeadlockTrail> {
+        self.trails.lock().map(|t| t.clone()).unwrap_or_default()
     }
 
     /// Total candidate cycles produced so far (the candidate-rate counter).

@@ -178,6 +178,16 @@ impl AlgorithmLock {
         }
     }
 
+    /// Number of mode transitions this entry's adaptive lock performed
+    /// (0 for non-adaptive algorithms, which never transition).
+    pub(crate) fn transition_count(&self) -> u64 {
+        match self {
+            AlgorithmLock::Glk(l) => l.stats().transitions(),
+            AlgorithmLock::Rw(l) => l.stats().transitions(),
+            _ => 0,
+        }
+    }
+
     /// Access to the underlying GLK lock for entries created by the default
     /// interface (used by the transition log and tests).
     pub(crate) fn as_glk(&self) -> Option<&GlkLock> {
@@ -371,13 +381,36 @@ impl LockEntry {
         holders
     }
 
-    /// The calling thread's profile-stat slot, allocating the sharded set on
-    /// first use.
+    /// The entry's sharded profile statistics, allocating them on first use.
     #[inline]
+    pub(crate) fn profile_shards(&self) -> &ProfileShards {
+        self.profile.get_or_init(|| Box::new(ProfileShards::new()))
+    }
+
+    /// The calling thread's profile-stat slot, allocating the sharded set on
+    /// first use (the service goes through [`Self::profile_shards`] so it
+    /// can also reach the histograms; tests use this shorthand).
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn profile_slot(&self) -> &ShardSlot {
+        self.profile_shards().slot()
+    }
+
+    /// Merged acquisition-latency distribution of measured acquisitions
+    /// (empty if the entry never saw profiled traffic).
+    pub(crate) fn lock_latency_histogram(&self) -> gls_runtime::LatencyHistogram {
         self.profile
-            .get_or_init(|| Box::new(ProfileShards::new()))
-            .slot()
+            .get()
+            .map(|shards| shards.lock_latency_histogram())
+            .unwrap_or_default()
+    }
+
+    /// Merged critical-section-latency distribution of measured releases.
+    pub(crate) fn cs_latency_histogram(&self) -> gls_runtime::LatencyHistogram {
+        self.profile
+            .get()
+            .map(|shards| shards.cs_latency_histogram())
+            .unwrap_or_default()
     }
 
     /// The address a condvar waiter can be requeued onto so the mutex's own

@@ -17,11 +17,20 @@ mod debug;
 mod entry;
 mod holders;
 mod profiler;
+mod sampler;
 mod service;
 mod shards;
+mod telemetry;
 
-pub use cache::{reset_thread_cache_stats, thread_cache_stats, CacheStats, CACHE_SETS, CACHE_WAYS};
+pub use cache::{
+    aggregated_cache_stats, flush_thread_cache_stats, reset_thread_cache_stats, thread_cache_stats,
+    CacheStats, CACHE_SETS, CACHE_WAYS,
+};
 pub use condvar::{GlsCondvar, WaitOutcome};
 pub use config::{GlsConfig, GlsMode};
+pub use debug::DeadlockTrail;
 pub use profiler::{LockProfile, ProfileReport};
 pub use service::{GlsGuard, GlsReadGuard, GlsService, GlsWriteGuard};
+pub use telemetry::{
+    DeadlockTelemetry, HistogramSummary, LockTelemetry, TelemetryPublisher, TelemetrySnapshot,
+};

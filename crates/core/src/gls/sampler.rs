@@ -1,0 +1,203 @@
+//! Per-thread adaptive sampling gate for the profiler (ROADMAP item 5).
+//!
+//! Full-measurement profiling reads the cycle counter twice per acquisition
+//! and samples the queue depth, which costs ~4.6× normal-mode throughput on
+//! a contended lock — too much to leave on in production. The sampler thins
+//! the *measurement* (not the counting: acquisition totals stay exact) to
+//! every Nth acquisition per thread, and adapts N from the thread's own
+//! observed acquisition rate so measured samples land near a configured
+//! budget of samples per second ([`GlsConfig::with_sampling`]). A thread
+//! hammering a hot lock at 10 M acq/s with a 10 k samples/s budget settles
+//! at N ≈ 1000; a thread taking one lock per second is measured every time.
+//!
+//! The state is a handful of `Cell`s in a `thread_local`: no atomics, no
+//! sharing, nothing for the fast path to contend on. The gate costs one
+//! decrement-and-test per acquisition; the rate re-estimate reads the cycle
+//! counter once per [`ADAPT_WINDOW`] acquisitions, which amortizes to
+//! nothing.
+//!
+//! The sampler is per *thread*, not per service: two services with
+//! different budgets on the same thread would fight over the stride. That
+//! trade keeps the gate allocation-free; realistic deployments run one GLS
+//! service per process (the paper's model), and the stride re-converges
+//! within one window either way.
+//!
+//! [`GlsConfig::with_sampling`]: super::GlsConfig::with_sampling
+
+use std::cell::Cell;
+
+use gls_runtime::cycles;
+
+/// Acquisitions between stride re-estimates. A power of two, matching the
+/// spirit of GLK's `adaptation_period`: long enough that the once-per-window
+/// `rdtsc` vanishes, short enough that a phase change (lock goes hot/cold)
+/// is picked up within milliseconds on a busy thread.
+pub(crate) const ADAPT_WINDOW: u64 = 4096;
+
+/// Upper bound on the sampling stride, so a pathological rate estimate can
+/// never silence the profiler for longer than ~a million acquisitions.
+const MAX_STRIDE: u64 = 1 << 20;
+
+struct SamplerState {
+    /// Acquisitions left until the next measured sample.
+    countdown: Cell<u64>,
+    /// Current stride: measure every `stride`-th acquisition.
+    stride: Cell<u64>,
+    /// Acquisitions seen in the current adaptation window.
+    window_acquisitions: Cell<u64>,
+    /// Cycle stamp of the window start (0 = window not started yet).
+    window_start: Cell<u64>,
+}
+
+thread_local! {
+    static SAMPLER: SamplerState = const {
+        SamplerState {
+            // Start by measuring everything: cold threads and low-rate
+            // locks get full fidelity, and the first window's rate estimate
+            // is based on real traffic.
+            countdown: Cell::new(0),
+            stride: Cell::new(1),
+            window_acquisitions: Cell::new(0),
+            window_start: Cell::new(0),
+        }
+    };
+}
+
+/// Counts one profiled acquisition on this thread and decides whether it
+/// should be *measured* (cycle-stamped and queue-sampled). `None` means
+/// full measurement — every acquisition is measured, the historical
+/// profile-mode behaviour.
+#[inline]
+pub(crate) fn should_sample(budget: Option<u64>) -> bool {
+    let Some(budget) = budget else {
+        return true;
+    };
+    SAMPLER.with(|s| {
+        let seen = s.window_acquisitions.get() + 1;
+        if seen >= ADAPT_WINDOW {
+            adapt(s, budget);
+        } else {
+            s.window_acquisitions.set(seen);
+        }
+        let countdown = s.countdown.get();
+        if countdown == 0 {
+            s.countdown.set(s.stride.get().saturating_sub(1));
+            true
+        } else {
+            s.countdown.set(countdown - 1);
+            false
+        }
+    })
+}
+
+/// Re-estimates this thread's acquisition rate over the window just closed
+/// and retargets the stride at `budget` measured samples per second.
+#[cold]
+fn adapt(s: &SamplerState, budget: u64) {
+    let now = cycles::now();
+    let start = s.window_start.get();
+    s.window_start.set(now);
+    s.window_acquisitions.set(0);
+    if start == 0 || now <= start {
+        // First window (or a cycle-counter anomaly): keep the stride.
+        return;
+    }
+    let elapsed_ns = cycles::cycles_to_duration(now - start).as_nanos() as f64;
+    if elapsed_ns <= 0.0 {
+        return;
+    }
+    let rate_per_sec = ADAPT_WINDOW as f64 * 1e9 / elapsed_ns;
+    let stride = (rate_per_sec / budget as f64).ceil();
+    let stride = if stride.is_finite() {
+        (stride as u64).clamp(1, MAX_STRIDE)
+    } else {
+        MAX_STRIDE
+    };
+    s.stride.set(stride);
+    // Don't let a leftover long countdown from a previous (hotter) phase
+    // starve measurement after the rate drops.
+    if s.countdown.get() > stride {
+        s.countdown.set(stride);
+    }
+}
+
+/// Test hook: reset this thread's sampler to its initial state.
+#[cfg(test)]
+pub(crate) fn reset_for_test() {
+    SAMPLER.with(|s| {
+        s.countdown.set(0);
+        s.stride.set(1);
+        s.window_acquisitions.set(0);
+        s.window_start.set(0);
+    });
+}
+
+/// Test hook: this thread's current stride.
+#[cfg(test)]
+pub(crate) fn current_stride() -> u64 {
+    SAMPLER.with(|s| s.stride.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_always_samples() {
+        reset_for_test();
+        for _ in 0..10 {
+            assert!(should_sample(None));
+        }
+    }
+
+    #[test]
+    fn initial_stride_measures_everything() {
+        reset_for_test();
+        for _ in 0..ADAPT_WINDOW - 1 {
+            assert!(should_sample(Some(1)));
+        }
+    }
+
+    #[test]
+    fn high_rate_low_budget_grows_the_stride() {
+        reset_for_test();
+        // Hammer the gate far faster than 1 sample/sec for several windows:
+        // the stride must rise above 1, thinning measurement.
+        for _ in 0..ADAPT_WINDOW * 4 {
+            should_sample(Some(1));
+        }
+        assert!(
+            current_stride() > 1,
+            "stride stayed {} despite a 1/s budget",
+            current_stride()
+        );
+        // And with a huge budget the stride relaxes back down.
+        for _ in 0..ADAPT_WINDOW * 4 {
+            should_sample(Some(u64::MAX / 2));
+        }
+        assert_eq!(current_stride(), 1, "unreachable budget must not thin");
+        reset_for_test();
+    }
+
+    #[test]
+    fn sampled_fraction_matches_stride() {
+        reset_for_test();
+        // Warm up until the stride stabilizes for a 1/s budget.
+        for _ in 0..ADAPT_WINDOW * 2 {
+            should_sample(Some(1));
+        }
+        let stride = current_stride();
+        if stride > 1 {
+            let sampled = (0..ADAPT_WINDOW / 2)
+                .filter(|_| should_sample(Some(1)))
+                .count() as u64;
+            // Expected: about one measurement per `stride` acquisitions.
+            let expected = ADAPT_WINDOW / 2 / stride;
+            assert!(
+                sampled <= expected + 2,
+                "sampled {sampled}, expected about {expected} (stride {stride})"
+            );
+        }
+        reset_for_test();
+    }
+}

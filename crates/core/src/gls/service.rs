@@ -3,7 +3,7 @@
 use gls_sync::atomic::{AtomicU64, Ordering};
 use gls_sync::sync::Mutex as StdMutex;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use gls_clht::{Clht, ClhtStats};
@@ -16,9 +16,13 @@ use crate::glk::ModeTransition;
 use super::cache;
 use super::condvar::{GlsCondvar, WaitOutcome};
 use super::config::{GlsConfig, GlsMode};
-use super::debug::DebugState;
+use super::debug::{DeadlockTrail, DebugState};
 use super::entry::{AlgorithmLock, LockEntry};
 use super::profiler::{LockProfile, ProfileReport};
+use super::sampler;
+use super::telemetry::{
+    DeadlockTelemetry, HistogramSummary, LockTelemetry, TelemetryPublisher, TelemetrySnapshot,
+};
 
 /// Monotonic id generator so per-thread lock caches can tell services apart.
 static NEXT_SERVICE_ID: AtomicU64 = AtomicU64::new(1);
@@ -717,6 +721,80 @@ impl GlsService {
         out
     }
 
+    /// Flight-recorder trails dumped by confirmed deadlocks (debug mode):
+    /// one per confirmed cycle, holding the confirming thread's most recent
+    /// lock events. Empty until a deadlock has been confirmed.
+    pub fn deadlock_trails(&self) -> Vec<DeadlockTrail> {
+        self.debug.trails()
+    }
+
+    /// Captures a [`TelemetrySnapshot`]: per-lock profiles with latency
+    /// distributions, cache/parking/cohort/migration counters and
+    /// deadlock-detector activity. Cheap enough to call periodically — one
+    /// table walk plus relaxed counter reads; concurrent updates may or may
+    /// not be included (the same racy-snapshot semantics every report here
+    /// has).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut locks = Vec::new();
+        let mut glk_transitions = 0;
+        self.table.for_each(|_, ptr| {
+            let entry = Self::entry_ref(ptr);
+            let totals = entry.profile_totals();
+            let transitions = entry.lock.transition_count();
+            glk_transitions += transitions;
+            locks.push(LockTelemetry {
+                addr: entry.addr,
+                algorithm: entry.lock.kind(),
+                acquisitions: totals.acquisitions,
+                avg_queue: totals.avg_queue(),
+                avg_lock_latency: totals.avg_lock_latency(),
+                avg_cs_latency: totals.avg_cs_latency(),
+                lock_latency: HistogramSummary::of(&entry.lock_latency_histogram()),
+                cs_latency: HistogramSummary::of(&entry.cs_latency_histogram()),
+                transitions,
+            });
+        });
+        locks.sort_by(|a, b| {
+            b.avg_queue
+                .partial_cmp(&a.avg_queue)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let confirmed = self
+            .debug
+            .issues()
+            .iter()
+            .filter(|i| matches!(i, GlsError::Deadlock { .. }))
+            .count() as u64;
+        TelemetrySnapshot {
+            mode: self.config.mode,
+            sampling_budget: self.config.sampling_budget,
+            lock_count: self.lock_count(),
+            retired_count: self.retired_count(),
+            locks,
+            cache: cache::aggregated_cache_stats(),
+            parking_lot: gls_locks::ParkingLot::global().stats(),
+            cohort: gls_locks::cohort_stats(),
+            auto_migrations: crate::glk::auto_migration_stats(),
+            glk_transitions,
+            deadlock: DeadlockTelemetry {
+                candidates: self.debug.candidate_count(),
+                confirmed,
+            },
+        }
+    }
+
+    /// Spawns a background thread that publishes a fresh
+    /// [`TelemetrySnapshot`] to `sink` every `interval`. The returned
+    /// handle stops and joins the thread when dropped (or via
+    /// [`TelemetryPublisher::stop`]).
+    pub fn spawn_telemetry_publisher(
+        self: &Arc<Self>,
+        interval: Duration,
+        sink: impl FnMut(&TelemetrySnapshot) + Send + 'static,
+    ) -> TelemetryPublisher {
+        TelemetryPublisher::spawn(Arc::clone(self), interval, sink)
+    }
+
     /// The lock algorithm currently associated with `addr`, if any.
     pub fn algorithm_of(&self, addr: usize) -> Option<LockKind> {
         self.find_entry(addr).map(|e| e.lock.kind())
@@ -910,13 +988,29 @@ impl GlsService {
                 // All statistics go to the calling thread's cache-padded
                 // shard: contended acquirers no longer serialize on a
                 // shared stat cacheline before even reaching the lock word.
-                let slot = entry.profile_slot();
-                slot.record_queue_sample(entry.lock.queue_length());
-                let start = cycles::now();
-                entry.lock.lock();
-                let acquired = cycles::now();
-                slot.record_lock_latency(acquired.wrapping_sub(start));
-                entry.stamp_acquired(acquired);
+                let shards = entry.profile_shards();
+                let slot = shards.slot();
+                if sampler::should_sample(self.config.sampling_budget) {
+                    slot.record_queue_sample(entry.lock.queue_length());
+                    let start = cycles::now();
+                    entry.lock.lock();
+                    let acquired = cycles::now();
+                    let waited = acquired.wrapping_sub(start);
+                    slot.record_lock_latency(waited);
+                    shards.record_lock_latency_hist(waited);
+                    // Fresh stamp *after* the latency bookkeeping: the
+                    // critical-section measurement must not include the
+                    // recording work above, which is warm when every
+                    // acquisition is measured but cold (and several times
+                    // slower) at 1-in-N sampling — a systematic bias the
+                    // sampling-fidelity test catches.
+                    entry.stamp_acquired(cycles::now());
+                } else {
+                    // Unmeasured acquisition: no cycle reads, no queue
+                    // probe, no stamp (so the matching release also skips
+                    // its cycle read) — but the count stays exact.
+                    entry.lock.lock();
+                }
                 slot.record_acquisition();
                 Ok(())
             }
@@ -932,15 +1026,22 @@ impl GlsService {
                 Ok(())
             }
             GlsMode::Profile => {
-                let slot = entry.profile_slot();
-                slot.record_queue_sample(entry.lock.queue_length());
-                let start = cycles::now();
-                entry.lock.read_lock();
-                let acquired = cycles::now();
-                slot.record_lock_latency(acquired.wrapping_sub(start));
-                // No critical-section stamp: shared holders overlap, and
-                // two readers may share a stat shard, so their sections are
-                // not individually timed.
+                let shards = entry.profile_shards();
+                let slot = shards.slot();
+                if sampler::should_sample(self.config.sampling_budget) {
+                    slot.record_queue_sample(entry.lock.queue_length());
+                    let start = cycles::now();
+                    entry.lock.read_lock();
+                    let acquired = cycles::now();
+                    let waited = acquired.wrapping_sub(start);
+                    slot.record_lock_latency(waited);
+                    shards.record_lock_latency_hist(waited);
+                    // No critical-section stamp: shared holders overlap, and
+                    // two readers may share a stat shard, so their sections
+                    // are not individually timed.
+                } else {
+                    entry.lock.read_lock();
+                }
                 slot.record_acquisition();
                 Ok(())
             }
@@ -953,16 +1054,27 @@ impl GlsService {
         match self.config.mode {
             GlsMode::Normal => Ok(entry.lock.try_read_lock()),
             GlsMode::Profile => {
-                let slot = entry.profile_slot();
-                slot.record_queue_sample(entry.lock.queue_length());
-                let start = cycles::now();
-                let acquired = entry.lock.try_read_lock();
-                if acquired {
-                    let now = cycles::now();
-                    slot.record_lock_latency(now.wrapping_sub(start));
-                    slot.record_acquisition();
+                let shards = entry.profile_shards();
+                let slot = shards.slot();
+                if sampler::should_sample(self.config.sampling_budget) {
+                    slot.record_queue_sample(entry.lock.queue_length());
+                    let start = cycles::now();
+                    let acquired = entry.lock.try_read_lock();
+                    if acquired {
+                        let now = cycles::now();
+                        let waited = now.wrapping_sub(start);
+                        slot.record_lock_latency(waited);
+                        shards.record_lock_latency_hist(waited);
+                        slot.record_acquisition();
+                    }
+                    Ok(acquired)
+                } else {
+                    let acquired = entry.lock.try_read_lock();
+                    if acquired {
+                        slot.record_acquisition();
+                    }
+                    Ok(acquired)
                 }
-                Ok(acquired)
             }
             GlsMode::Debug => {
                 let me = ThreadId::current();
@@ -1066,6 +1178,14 @@ impl GlsService {
             }
         };
         if !try_acquire() {
+            // Contended debug-mode acquire: leave a trail for the flight
+            // recorder before (possibly) blocking, so a later confirmed
+            // deadlock can show which contended acquisitions led up to it.
+            gls_runtime::flight::record(
+                gls_runtime::flight::FlightEventKind::SlowPathAcquire,
+                addr,
+                0,
+            );
             loop {
                 let Some(candidate) = self
                     .debug
@@ -1105,6 +1225,35 @@ impl GlsService {
                 self.debug.finish_confirmation(&candidate);
                 if deadlocked {
                     self.debug.clear_waiting(me);
+                    // Dump this thread's flight-recorder trail: the events
+                    // leading up to a confirmed deadlock are exactly the
+                    // trail an operator needs to replay how it formed.
+                    gls_runtime::flight::record(
+                        gls_runtime::flight::FlightEventKind::DeadlockCandidate,
+                        addr,
+                        candidate.cycle.len() as u64,
+                    );
+                    let trail = DeadlockTrail {
+                        thread: me,
+                        cycle: candidate.cycle.clone(),
+                        events: gls_runtime::flight::drain(),
+                    };
+                    eprintln!(
+                        "[GLS] confirmed deadlock ({} threads); dumping {} flight events of thread {}",
+                        candidate.cycle.len().saturating_sub(1),
+                        trail.events.len(),
+                        me.as_u32(),
+                    );
+                    for event in &trail.events {
+                        eprintln!(
+                            "[GLS]   {} addr={:#x} info={} at={}",
+                            event.kind.as_str(),
+                            event.addr,
+                            event.info,
+                            event.at,
+                        );
+                    }
+                    self.debug.record_trail(trail);
                     let issue = GlsError::Deadlock {
                         cycle: candidate.cycle,
                     };
@@ -1140,17 +1289,29 @@ impl GlsService {
         match self.config.mode {
             GlsMode::Normal => Ok(entry.lock.try_lock()),
             GlsMode::Profile => {
-                let slot = entry.profile_slot();
-                slot.record_queue_sample(entry.lock.queue_length());
-                let start = cycles::now();
-                let acquired = entry.lock.try_lock();
-                if acquired {
-                    let now = cycles::now();
-                    slot.record_lock_latency(now.wrapping_sub(start));
-                    entry.stamp_acquired(now);
-                    slot.record_acquisition();
+                let shards = entry.profile_shards();
+                let slot = shards.slot();
+                if sampler::should_sample(self.config.sampling_budget) {
+                    slot.record_queue_sample(entry.lock.queue_length());
+                    let start = cycles::now();
+                    let acquired = entry.lock.try_lock();
+                    if acquired {
+                        let now = cycles::now();
+                        let waited = now.wrapping_sub(start);
+                        slot.record_lock_latency(waited);
+                        shards.record_lock_latency_hist(waited);
+                        // Fresh stamp after the bookkeeping (see lock_impl).
+                        entry.stamp_acquired(cycles::now());
+                        slot.record_acquisition();
+                    }
+                    Ok(acquired)
+                } else {
+                    let acquired = entry.lock.try_lock();
+                    if acquired {
+                        slot.record_acquisition();
+                    }
+                    Ok(acquired)
                 }
-                Ok(acquired)
             }
             GlsMode::Debug => {
                 let me = ThreadId::current();
@@ -1219,9 +1380,10 @@ impl GlsService {
             let acquired_at = entry.take_acquired();
             if acquired_at != 0 {
                 let now = cycles::now();
-                entry
-                    .profile_slot()
-                    .record_cs_latency(now.wrapping_sub(acquired_at));
+                let held = now.wrapping_sub(acquired_at);
+                let shards = entry.profile_shards();
+                shards.slot().record_cs_latency(held);
+                shards.record_cs_latency_hist(held);
             }
         }
         entry.lock.unlock();

@@ -21,11 +21,18 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use gls_locks::CachePadded;
-use gls_runtime::ThreadId;
+use gls_runtime::{AtomicLatencyHistogram, LatencyHistogram, ThreadId};
 
 /// Number of stat shards per profiled entry; a power of two so shard
 /// selection is a mask. Matches the sharding of debug-mode holder sets.
 pub(crate) const PROFILE_SHARDS: usize = 16;
+
+/// Number of histogram shards per profiled entry. Histograms are ~0.5 KiB
+/// each (64 atomic buckets plus extrema), so they get fewer shards than the
+/// one-cacheline counter slots: four shards already keep concurrent
+/// recorders off each other's lines most of the time, at ~4 KiB per
+/// profiled entry instead of the ~17 KiB full sharding would cost.
+pub(crate) const HISTOGRAM_SHARDS: usize = 4;
 
 /// One thread-private slice of an entry's profiling counters. At most one
 /// cacheline, padded so neighboring shards never share.
@@ -70,11 +77,20 @@ impl ShardSlot {
     }
 }
 
-/// The full sharded statistics of one profiled entry (~1 KiB; allocated
+/// One histogram shard: the latency distributions of an entry, recorded on
+/// measured acquisitions/releases only.
+#[derive(Debug, Default)]
+struct HistogramShard {
+    lock_latency: AtomicLatencyHistogram,
+    cs_latency: AtomicLatencyHistogram,
+}
+
+/// The full sharded statistics of one profiled entry (~5 KiB; allocated
 /// lazily, only for entries that see profile-mode traffic).
 #[derive(Debug, Default)]
 pub(crate) struct ProfileShards {
     slots: [CachePadded<ShardSlot>; PROFILE_SHARDS],
+    hists: [HistogramShard; HISTOGRAM_SHARDS],
 }
 
 impl ProfileShards {
@@ -86,6 +102,44 @@ impl ProfileShards {
     #[inline]
     pub(crate) fn slot(&self) -> &ShardSlot {
         &self.slots[ThreadId::current().as_usize() & (PROFILE_SHARDS - 1)]
+    }
+
+    /// The calling thread's histogram shard.
+    #[inline]
+    fn hist(&self) -> &HistogramShard {
+        &self.hists[ThreadId::current().as_usize() & (HISTOGRAM_SHARDS - 1)]
+    }
+
+    /// Records a measured acquisition latency into the distribution.
+    #[inline]
+    pub(crate) fn record_lock_latency_hist(&self, cycles: u64) {
+        self.hist().lock_latency.record(cycles);
+    }
+
+    /// Records a measured critical-section latency into the distribution.
+    #[inline]
+    pub(crate) fn record_cs_latency_hist(&self, cycles: u64) {
+        self.hist().cs_latency.record(cycles);
+    }
+
+    /// Folds the sharded acquisition-latency histograms into one merged
+    /// distribution (same racy-snapshot semantics as [`Self::totals`]).
+    pub(crate) fn lock_latency_histogram(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for shard in &self.hists {
+            shard.lock_latency.fold_into(&mut merged);
+        }
+        merged
+    }
+
+    /// Folds the sharded critical-section-latency histograms into one
+    /// merged distribution.
+    pub(crate) fn cs_latency_histogram(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for shard in &self.hists {
+            shard.cs_latency.fold_into(&mut merged);
+        }
+        merged
     }
 
     /// Folds every shard into plain totals. Concurrent updates may or may
@@ -172,6 +226,39 @@ mod tests {
         assert!((totals.avg_queue() - 2.0).abs() < 1e-9);
         assert!((totals.avg_lock_latency() - 10.0).abs() < 1e-9);
         assert!((totals.avg_cs_latency() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_histograms_merge_across_shards() {
+        let shards = Arc::new(ProfileShards::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let shards = Arc::clone(&shards);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        shards.record_lock_latency_hist(100 << i);
+                        shards.record_cs_latency_hist(10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let lock = shards.lock_latency_histogram();
+        assert_eq!(lock.count(), 4_000);
+        assert_eq!(lock.min(), 100);
+        assert_eq!(lock.max(), 800);
+        let cs = shards.cs_latency_histogram();
+        assert_eq!(cs.count(), 4_000);
+        assert!(cs.p999() >= 10);
+    }
+
+    #[test]
+    fn empty_histograms_merge_empty() {
+        let shards = ProfileShards::new();
+        assert!(shards.lock_latency_histogram().is_empty());
+        assert!(shards.cs_latency_histogram().is_empty());
     }
 
     #[test]

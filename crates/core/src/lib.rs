@@ -73,9 +73,10 @@ pub mod gls;
 pub use error::GlsError;
 pub use glk::{BlockingBackend, GlkConfig, GlkLock, GlkMode, GlkRwLock, GlkRwMode, ModeTransition};
 pub use gls::{
-    reset_thread_cache_stats, thread_cache_stats, CacheStats, GlsCondvar, GlsConfig, GlsGuard,
-    GlsMode, GlsReadGuard, GlsService, GlsWriteGuard, LockProfile, ProfileReport, WaitOutcome,
-    CACHE_SETS, CACHE_WAYS,
+    aggregated_cache_stats, flush_thread_cache_stats, reset_thread_cache_stats, thread_cache_stats,
+    CacheStats, DeadlockTelemetry, DeadlockTrail, GlsCondvar, GlsConfig, GlsGuard, GlsMode,
+    GlsReadGuard, GlsService, GlsWriteGuard, HistogramSummary, LockProfile, LockTelemetry,
+    ProfileReport, TelemetryPublisher, TelemetrySnapshot, WaitOutcome, CACHE_SETS, CACHE_WAYS,
 };
 
 // Re-export the substrate types that appear in this crate's public API so

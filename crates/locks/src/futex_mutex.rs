@@ -180,6 +180,11 @@ impl FutexLock {
 
     #[cold]
     fn lock_slow(&self) {
+        gls_runtime::flight::record(
+            gls_runtime::flight::FlightEventKind::SlowPathAcquire,
+            self.addr(),
+            0,
+        );
         let lot = ParkingLot::global();
         let mut wait = SpinWait::new();
         let mut spins = 0u32;
@@ -348,6 +353,17 @@ impl FutexLock {
                 self.state.store(state, Ordering::Release);
             },
         );
+        // Telemetry outside the bucket critical section: a direct handoff
+        // happened iff the choose closure picked one (it only runs when a
+        // waiter was actually woken).
+        if handoff.get() {
+            crate::telemetry::note_handoff(bypassed.get());
+            gls_runtime::flight::record(
+                gls_runtime::flight::FlightEventKind::Handoff,
+                self.addr(),
+                u64::from(bypassed.get()),
+            );
+        }
     }
 
     /// Releases the lock, choosing the handoff policy explicitly: with

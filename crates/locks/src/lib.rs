@@ -64,6 +64,7 @@ pub mod rw_mutex;
 pub mod rwlock;
 pub mod spin_wait;
 pub mod tas;
+pub mod telemetry;
 #[cfg(test)]
 pub(crate) mod test_support;
 pub mod ticket;
@@ -77,11 +78,12 @@ pub use kind::LockKind;
 pub use lock::{Lock, LockGuard};
 pub use mcs::McsLock;
 pub use mutex::MutexLock;
-pub use park::{ParkResult, ParkingLot, RequeueResult, UnparkResult};
+pub use park::{ParkResult, ParkingLot, ParkingLotStats, RequeueResult, UnparkResult};
 pub use raw::{QueueInformed, RawLock, RawRwLock, RawTryLock};
 pub use rw_mutex::RwMutexLock;
 pub use rwlock::{RwTtasLock, RwTtasRaw, RwTtasReadGuard, RwTtasWriteGuard};
 pub use spin_wait::SpinWait;
 pub use tas::TasLock;
+pub use telemetry::{cohort_stats, CohortStats};
 pub use ticket::TicketLock;
 pub use ttas::TtasLock;

@@ -125,6 +125,22 @@ pub struct RequeueResult {
     pub requeued: usize,
 }
 
+/// A cheap point-in-time view of a [`ParkingLot`]'s internals, for
+/// telemetry snapshots: no bucket lock is taken, every field is a relaxed
+/// counter read (plus the published table's length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParkingLotStats {
+    /// Buckets in the currently published table.
+    pub buckets: usize,
+    /// Waiters currently parked, over all addresses.
+    pub parked: usize,
+    /// Times the bucket table grew (doubled) since the lot was created.
+    pub growth_events: u64,
+    /// Waiters moved between addresses without waking (condvar
+    /// requeue-on-notify traffic) since the lot was created.
+    pub requeued_waiters: u64,
+}
+
 /// The per-thread signal cell every park sleeps on. One exists per thread
 /// (lazily, in a thread-local) and is reused across parks on any address.
 #[derive(Debug, Default)]
@@ -278,6 +294,11 @@ pub struct ParkingLot {
     /// Serializes growth; `try_lock` keeps concurrent parkers from piling
     /// up behind one grower.
     grow_lock: Mutex<()>,
+    /// Completed table growths (raw std atomics: pure telemetry, kept
+    /// invisible to the model explorer's scheduling points).
+    growth_events: std::sync::atomic::AtomicU64,
+    /// Waiters moved by requeue primitives without being woken.
+    requeues: std::sync::atomic::AtomicU64,
 }
 
 impl Default for ParkingLot {
@@ -315,6 +336,8 @@ impl ParkingLot {
             old_tables: Mutex::new(Vec::new()),
             parked: AtomicUsize::new(0),
             grow_lock: Mutex::new(()),
+            growth_events: std::sync::atomic::AtomicU64::new(0),
+            requeues: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -422,6 +445,8 @@ impl ParkingLot {
             .lock()
             .expect("parking-lot retired list poisoned")
             .push(RetiredTable(old_ptr));
+        self.growth_events
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Parks the calling thread on `addr` until an unpark primitive wakes it
@@ -465,13 +490,28 @@ impl ParkingLot {
         // definition, and the user-visible release (`before_sleep`) already
         // ran, so notifiers are not delayed by a growth.
         self.maybe_grow();
-        match timeout {
+        // The thread is committed to sleeping: note it in the flight
+        // recorder (a couple of thread-local stores, nothing shared).
+        gls_runtime::flight::record(
+            gls_runtime::flight::FlightEventKind::Park,
+            addr,
+            park_token as u64,
+        );
+        let result = match timeout {
             None => ParkResult::Unparked(parker.park()),
             Some(timeout) => match parker.park_timeout(timeout) {
                 Some(token) => ParkResult::Unparked(token),
                 None => self.cancel_park(&parker),
             },
+        };
+        if let ParkResult::Unparked(token) = result {
+            gls_runtime::flight::record(
+                gls_runtime::flight::FlightEventKind::Unpark,
+                addr,
+                token as u64,
+            );
         }
+        result
     }
 
     /// Removes a timed-out waiter from whichever bucket it lives in now
@@ -858,6 +898,10 @@ impl ParkingLot {
             }
             result = RequeueResult { unparked, requeued };
             self.parked.fetch_sub(result.unparked, Ordering::Relaxed);
+            if result.requeued > 0 {
+                self.requeues
+                    .fetch_add(result.requeued as u64, std::sync::atomic::Ordering::Relaxed);
+            }
             callback(&result);
         }
         for parker in woken {
@@ -918,6 +962,20 @@ impl ParkingLot {
     /// (racy; tests and diagnostics).
     pub fn total_parked(&self) -> usize {
         self.parked.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time [`ParkingLotStats`] view: bucket count, parked
+    /// population, completed growths and requeued waiters. Racy by design —
+    /// every field is a relaxed counter read, so snapshotting never touches
+    /// a bucket lock.
+    pub fn stats(&self) -> ParkingLotStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        ParkingLotStats {
+            buckets: self.buckets(),
+            parked: self.total_parked(),
+            growth_events: self.growth_events.load(Relaxed),
+            requeued_waiters: self.requeues.load(Relaxed),
+        }
     }
 
     /// Discards every parked waiter without waking anyone. Model builds
@@ -1022,6 +1080,35 @@ mod tests {
             assert_eq!(h.join().unwrap(), ParkResult::Unparked(7));
         }
         assert_eq!(lot.parked_count(0x200), 0);
+    }
+
+    #[test]
+    fn stats_track_growth_and_requeues() {
+        let lot = Arc::new(ParkingLot::with_buckets(1));
+        let fresh = lot.stats();
+        assert_eq!(fresh.buckets, 1);
+        assert_eq!(fresh.parked, 0);
+        assert_eq!(fresh.growth_events, 0);
+        assert_eq!(fresh.requeued_waiters, 0);
+        // Park enough waiters to cross GROW_LOAD_FACTOR on the 1-bucket
+        // table: the table must double and the growth must be counted.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let handles = park_squad(&lot, 0x500, GROW_LOAD_FACTOR + 2, &order);
+        let grown = lot.stats();
+        assert_eq!(grown.parked, GROW_LOAD_FACTOR + 2);
+        assert!(grown.growth_events >= 1, "growth must be counted");
+        assert!(grown.buckets > 1, "table must have grown");
+        // Requeue one waiter onto another address without waking it.
+        let moved = lot.unpark_requeue(0x500, 0x600, 0, 1, DEFAULT_UNPARK_TOKEN, |_| {});
+        assert_eq!(moved.requeued, 1);
+        assert_eq!(lot.stats().requeued_waiters, 1);
+        // Drain everyone.
+        lot.unpark_all(0x500, DEFAULT_UNPARK_TOKEN);
+        lot.unpark_all(0x600, DEFAULT_UNPARK_TOKEN);
+        for h in handles {
+            assert!(h.join().unwrap().is_unparked());
+        }
+        assert_eq!(lot.stats().parked, 0);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Process-wide lock-event counters exported to telemetry snapshots.
+//!
+//! The word-sized locks cannot carry their own counters — the entire reason
+//! [`FutexLock`](crate::FutexLock) exists is that it is one `AtomicU32`,
+//! and a size test enforces that — so the rare-path events worth observing
+//! (direct handoffs and cohort head bypasses) accumulate here, process-wide.
+//! All counters are raw std atomics updated with relaxed ordering on paths
+//! that already took a parking-lot bucket lock, so they cost nothing on the
+//! fast path and stay invisible to the model explorer's scheduling points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HANDOFFS: AtomicU64 = AtomicU64::new(0);
+static HEAD_BYPASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative cohort-handoff counters (process-wide, since start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CohortStats {
+    /// Releases that handed the lock directly to a parked waiter (the
+    /// bounded-bypass handoff path, every
+    /// [`HANDOFF_WAKEUPS`](crate::futex_mutex::HANDOFF_WAKEUPS)-th
+    /// contended wakeup).
+    pub handoffs: u64,
+    /// Handoffs that bypassed the queue head in favour of a waiter from the
+    /// releaser's cache domain (always ≤ `handoffs`; 0 on single-domain
+    /// machines, where cohort preference never fires).
+    pub head_bypasses: u64,
+}
+
+/// Records one direct handoff (and whether it bypassed the queue head).
+#[inline]
+pub(crate) fn note_handoff(bypassed_head: bool) {
+    HANDOFFS.fetch_add(1, Ordering::Relaxed);
+    if bypassed_head {
+        HEAD_BYPASSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The current process-wide cohort-handoff counters.
+pub fn cohort_stats() -> CohortStats {
+    CohortStats {
+        handoffs: HANDOFFS.load(Ordering::Relaxed),
+        head_bypasses: HEAD_BYPASSES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handoff_counters_accumulate() {
+        let before = cohort_stats();
+        note_handoff(false);
+        note_handoff(true);
+        let after = cohort_stats();
+        // Other tests run concurrently, so only lower-bound the deltas.
+        assert!(after.handoffs >= before.handoffs + 2);
+        assert!(after.head_bypasses > before.head_bypasses);
+        assert!(after.head_bypasses <= after.handoffs);
+    }
+}

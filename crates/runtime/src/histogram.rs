@@ -4,6 +4,8 @@
 //! critical-section duration. A fixed-size power-of-two-bucketed histogram
 //! gives percentiles with constant memory and no allocation on the hot path.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Number of buckets: bucket `i` holds samples in `[2^i, 2^(i+1))` cycles,
 /// with bucket 0 holding `[0, 2)` and the last bucket holding everything
 /// larger.
@@ -128,6 +130,22 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Median (the 50th percentile); see [`LatencyHistogram::percentile`]
+    /// for the bucket-upper-bound semantics.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.5)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// The 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
     /// Whether no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
@@ -140,6 +158,90 @@ impl LatencyHistogram {
 }
 
 impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A concurrently recordable [`LatencyHistogram`]: same log₂ buckets, but
+/// every field is a relaxed atomic so lock holders on different threads can
+/// record into one shared instance without synchronization. The profiler
+/// keeps one per profile shard, so recording stays uncontended on the hot
+/// path; [`AtomicLatencyHistogram::fold_into`] merges shards into a plain
+/// [`LatencyHistogram`] at snapshot time.
+///
+/// `min`/`max`/`count`/`sum` are each individually exact, but a reader
+/// racing recorders can observe them at slightly different instants; the
+/// telemetry consumer tolerates that (the counters feed reports, not
+/// correctness decisions).
+#[derive(Debug)]
+pub struct AtomicLatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while empty, so `fetch_min` needs no empty special case.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicLatencyHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (in cycles).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[LatencyHistogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Merges this histogram's current contents into `target`.
+    pub fn fold_into(&self, target: &mut LatencyHistogram) {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return;
+        }
+        for (t, b) in target.buckets.iter_mut().zip(self.buckets.iter()) {
+            *t += b.load(Ordering::Relaxed);
+        }
+        target.count += count;
+        target.sum += self.sum.load(Ordering::Relaxed) as u128;
+        target.min = target.min.min(self.min.load(Ordering::Relaxed));
+        target.max = target.max.max(self.max.load(Ordering::Relaxed));
+    }
+
+    /// A point-in-time copy as a plain [`LatencyHistogram`].
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let mut out = LatencyHistogram::new();
+        self.fold_into(&mut out);
+        out
+    }
+}
+
+impl Default for AtomicLatencyHistogram {
     fn default() -> Self {
         Self::new()
     }
@@ -198,6 +300,73 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn percentile_validates_range() {
         LatencyHistogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn quantile_shorthands_match_percentile() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), h.percentile(0.5));
+        assert_eq!(h.p99(), h.percentile(0.99));
+        assert_eq!(h.p999(), h.percentile(0.999));
+        assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_recording() {
+        let atomic = AtomicLatencyHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for v in [3u64, 17, 17, 900, 65_000] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.max(), plain.max());
+        assert_eq!(snap.mean(), plain.mean());
+        assert_eq!(snap.p50(), plain.p50());
+        assert_eq!(snap.p999(), plain.p999());
+    }
+
+    #[test]
+    fn atomic_histogram_folds_across_shards() {
+        let a = AtomicLatencyHistogram::new();
+        let b = AtomicLatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        let mut merged = LatencyHistogram::new();
+        a.fold_into(&mut merged);
+        b.fold_into(&mut merged);
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.min(), 10);
+        assert_eq!(merged.max(), 1000);
+        // Folding an empty histogram changes nothing.
+        AtomicLatencyHistogram::new().fold_into(&mut merged);
+        assert_eq!(merged.count(), 2);
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_records_are_all_counted() {
+        use std::sync::Arc;
+        let h = Arc::new(AtomicLatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(i % (100 * (t + 1)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.snapshot().count(), 40_000);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   every GLK lock in the process to consider switching to its blocking
 //!   mutex mode — [`sysload`];
 //! * per-lock **statistics counters** and a tiny log-scaled **histogram**
-//!   used by the GLS profiler — [`stats`] and [`histogram`].
+//!   used by the GLS profiler — [`stats`] and [`histogram`];
+//! * a per-thread **flight recorder** ring of recent lock events, drained
+//!   into telemetry snapshots and deadlock reports — [`flight`].
 //!
 //! Everything in this crate is dependency-free and usable from both the core
 //! `gls` crate and the benchmark harness.
@@ -38,6 +40,7 @@
 
 pub mod cycles;
 pub mod ema;
+pub mod flight;
 pub mod histogram;
 pub mod stats;
 pub mod sysload;
@@ -46,7 +49,8 @@ pub mod topology;
 
 pub use cycles::{now as cycles_now, spin_for as spin_cycles};
 pub use ema::Ema;
-pub use histogram::LatencyHistogram;
+pub use flight::{FlightEvent, FlightEventKind};
+pub use histogram::{AtomicLatencyHistogram, LatencyHistogram};
 pub use stats::LockStats;
 pub use sysload::{SystemLoadMonitor, SystemLoadSnapshot};
 pub use thread_id::ThreadId;

@@ -62,6 +62,32 @@ fn two_thread_lock_order_inversion_is_detected() {
     }
     // The service log has the same information.
     assert!(svc.issues().iter().any(|i| i.category() == "deadlock"));
+
+    // The confirming thread dumped its flight recorder: the trail must be
+    // non-empty and end with the deadlock-candidate event itself.
+    let trails = svc.deadlock_trails();
+    assert!(
+        !trails.is_empty(),
+        "a confirmed deadlock must leave a flight-recorder trail"
+    );
+    for trail in &trails {
+        assert!(trail.cycle.len() >= 2);
+        assert!(
+            !trail.events.is_empty(),
+            "the dumped flight-recorder trail must be non-empty"
+        );
+        assert!(
+            trail
+                .events
+                .iter()
+                .any(|e| e.kind == gls_runtime::FlightEventKind::DeadlockCandidate),
+            "the trail must record the deadlock candidate event"
+        );
+    }
+
+    // The snapshot counts the confirmation.
+    let snapshot = svc.telemetry_snapshot();
+    assert!(snapshot.deadlock.confirmed >= 1);
 }
 
 #[test]
