@@ -1,7 +1,8 @@
 //! Cache-line-sized hash-table buckets.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use gls_sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 
 use gls_locks::{RawLock, TtasLock};
 

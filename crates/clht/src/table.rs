@@ -5,8 +5,9 @@
 #![allow(clippy::disallowed_types)]
 
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use gls_sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
 use gls_locks::{MutexLock, RawLock};
 
@@ -334,6 +335,10 @@ impl Clht {
     /// Doubles the table size, migrating all entries. No-op if `old_ptr` is no
     /// longer the current table (someone else already resized).
     fn resize(&self, old_ptr: *mut Table) {
+        self.resize_with(old_ptr, true);
+    }
+
+    fn resize_with(&self, old_ptr: *mut Table, set_resizing_flag: bool) {
         self.resize_lock.lock();
         if self.table.load(Ordering::Acquire) != old_ptr {
             self.resize_lock.unlock();
@@ -341,7 +346,14 @@ impl Clht {
         }
         // SAFETY: `old_ptr` is the current table and cannot be freed.
         let old = unsafe { &*old_ptr };
-        old.resizing.store(true, Ordering::SeqCst);
+        // The flag must go up before any bucket is migrated: a writer that
+        // takes its bucket lock after migration but before the new table is
+        // published would otherwise insert into the old table and lose the
+        // update. (`set_resizing_flag = false` exists only for the model
+        // regression test that re-seeds exactly that bug.)
+        if set_resizing_flag {
+            old.resizing.store(true, Ordering::SeqCst);
+        }
 
         let new_table = Table::with_buckets(old.buckets.len() * 2);
         let mut migrated = 0usize;
@@ -392,6 +404,40 @@ impl Clht {
             .expect("retired-table list poisoned")
             .push(old_ptr);
         self.resize_lock.unlock();
+    }
+}
+
+/// Model-checker entry points. The exhaustive explorer needs a table tiny
+/// enough that a handful of inserts reaches a resize, and direct control
+/// over *when* the resize runs (instead of waiting for the occupancy
+/// trigger), so these bypass the production sizing policy. Compiled only
+/// under `--cfg gls_model`.
+#[cfg(gls_model)]
+impl Clht {
+    /// Creates a table with exactly `buckets` primary buckets (power of
+    /// two), skipping the `DEFAULT_BUCKETS` floor production tables get.
+    pub fn model_small(buckets: usize) -> Self {
+        assert!(buckets.is_power_of_two());
+        Self {
+            table: AtomicPtr::new(Box::into_raw(Table::with_buckets(buckets))),
+            resize_lock: MutexLock::new(),
+            retired: Mutex::new(Vec::new()),
+            expansions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Runs one resize of the current table, exactly as the occupancy
+    /// trigger would.
+    pub fn model_force_resize(&self) {
+        self.resize(self.table.load(Ordering::Acquire));
+    }
+
+    /// Re-seeds the historical lost-insert bug: a resize that migrates and
+    /// publishes without ever raising the `resizing` flag, so a writer that
+    /// grabs its bucket lock mid-migration inserts into the doomed table.
+    /// Exists so the model suite can prove the explorer finds that bug.
+    pub fn model_resize_without_flag(&self) {
+        self.resize_with(self.table.load(Ordering::Acquire), false);
     }
 }
 

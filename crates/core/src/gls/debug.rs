@@ -19,15 +19,18 @@
 //! with weaker orderings both could miss and the deadlock would go
 //! unreported.
 
-// The detector's own bookkeeping must stay invisible to the model
-// explorer (instrumenting it would recurse); raw std sync throughout
-// (see clippy.toml).
+// The issue log, confirmation deadlines and flight-recorder trails are
+// cold reporting bookkeeping, kept on raw std sync (see clippy.toml). The
+// protocol state itself — waiting records and epochs — goes through the
+// gls_sync facade so the model explorer can schedule around every
+// publish/walk/confirm step.
 #![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex as StdMutex;
 use std::time::{Duration, Instant};
+
+use gls_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use gls_runtime::thread_id::MAX_THREADS;
 use gls_runtime::{FlightEvent, ThreadId};
@@ -325,6 +328,128 @@ impl DebugState {
             }
         }
         true
+    }
+
+    /// The historical bug [`DebugState::still_deadlocked`] fixed, re-seeded
+    /// for the model suite: confirmation that checks ownership and waiting
+    /// *addresses* but not epochs, so a thread that made progress and then
+    /// re-waited on the same lock looks frozen and a phantom cycle gets
+    /// confirmed. Only compiled for the model tests that prove the explorer
+    /// catches it.
+    #[cfg(gls_model)]
+    pub(crate) fn still_deadlocked_no_epochs(
+        &self,
+        candidate: &CycleCandidate,
+        holders_of: impl Fn(usize) -> Vec<ThreadId>,
+    ) -> bool {
+        for window in candidate.cycle.windows(2) {
+            let (_, awaited) = window[0];
+            let (holder, _) = window[1];
+            if !holders_of(awaited).contains(&holder) {
+                return false;
+            }
+        }
+        for &(thread, addr) in candidate.cycle.iter() {
+            if self.waiting_on(thread) != Some(addr) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Model-checker surface for the detector's publish-edge → walk → confirm
+/// protocol. `DebugState` and `CycleCandidate` are crate-private (the
+/// service drives them); the model tests in `crates/model/tests` need to
+/// drive the same code from virtual threads, so this wrapper re-exposes
+/// exactly the protocol steps, taking plain `u32` thread ids. Compiled only
+/// under `--cfg gls_model`.
+#[cfg(gls_model)]
+pub mod model {
+    use super::{CycleCandidate, DebugState};
+    use gls_runtime::ThreadId;
+
+    /// A [`DebugState`] scoped to one model execution.
+    #[derive(Debug)]
+    pub struct ModelDetector {
+        state: DebugState,
+    }
+
+    impl Default for ModelDetector {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// An opaque candidate cycle produced by [`ModelDetector::detect`].
+    #[derive(Debug, Clone)]
+    pub struct ModelCandidate(CycleCandidate);
+
+    impl ModelCandidate {
+        /// Whether `thread` participates in the candidate cycle.
+        pub fn involves(&self, thread: u32) -> bool {
+            let id = ThreadId::from_raw(thread);
+            self.0.cycle.iter().any(|&(t, _)| t == id)
+        }
+    }
+
+    fn to_ids(raw: Vec<u32>) -> Vec<ThreadId> {
+        raw.into_iter().map(ThreadId::from_raw).collect()
+    }
+
+    impl ModelDetector {
+        /// A fresh detector with no waits-for edges published.
+        pub fn new() -> Self {
+            Self {
+                state: DebugState::new(),
+            }
+        }
+
+        /// Publishes the waits-for edge `thread → addr`.
+        pub fn set_waiting(&self, thread: u32, addr: usize) {
+            self.state.set_waiting(ThreadId::from_raw(thread), addr);
+        }
+
+        /// Retracts `thread`'s waits-for edge (it acquired, or gave up).
+        pub fn clear_waiting(&self, thread: u32) {
+            self.state.clear_waiting(ThreadId::from_raw(thread));
+        }
+
+        /// The detection walk on behalf of `me`, about to wait on
+        /// `wait_addr`; `holders` resolves each lock to its current holders.
+        pub fn detect(
+            &self,
+            me: u32,
+            wait_addr: usize,
+            holders: impl Fn(usize) -> Vec<u32>,
+        ) -> Option<ModelCandidate> {
+            self.state
+                .detect_deadlock(ThreadId::from_raw(me), wait_addr, |addr| {
+                    to_ids(holders(addr))
+                })
+                .map(ModelCandidate)
+        }
+
+        /// Epoch-validated confirmation (the shipped protocol).
+        pub fn still_deadlocked(
+            &self,
+            candidate: &ModelCandidate,
+            holders: impl Fn(usize) -> Vec<u32>,
+        ) -> bool {
+            self.state
+                .still_deadlocked(&candidate.0, |addr| to_ids(holders(addr)))
+        }
+
+        /// The seeded epoch-skipping confirmation bug (see
+        /// [`DebugState::still_deadlocked_no_epochs`]).
+        pub fn still_deadlocked_no_epochs(
+            &self,
+            candidate: &ModelCandidate,
+            holders: impl Fn(usize) -> Vec<u32>,
+        ) -> bool {
+            self.state
+                .still_deadlocked_no_epochs(&candidate.0, |addr| to_ids(holders(addr)))
+        }
     }
 }
 

@@ -28,6 +28,8 @@ pub use cache::{
 };
 pub use condvar::{GlsCondvar, WaitOutcome};
 pub use config::{GlsConfig, GlsMode};
+#[cfg(gls_model)]
+pub use debug::model as debug_model;
 pub use debug::DeadlockTrail;
 pub use profiler::{LockProfile, ProfileReport};
 pub use service::{GlsGuard, GlsReadGuard, GlsService, GlsWriteGuard};

@@ -83,6 +83,11 @@ pub use gls::{
 // downstream users need only one dependency.
 pub use gls_locks::LockKind;
 
+// The deadlock detector's protocol steps, re-exposed for the model tests
+// in `crates/model/tests` (the service drives them in production).
+#[cfg(gls_model)]
+pub use gls::debug_model;
+
 /// Convenience free functions mirroring the C interface of Table 1
 /// (`gls_lock`, `gls_trylock`, `gls_unlock`, `gls_free`), all operating on
 /// the process-wide default service ([`GlsService::global`]).

@@ -16,8 +16,8 @@
 // (see clippy.toml).
 #![allow(clippy::disallowed_types)]
 
+use gls_sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::cache_padded::CachePadded;

@@ -5,7 +5,7 @@
 //! the coherence traffic is maximal — this is the baseline the paper's more
 //! scalable locks improve on.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use gls_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};

@@ -7,7 +7,7 @@
 //! queuing behind the lock — the statistic GLK's adaptation feeds on — so the
 //! lock provides it "by design", for free.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use gls_sync::atomic::{AtomicU32, Ordering};
 
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};

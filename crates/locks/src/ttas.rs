@@ -6,7 +6,7 @@
 //! failed attempts. This is the algorithm the paper uses to overload
 //! `pthread` reader-writer locks as well (§5.2, footnote 7).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use gls_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::cache_padded::CachePadded;
 use crate::raw::{QueueInformed, RawLock, RawTryLock};

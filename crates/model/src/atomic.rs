@@ -3,9 +3,14 @@
 //! Every operation is a scheduling point *before* it executes, so the
 //! driver can interleave other threads between any two shared-memory
 //! accesses; the access itself then happens atomically at the chosen step.
-//! Memory orderings are accepted for API compatibility but the exploration
-//! is sequentially consistent — the explorer checks protocol logic, not
-//! weak-memory reorderings (the TSan CI lane covers data races instead).
+//! The exploration itself is sequentially consistent — the explorer checks
+//! protocol logic, not weak-memory reorderings — but the memory orderings
+//! are *not* ignored: each operation feeds the happens-before race
+//! detector per the C11 rules (release stores/RMWs publish the thread's
+//! vector clock, acquire loads join it, RMWs continue release sequences,
+//! [`fence`] applies the fence rules), so a [`crate::cell::ModelCell`]
+//! access synchronized only by ordering-insufficient atomics is reported
+//! as a data race even though the interleaving happened to be benign.
 //!
 //! When the calling thread is not part of an active execution the yield is
 //! a no-op and the types behave exactly like their `std` counterparts, so a
@@ -34,18 +39,21 @@ macro_rules! int_atomic {
             #[inline]
             pub fn load(&self, order: Ordering) -> $int {
                 sched::yield_point();
+                sched::atomic_load(self as *const Self as usize, order);
                 self.inner.load(order)
             }
 
             #[inline]
             pub fn store(&self, v: $int, order: Ordering) {
                 sched::yield_point();
+                sched::atomic_store(self as *const Self as usize, order);
                 self.inner.store(v, order)
             }
 
             #[inline]
             pub fn swap(&self, v: $int, order: Ordering) -> $int {
                 sched::yield_point();
+                sched::atomic_rmw(self as *const Self as usize, order);
                 self.inner.swap(v, order)
             }
 
@@ -58,7 +66,13 @@ macro_rules! int_atomic {
                 failure: Ordering,
             ) -> Result<$int, $int> {
                 sched::yield_point();
-                self.inner.compare_exchange(current, new, success, failure)
+                let r = self.inner.compare_exchange(current, new, success, failure);
+                // A failed CAS is a load with the failure ordering.
+                match &r {
+                    Ok(_) => sched::atomic_rmw(self as *const Self as usize, success),
+                    Err(_) => sched::atomic_load(self as *const Self as usize, failure),
+                }
+                r
             }
 
             #[inline]
@@ -69,40 +83,44 @@ macro_rules! int_atomic {
                 success: Ordering,
                 failure: Ordering,
             ) -> Result<$int, $int> {
-                sched::yield_point();
                 // Model executions use the strong variant so schedules stay
                 // deterministic: a spurious weak-CAS failure would be a
                 // nondeterministic branch the replay machinery cannot steer.
-                self.inner.compare_exchange(current, new, success, failure)
+                self.compare_exchange(current, new, success, failure)
             }
 
             #[inline]
             pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
                 sched::yield_point();
+                sched::atomic_rmw(self as *const Self as usize, order);
                 self.inner.fetch_add(v, order)
             }
 
             #[inline]
             pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
                 sched::yield_point();
+                sched::atomic_rmw(self as *const Self as usize, order);
                 self.inner.fetch_sub(v, order)
             }
 
             #[inline]
             pub fn fetch_and(&self, v: $int, order: Ordering) -> $int {
                 sched::yield_point();
+                sched::atomic_rmw(self as *const Self as usize, order);
                 self.inner.fetch_and(v, order)
             }
 
             #[inline]
             pub fn fetch_or(&self, v: $int, order: Ordering) -> $int {
                 sched::yield_point();
+                sched::atomic_rmw(self as *const Self as usize, order);
                 self.inner.fetch_or(v, order)
             }
 
             #[inline]
             pub fn fetch_xor(&self, v: $int, order: Ordering) -> $int {
                 sched::yield_point();
+                sched::atomic_rmw(self as *const Self as usize, order);
                 self.inner.fetch_xor(v, order)
             }
 
@@ -147,18 +165,21 @@ impl AtomicBool {
     #[inline]
     pub fn load(&self, order: Ordering) -> bool {
         sched::yield_point();
+        sched::atomic_load(self as *const Self as usize, order);
         self.inner.load(order)
     }
 
     #[inline]
     pub fn store(&self, v: bool, order: Ordering) {
         sched::yield_point();
+        sched::atomic_store(self as *const Self as usize, order);
         self.inner.store(v, order)
     }
 
     #[inline]
     pub fn swap(&self, v: bool, order: Ordering) -> bool {
         sched::yield_point();
+        sched::atomic_rmw(self as *const Self as usize, order);
         self.inner.swap(v, order)
     }
 
@@ -171,7 +192,13 @@ impl AtomicBool {
         failure: Ordering,
     ) -> Result<bool, bool> {
         sched::yield_point();
-        self.inner.compare_exchange(current, new, success, failure)
+        let r = self.inner.compare_exchange(current, new, success, failure);
+        // A failed CAS is a load with the failure ordering.
+        match &r {
+            Ok(_) => sched::atomic_rmw(self as *const Self as usize, success),
+            Err(_) => sched::atomic_load(self as *const Self as usize, failure),
+        }
+        r
     }
 
     #[inline]
@@ -182,20 +209,21 @@ impl AtomicBool {
         success: Ordering,
         failure: Ordering,
     ) -> Result<bool, bool> {
-        sched::yield_point();
         // Strong variant under the model for deterministic replay.
-        self.inner.compare_exchange(current, new, success, failure)
+        self.compare_exchange(current, new, success, failure)
     }
 
     #[inline]
     pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
         sched::yield_point();
+        sched::atomic_rmw(self as *const Self as usize, order);
         self.inner.fetch_and(v, order)
     }
 
     #[inline]
     pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
         sched::yield_point();
+        sched::atomic_rmw(self as *const Self as usize, order);
         self.inner.fetch_or(v, order)
     }
 
@@ -239,18 +267,21 @@ impl<T> AtomicPtr<T> {
     #[inline]
     pub fn load(&self, order: Ordering) -> *mut T {
         sched::yield_point();
+        sched::atomic_load(self as *const Self as usize, order);
         self.inner.load(order)
     }
 
     #[inline]
     pub fn store(&self, p: *mut T, order: Ordering) {
         sched::yield_point();
+        sched::atomic_store(self as *const Self as usize, order);
         self.inner.store(p, order)
     }
 
     #[inline]
     pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
         sched::yield_point();
+        sched::atomic_rmw(self as *const Self as usize, order);
         self.inner.swap(p, order)
     }
 
@@ -263,7 +294,13 @@ impl<T> AtomicPtr<T> {
         failure: Ordering,
     ) -> Result<*mut T, *mut T> {
         sched::yield_point();
-        self.inner.compare_exchange(current, new, success, failure)
+        let r = self.inner.compare_exchange(current, new, success, failure);
+        // A failed CAS is a load with the failure ordering.
+        match &r {
+            Ok(_) => sched::atomic_rmw(self as *const Self as usize, success),
+            Err(_) => sched::atomic_load(self as *const Self as usize, failure),
+        }
+        r
     }
 
     #[inline]
@@ -274,9 +311,8 @@ impl<T> AtomicPtr<T> {
         success: Ordering,
         failure: Ordering,
     ) -> Result<*mut T, *mut T> {
-        sched::yield_point();
         // Strong variant under the model for deterministic replay.
-        self.inner.compare_exchange(current, new, success, failure)
+        self.compare_exchange(current, new, success, failure)
     }
 
     #[inline]
@@ -288,4 +324,15 @@ impl<T> AtomicPtr<T> {
     pub fn get_mut(&mut self) -> &mut *mut T {
         self.inner.get_mut()
     }
+}
+
+/// Instrumented counterpart of [`std::sync::atomic::fence`]: a scheduling
+/// point that applies the C11 fence rules to the calling thread's vector
+/// clock (an acquire fence upgrades earlier relaxed loads, a release fence
+/// arms later relaxed stores), then issues the real fence.
+#[inline]
+pub fn fence(order: Ordering) {
+    sched::yield_point();
+    sched::fence(order);
+    std::sync::atomic::fence(order);
 }

@@ -1,0 +1,74 @@
+//! A race-checked [`UnsafeCell`] stand-in.
+//!
+//! `ModelCell` wraps the plain-data fields a lock protects. Each `with` /
+//! `with_mut` access is a scheduling point that records a read or write
+//! epoch against the owning thread's vector clock; when two accesses are
+//! not ordered by happens-before (release/acquire atomics, mutexes,
+//! spawn/join — see [`crate::atomic`]), the execution fails with a
+//! `data race …` panic that the explorer classifies as
+//! [`FailureKind::Race`](crate::FailureKind::Race), schedule and replay
+//! seed included. The flagged race is a property of the *clocks*, not the
+//! interleaving: a protocol that merely got lucky with timing still fails.
+//!
+//! The closure receives a raw pointer (the loom convention): the actual
+//! dereference stays `unsafe` at the call site, and the baton protocol
+//! guarantees the access itself is physically exclusive — the model
+//! detects *logical* races, it does not rely on them corrupting memory.
+
+use std::cell::UnsafeCell;
+
+use crate::sched;
+
+/// An `UnsafeCell` whose accesses are checked by the happens-before race
+/// detector during model executions (and plain accesses outside them).
+#[derive(Debug, Default)]
+pub struct ModelCell<T> {
+    inner: UnsafeCell<T>,
+}
+
+// SAFETY: ModelCell is a plain-data container like UnsafeCell; sending it
+// moves the value with exclusive access. T: Send is required so the value
+// may be dropped or accessed from another thread.
+unsafe impl<T: Send> Send for ModelCell<T> {}
+// SAFETY: sharing a ModelCell only hands out raw pointers via
+// `with`/`with_mut`; callers take responsibility for synchronizing the
+// dereference (that is the cell's whole point — under the model, the race
+// detector verifies they actually did).
+unsafe impl<T: Send> Sync for ModelCell<T> {}
+
+impl<T> ModelCell<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: UnsafeCell::new(value),
+        }
+    }
+
+    /// Records a read access and runs `f` with a shared raw pointer to the
+    /// value. Panics (failing the exploration) if the read races a write.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        sched::yield_point();
+        sched::cell_access(self.inner.get() as usize, false);
+        f(self.inner.get())
+    }
+
+    /// Records a write access and runs `f` with an exclusive raw pointer
+    /// to the value. Panics (failing the exploration) if the write races
+    /// any other access.
+    #[inline]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        sched::yield_point();
+        sched::cell_access(self.inner.get() as usize, true);
+        f(self.inner.get())
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut()
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}

@@ -1,0 +1,58 @@
+//! Vector clocks for happens-before race detection.
+//!
+//! One component per virtual thread id. The scheduler threads these through
+//! every synchronizing operation (release stores/RMWs publish, acquire
+//! loads join, spawn/join/mutex hand the clock across threads); the
+//! [`crate::cell::ModelCell`] access checks then reduce to component
+//! comparisons against recorded read/write epochs.
+
+/// A vector clock over virtual-thread ids. Missing components read as 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The component for thread `tid` (0 when never touched).
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Increments `tid`'s own component (a new epoch for that thread).
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Sets `tid`'s component to at least `value`.
+    pub(crate) fn record(&mut self, tid: usize, value: u32) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = self.0[tid].max(value);
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// The first thread id whose component in `self` exceeds `other`'s,
+    /// i.e. a witness event not ordered before `other`.
+    pub(crate) fn first_exceeding(&self, other: &VClock) -> Option<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .find(|&(i, &v)| v > other.get(i))
+            .map(|(i, _)| i)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+}

@@ -4,6 +4,7 @@
 use std::fmt;
 use std::panic;
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,7 +30,15 @@ pub enum FailureKind {
     Deadlock,
     /// The execution exceeded the step limit: livelock suspicion.
     StepLimit,
+    /// The happens-before race detector flagged two unordered accesses to
+    /// a [`crate::cell::ModelCell`].
+    Race,
 }
+
+/// Race reports are ordinary panics under the hood (they unwind the
+/// accessing virtual thread); this prefix, set by the scheduler's cell
+/// check, is what distinguishes them from assertion failures.
+const RACE_PREFIX: &str = "data race";
 
 /// A failing schedule, with everything needed to replay it.
 #[derive(Debug)]
@@ -87,6 +96,7 @@ pub struct Explorer {
     step_limit: usize,
     max_executions: usize,
     cleanup: Option<Box<dyn Fn() + Send + Sync>>,
+    budget: Option<Duration>,
 }
 
 impl Explorer {
@@ -99,6 +109,7 @@ impl Explorer {
             step_limit: 20_000,
             max_executions: 500_000,
             cleanup: None,
+            budget: None,
         }
     }
 
@@ -112,6 +123,7 @@ impl Explorer {
             step_limit: 20_000,
             max_executions: usize::MAX,
             cleanup: None,
+            budget: None,
         }
     }
 
@@ -162,6 +174,17 @@ impl Explorer {
         self
     }
 
+    /// Wall-clock budget for the whole exploration: the deadline is
+    /// checked between executions, and the first execution to finish past
+    /// it panics, surfacing state-space growth as a prompt test failure
+    /// instead of a CI hang. CI sets a 60 s default for every model test
+    /// via `GLS_MODEL_BUDGET_SECS`; this builder overrides it per
+    /// exploration.
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
     /// Runs the model and panics (with the full replay report) on the
     /// first failing schedule.
     pub fn check<F>(&self, name: &str, body: F)
@@ -179,7 +202,46 @@ impl Explorer {
     where
         F: Fn() + Send + Sync + 'static,
     {
+        // Overruns are reported by return value and only turned into a
+        // panic *here*, after the exploration scope (the process-wide lock
+        // and the quiet panic hook) has been torn down normally: a panic
+        // inside that scope would reach `QuietPanics::drop` mid-unwind,
+        // whose `panic::set_hook` panics on a panicking thread — and a
+        // panic from a drop during unwind aborts the whole test binary.
+        match self.find_failure_inner(name, body) {
+            Ok(result) => result,
+            Err(overrun) => panic!("{overrun}"),
+        }
+    }
+
+    fn find_failure_inner<F>(&self, name: &str, body: F) -> Result<Option<Failure>, String>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        // Serialize before starting the budget clock: with parallel test
+        // threads an exploration can sit behind this lock for longer than
+        // its own runtime, and queueing must not count against the budget.
         let _serial = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let budget = self
+            .budget
+            .or_else(|| env_u64("GLS_MODEL_BUDGET_SECS").map(Duration::from_secs));
+        // The guard rides between executions (run_one is uninterruptible),
+        // so a state-space blowup fails one execution past the deadline
+        // instead of stalling CI until max_executions trips.
+        let deadline = budget.map(|b| (Instant::now(), b));
+        let check_budget = move |name: &str, executions: usize| -> Result<(), String> {
+            if let Some((started, budget)) = deadline {
+                let elapsed = started.elapsed();
+                if elapsed > budget {
+                    return Err(format!(
+                        "model '{name}': {executions} execution(s) in \
+                         {elapsed:.1?}, over the {budget:?} runtime budget — \
+                         shrink the model or raise the budget deliberately",
+                    ));
+                }
+            }
+            Ok(())
+        };
         let _quiet = QuietPanics::install();
         let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
         match self.mode {
@@ -192,25 +254,27 @@ impl Explorer {
                     match self.run_one(&body, &mut dfs) {
                         Outcome::Complete => {}
                         Outcome::Failed(kind, desc, schedule) => {
-                            return Some(Failure {
+                            return Ok(Some(Failure {
                                 kind,
                                 description: format!("model '{name}': {desc}"),
                                 schedule,
                                 seed: None,
                                 executions,
-                            });
+                            }));
                         }
                     }
+                    check_budget(name, executions)?;
                     if !dfs.backtrack() {
-                        return None;
+                        return Ok(None);
                     }
-                    assert!(
-                        executions < self.max_executions,
-                        "model '{name}': exploration hit {} executions without \
-                         exhausting the schedule tree — shrink the model or raise \
-                         max_executions",
-                        self.max_executions
-                    );
+                    if executions >= self.max_executions {
+                        return Err(format!(
+                            "model '{name}': exploration hit {} executions \
+                             without exhausting the schedule tree — shrink the \
+                             model or raise max_executions",
+                            self.max_executions
+                        ));
+                    }
                 }
             }
             Mode::Random { iterations, seed } => {
@@ -222,17 +286,18 @@ impl Explorer {
                     match self.run_one(&body, &mut policy) {
                         Outcome::Complete => {}
                         Outcome::Failed(kind, desc, schedule) => {
-                            return Some(Failure {
+                            return Ok(Some(Failure {
                                 kind,
                                 description: format!("model '{name}': {desc}"),
                                 schedule,
                                 seed: Some(iter_seed),
                                 executions: i + 1,
-                            });
+                            }));
                         }
                     }
+                    check_budget(name, i + 1)?;
                 }
-                None
+                Ok(None)
             }
         }
     }
@@ -262,13 +327,21 @@ impl Explorer {
                     )
                 }
                 StepStatus::Panicked { tid, message } => {
+                    let kind = if message.starts_with(RACE_PREFIX) {
+                        FailureKind::Race
+                    } else {
+                        FailureKind::Panic
+                    };
                     break Outcome::Failed(
-                        FailureKind::Panic,
+                        kind,
                         format!("thread {tid} panicked: {message}"),
                         sched.schedule_so_far(),
-                    )
+                    );
                 }
-                StepStatus::Choose { eligible } => {
+                StepStatus::Choose {
+                    eligible,
+                    spin_fallback,
+                } => {
                     steps += 1;
                     if steps > self.step_limit {
                         break Outcome::Failed(
@@ -277,7 +350,11 @@ impl Explorer {
                             sched.schedule_so_far(),
                         );
                     }
-                    let prev_runnable = prev.is_some_and(|p| eligible.contains(&p));
+                    // A spin-fallback set contains only threads that parked
+                    // voluntarily; switching between them is free and the
+                    // previous thread must not be forced to continue.
+                    let prev_runnable =
+                        !spin_fallback && prev.is_some_and(|p| eligible.contains(&p));
                     let choices = if prev_runnable && preemptions >= self.preemption_bound {
                         // Budget spent: the only legal move is to keep
                         // running the current thread.
@@ -407,6 +484,14 @@ impl QuietPanics {
 
 impl Drop for QuietPanics {
     fn drop(&mut self) {
+        // `set_hook` itself panics on a panicking thread, and a panic out
+        // of a drop during unwind aborts the process. No panic should
+        // unwind through this guard (overruns travel by return value; see
+        // `find_failure`), but if one ever does, losing hook restoration
+        // beats taking down the whole test binary.
+        if std::thread::panicking() {
+            return;
+        }
         if let Some(prev) = self.prev.take() {
             panic::set_hook(prev);
         }

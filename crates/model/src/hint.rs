@@ -3,12 +3,16 @@
 use crate::sched;
 
 /// Model-aware [`std::hint::spin_loop`]: inside an execution a spin is a
-/// scheduling point (otherwise a spin loop would never let the thread it is
-/// waiting on run); outside it is the plain CPU hint.
+/// scheduling point that draws on the per-thread spin budget — after K
+/// consecutive hints the thread parks and is only rescheduled once another
+/// thread has run (the bounded-spin-then-yield shim; see the scheduler).
+/// Without the budget a busy-waiting virtual thread would stay eligible
+/// forever and the exhaustive DFS would chase its no-preemption branch to
+/// the step limit. Outside an execution it is the plain CPU hint.
 #[inline]
 pub fn spin_loop() {
     if sched::in_execution() {
-        sched::yield_point();
+        sched::spin_hint();
     } else {
         std::hint::spin_loop();
     }

@@ -34,10 +34,13 @@
 //!
 //! A schedule fails if a virtual thread panics (assertion failure), if no
 //! thread is runnable while some are unfinished (deadlock — this is the
-//! detector that catches lost wakeups and stranded waiters), or if the
-//! execution exceeds the step limit (livelock suspicion). The failure
-//! report includes the decision-by-decision schedule and, in random mode,
-//! the replay seed.
+//! detector that catches lost wakeups and stranded waiters), if the
+//! execution exceeds the step limit (livelock suspicion), or if the
+//! happens-before race detector flags two unordered accesses to a
+//! [`cell::ModelCell`] (per-thread vector clocks threaded through the
+//! instrumented atomics under the C11 release/acquire/fence rules — see
+//! [`atomic`]). The failure report includes the decision-by-decision
+//! schedule and, in random mode, the replay seed.
 //!
 //! The instrumented types fall back to plain `std` behaviour whenever no
 //! model execution is active on the current thread, so code built against
@@ -50,11 +53,14 @@
 #![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
 pub mod atomic;
+pub mod cell;
+mod clock;
 pub mod explore;
 pub mod hint;
 mod sched;
 pub mod sync;
 pub mod thread;
 
+pub use cell::ModelCell;
 pub use explore::{Explorer, Failure, FailureKind};
 pub use sched::in_execution;

@@ -12,7 +12,10 @@
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::clock::VClock;
 
 /// Panic payload used to unwind virtual threads out of an aborted
 /// execution (after another thread already failed). The per-thread
@@ -29,7 +32,18 @@ pub(crate) enum BlockKind {
     Condvar { timeout_eligible: bool },
     /// Waiting for thread `tid` to finish.
     Join(usize),
+    /// Spent its spin budget: a spinning thread that re-running without
+    /// letting anyone else make progress would only stutter. Readied when
+    /// any *other* thread is granted; eligible as a fallback when nothing
+    /// else is runnable (a pure spin livelock then hits the step limit
+    /// instead of being misreported as a deadlock).
+    Spin,
 }
+
+/// Consecutive spin hints a virtual thread may issue before it parks and
+/// yields the baton to the explorer (the bounded-spin-then-yield shim that
+/// makes busy-wait loops finite in the schedule tree).
+const SPIN_BUDGET: u32 = 2;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum State {
@@ -48,6 +62,41 @@ struct ThreadRecord {
     cv_woken: bool,
     /// Set when the driver fired this thread's condvar timeout.
     cv_timed_out: bool,
+    /// Happens-before clock of this thread's events so far. Survives
+    /// `Finished` so joiners can inherit it.
+    clock: VClock,
+    /// Clock snapshot at the last release fence (C11: a relaxed store after
+    /// a release fence releases this clock).
+    fence_rel: VClock,
+    /// Accumulated message clocks of relaxed loads since the last acquire
+    /// fence (C11: an acquire fence turns those reads into acquires).
+    fence_acq: VClock,
+    /// Consecutive spin hints since the thread last parked as `Spin`.
+    spin_streak: u32,
+}
+
+impl ThreadRecord {
+    fn new(clock: VClock) -> Self {
+        ThreadRecord {
+            state: State::Ready,
+            cv_woken: false,
+            cv_timed_out: false,
+            clock,
+            fence_rel: VClock::default(),
+            fence_acq: VClock::default(),
+            spin_streak: 0,
+        }
+    }
+}
+
+/// Read/write history of one [`crate::cell::ModelCell`], FastTrack-style:
+/// the last write as an epoch, reads since that write as a clock.
+#[derive(Default)]
+struct CellState {
+    /// Last write: (writer tid, the writer's own clock component then).
+    write: Option<(usize, u32)>,
+    /// Clock of reads since the last write.
+    reads: VClock,
 }
 
 struct Inner {
@@ -63,6 +112,29 @@ struct Inner {
     abort: bool,
     /// Chosen tid per step, for failure reports.
     schedule: Vec<usize>,
+    /// Per-atomic-location message clocks — the "synchronizes-with" payload
+    /// left by release operations, keyed by address. (Address reuse within
+    /// one execution aliases entries; extra hb edges can only hide races,
+    /// never fabricate one.)
+    atomic_msgs: HashMap<usize, VClock>,
+    /// Per-model-mutex release clocks, keyed by mutex address.
+    sync_msgs: HashMap<usize, VClock>,
+    /// Per-`ModelCell` access histories, keyed by cell address.
+    cells: HashMap<usize, CellState>,
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
 }
 
 pub(crate) struct Scheduler {
@@ -107,6 +179,21 @@ pub(crate) fn current_scheduler() -> Option<(Arc<Scheduler>, usize)> {
     CURRENT.with(|c| c.borrow().clone())
 }
 
+/// Progress a spin loop could observe just happened: a write (atomic store
+/// or RMW, a lock release, a thread finishing). Spin-parked threads
+/// re-enter the schedulable set — their next probe may read the new state.
+/// Loads and bare scheduling decisions deliberately do NOT re-ready
+/// spinners: they change nothing a spinner can see, and re-readying on
+/// every grant would let two spinners keep each other schedulable forever,
+/// starving every other thread on the DFS's first-choice path.
+fn wake_spinners(g: &mut Inner) {
+    for t in g.threads.iter_mut() {
+        if t.state == State::Blocked(BlockKind::Spin) {
+            t.state = State::Ready;
+        }
+    }
+}
+
 impl Scheduler {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(Scheduler {
@@ -118,6 +205,9 @@ impl Scheduler {
                 panic: None,
                 abort: false,
                 schedule: Vec::new(),
+                atomic_msgs: HashMap::new(),
+                sync_msgs: HashMap::new(),
+                cells: HashMap::new(),
             }),
             cond: Condvar::new(),
         })
@@ -129,15 +219,25 @@ impl Scheduler {
 
     /// Registers a new virtual thread (state Ready) and returns its id.
     /// Called by the *spawner* before the OS thread exists so the driver
-    /// sees the thread immediately.
+    /// sees the thread immediately. Spawn is a happens-before edge: the
+    /// child inherits the spawner's clock, and both sides then tick so
+    /// later events are distinguishable from the spawn.
     pub(crate) fn register_thread(&self) -> usize {
         let mut g = lock(&self.inner);
-        g.threads.push(ThreadRecord {
-            state: State::Ready,
-            cv_woken: false,
-            cv_timed_out: false,
-        });
-        g.threads.len() - 1
+        let child = g.threads.len();
+        let mut clock = match g.running {
+            Some(parent) => {
+                let inherited = g.threads[parent].clock.clone();
+                g.threads[parent].clock.bump(parent);
+                inherited
+            }
+            // The root thread, registered by the driver before the
+            // execution starts.
+            None => VClock::default(),
+        };
+        clock.bump(child);
+        g.threads.push(ThreadRecord::new(clock));
+        child
     }
 
     /// Parks the calling virtual thread until the driver grants it the
@@ -193,16 +293,31 @@ impl Scheduler {
 
     /// A model mutex was released: every thread blocked on it becomes
     /// runnable again (they re-race via `try_lock`, which models the
-    /// non-FIFO std mutex faithfully). Never blocks and never panics, so it
-    /// is safe to call from guard drops, including during unwinding.
-    pub(crate) fn lock_released(&self, addr: usize) {
+    /// non-FIFO std mutex faithfully), and the releaser's clock is
+    /// published so the next holder inherits it. Never blocks and never
+    /// panics, so it is safe to call from guard drops, including during
+    /// unwinding.
+    pub(crate) fn lock_released(&self, tid: usize, addr: usize) {
         let mut g = lock(&self.inner);
+        let clock = g.threads[tid].clock.clone();
+        g.sync_msgs.insert(addr, clock);
+        g.threads[tid].clock.bump(tid);
         for t in g.threads.iter_mut() {
             if t.state == State::Blocked(BlockKind::Lock(addr)) {
                 t.state = State::Ready;
             }
         }
+        wake_spinners(&mut g);
         self.cond.notify_all();
+    }
+
+    /// A model mutex was acquired: join the clock the previous holder
+    /// published at release (the mutex happens-before edge).
+    pub(crate) fn sync_acquired(&self, tid: usize, addr: usize) {
+        let mut g = lock(&self.inner);
+        if let Some(msg) = g.sync_msgs.get(&addr).cloned() {
+            g.threads[tid].clock.join(&msg);
+        }
     }
 
     /// Enqueues the calling thread on condvar `cv`. Must be called while
@@ -251,16 +366,18 @@ impl Scheduler {
         self.cond.notify_all();
     }
 
-    /// Blocks the calling thread until thread `target` finishes.
+    /// Blocks the calling thread until thread `target` finishes, then
+    /// joins the target's final clock (join is a happens-before edge).
     pub(crate) fn block_on_join(&self, tid: usize, target: usize) {
         let mut g = lock(&self.inner);
-        if g.threads[target].state == State::Finished {
-            return;
+        if g.threads[target].state != State::Finished {
+            g.threads[tid].state = State::Blocked(BlockKind::Join(target));
+            g.running = None;
+            self.cond.notify_all();
+            g = self.wait_for_grant(g, tid);
         }
-        g.threads[tid].state = State::Blocked(BlockKind::Join(target));
-        g.running = None;
-        self.cond.notify_all();
-        drop(self.wait_for_grant(g, tid));
+        let target_clock = g.threads[target].clock.clone();
+        g.threads[tid].clock.join(&target_clock);
     }
 
     /// Marks the calling thread finished; wakes joiners.
@@ -277,10 +394,142 @@ impl Scheduler {
                 t.state = State::Ready;
             }
         }
+        wake_spinners(&mut g);
         if g.running == Some(tid) {
             g.running = None;
         }
         self.cond.notify_all();
+    }
+
+    // ------------------------------------------------------------------
+    // Happens-before recording (called while Running, never yields)
+    // ------------------------------------------------------------------
+
+    /// Records an atomic store at `addr`. A release store *replaces* the
+    /// location's message with the thread clock; a relaxed store releases
+    /// the clock of the last release fence (empty if none), breaking the
+    /// release sequence per C11.
+    pub(crate) fn atomic_store(&self, tid: usize, addr: usize, order: Ordering) {
+        let mut g = lock(&self.inner);
+        let msg = if is_release(order) {
+            g.threads[tid].clock.clone()
+        } else {
+            g.threads[tid].fence_rel.clone()
+        };
+        g.atomic_msgs.insert(addr, msg);
+        if is_release(order) {
+            g.threads[tid].clock.bump(tid);
+        }
+        wake_spinners(&mut g);
+    }
+
+    /// Records an atomic load at `addr`: an acquire load joins the
+    /// location's message into the thread clock; a relaxed load only
+    /// accumulates it for a later acquire fence.
+    pub(crate) fn atomic_load(&self, tid: usize, addr: usize, order: Ordering) {
+        let mut g = lock(&self.inner);
+        if let Some(msg) = g.atomic_msgs.get(&addr).cloned() {
+            if is_acquire(order) {
+                g.threads[tid].clock.join(&msg);
+            } else {
+                g.threads[tid].fence_acq.join(&msg);
+            }
+        }
+    }
+
+    /// Records an atomic read-modify-write at `addr`: the load half as in
+    /// [`Self::atomic_load`]; the store half *joins* into the message (an
+    /// RMW continues the release sequence rather than replacing it).
+    pub(crate) fn atomic_rmw(&self, tid: usize, addr: usize, order: Ordering) {
+        let mut g = lock(&self.inner);
+        if let Some(msg) = g.atomic_msgs.get(&addr).cloned() {
+            if is_acquire(order) {
+                g.threads[tid].clock.join(&msg);
+            } else {
+                g.threads[tid].fence_acq.join(&msg);
+            }
+        }
+        let published = if is_release(order) {
+            g.threads[tid].clock.clone()
+        } else {
+            g.threads[tid].fence_rel.clone()
+        };
+        if !published.is_empty() {
+            g.atomic_msgs.entry(addr).or_default().join(&published);
+        }
+        if is_release(order) {
+            g.threads[tid].clock.bump(tid);
+        }
+        wake_spinners(&mut g);
+    }
+
+    /// Records a memory fence per the C11 fence rules.
+    pub(crate) fn fence(&self, tid: usize, order: Ordering) {
+        let mut g = lock(&self.inner);
+        if is_acquire(order) {
+            let pending = std::mem::take(&mut g.threads[tid].fence_acq);
+            g.threads[tid].clock.join(&pending);
+        }
+        if is_release(order) {
+            g.threads[tid].fence_rel = g.threads[tid].clock.clone();
+        }
+    }
+
+    /// Checks a `ModelCell` access against the recorded read/write epochs
+    /// and updates them. Returns a race report when the access is not
+    /// ordered (by the clocks) after every conflicting prior access.
+    pub(crate) fn cell_access(
+        &self,
+        tid: usize,
+        addr: usize,
+        is_write: bool,
+    ) -> Result<(), String> {
+        let mut g = lock(&self.inner);
+        let clock = g.threads[tid].clock.clone();
+        let cell = g.cells.entry(addr).or_default();
+        if let Some((writer, epoch)) = cell.write {
+            if writer != tid && clock.get(writer) < epoch {
+                return Err(format!(
+                    "data race on cell {addr:#x}: {} by thread {tid} is not \
+                     ordered after the write by thread {writer}",
+                    if is_write { "write" } else { "read" },
+                ));
+            }
+        }
+        if is_write {
+            if let Some(reader) = cell.reads.first_exceeding(&clock) {
+                if reader != tid {
+                    return Err(format!(
+                        "data race on cell {addr:#x}: write by thread {tid} is \
+                         not ordered after the read by thread {reader}",
+                    ));
+                }
+            }
+            cell.write = Some((tid, clock.get(tid)));
+            cell.reads = VClock::default();
+        } else {
+            cell.reads.record(tid, clock.get(tid));
+        }
+        Ok(())
+    }
+
+    /// Bounded-spin-then-yield shim: counts consecutive spin hints and,
+    /// once the budget is spent, parks the thread as [`BlockKind::Spin`]
+    /// (re-running it before anyone else makes progress would only repeat
+    /// the same loads). Under budget it is an ordinary yield.
+    pub(crate) fn spin_hint(&self, tid: usize) {
+        let mut g = lock(&self.inner);
+        let rec = &mut g.threads[tid];
+        rec.spin_streak += 1;
+        if rec.spin_streak >= SPIN_BUDGET {
+            rec.spin_streak = 0;
+            rec.state = State::Blocked(BlockKind::Spin);
+        } else {
+            rec.state = State::Ready;
+        }
+        g.running = None;
+        self.cond.notify_all();
+        drop(self.wait_for_grant(g, tid));
     }
 
     // ------------------------------------------------------------------
@@ -302,6 +551,7 @@ impl Scheduler {
             return StepStatus::Panicked { tid, message: msg };
         }
         let mut eligible = Vec::new();
+        let mut spinning = Vec::new();
         let mut unfinished = Vec::new();
         for (tid, t) in g.threads.iter().enumerate() {
             match t.state {
@@ -309,6 +559,7 @@ impl Scheduler {
                 State::Blocked(BlockKind::Condvar {
                     timeout_eligible: true,
                 }) => eligible.push(tid),
+                State::Blocked(BlockKind::Spin) => spinning.push(tid),
                 State::Finished => continue,
                 _ => {}
             }
@@ -318,6 +569,17 @@ impl Scheduler {
         }
         if unfinished.is_empty() {
             return StepStatus::Complete;
+        }
+        let mut spin_fallback = false;
+        if eligible.is_empty() {
+            // Spin-parked threads are schedulable again only once someone
+            // writes (see `wake_spinners`) — unless they are all that's
+            // left. A spin loop may itself write on its next probe (CAS
+            // retries, statistics), so this is not provably a deadlock;
+            // granting a spinner keeps a true livelock marching toward the
+            // step limit instead of misreporting it.
+            eligible = spinning;
+            spin_fallback = true;
         }
         if eligible.is_empty() {
             let blocked = unfinished
@@ -330,7 +592,10 @@ impl Scheduler {
                 schedule: g.schedule.clone(),
             };
         }
-        StepStatus::Choose { eligible }
+        StepStatus::Choose {
+            eligible,
+            spin_fallback,
+        }
     }
 
     /// Grants the baton to `tid`. Granting a condvar waiter that is only
@@ -388,6 +653,7 @@ fn describe(state: State) -> String {
             }
         }
         State::Blocked(BlockKind::Join(t)) => format!("joining thread {t}"),
+        State::Blocked(BlockKind::Spin) => "spin-yielded".into(),
         State::Ready => "ready".into(),
         State::Running => "running".into(),
         State::Finished => "finished".into(),
@@ -397,7 +663,15 @@ fn describe(state: State) -> String {
 /// Driver-visible execution status after quiescence.
 pub(crate) enum StepStatus {
     /// Pick one of `eligible` and call [`Scheduler::grant`].
-    Choose { eligible: Vec<usize> },
+    /// `spin_fallback` marks a choice set of spin-parked threads offered
+    /// only because nothing else is runnable: every thread in it yielded
+    /// voluntarily, so granting any of them is not a preemption and the
+    /// previous thread must not be forced to continue (forcing a
+    /// budget-exhausted spinner would re-grant it forever).
+    Choose {
+        eligible: Vec<usize>,
+        spin_fallback: bool,
+    },
     /// All threads finished cleanly.
     Complete,
     /// No runnable thread but some unfinished: lost wakeup / lock cycle.
@@ -422,12 +696,48 @@ pub fn yield_point() {
     with_current(|s, tid| s.yield_here(tid));
 }
 
+/// Spin-hint scheduling point: yields like [`yield_point`] but draws on
+/// the spin budget, parking the thread once the budget is spent.
+#[inline]
+pub(crate) fn spin_hint() {
+    with_current(|s, tid| s.spin_hint(tid));
+}
+
 pub(crate) fn block_on_lock(addr: usize) {
     with_current(|s, tid| s.block_on_lock(tid, addr));
 }
 
 pub(crate) fn lock_released(addr: usize) {
-    with_current(|s, _| s.lock_released(addr));
+    with_current(|s, tid| s.lock_released(tid, addr));
+}
+
+pub(crate) fn sync_acquired(addr: usize) {
+    with_current(|s, tid| s.sync_acquired(tid, addr));
+}
+
+pub(crate) fn atomic_store(addr: usize, order: Ordering) {
+    with_current(|s, tid| s.atomic_store(tid, addr, order));
+}
+
+pub(crate) fn atomic_load(addr: usize, order: Ordering) {
+    with_current(|s, tid| s.atomic_load(tid, addr, order));
+}
+
+pub(crate) fn atomic_rmw(addr: usize, order: Ordering) {
+    with_current(|s, tid| s.atomic_rmw(tid, addr, order));
+}
+
+pub(crate) fn fence(order: Ordering) {
+    with_current(|s, tid| s.fence(tid, order));
+}
+
+/// Race-checks a `ModelCell` access; panics with a `data race …` message
+/// (classified as [`crate::FailureKind::Race`] by the explorer) when the
+/// access conflicts with an unordered prior access.
+pub(crate) fn cell_access(addr: usize, is_write: bool) {
+    if let Some(Err(report)) = with_current(|s, tid| s.cell_access(tid, addr, is_write)) {
+        panic!("{report}");
+    }
 }
 
 pub(crate) fn condvar_enqueue(cv: usize) {

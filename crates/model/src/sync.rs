@@ -81,8 +81,14 @@ impl<T: ?Sized> Mutex<T> {
             loop {
                 sched::yield_point();
                 match self.inner.try_lock() {
-                    Ok(g) => return Ok(self.wrap(g)),
-                    Err(TryLockError::Poisoned(p)) => return Ok(self.wrap(p.into_inner())),
+                    Ok(g) => {
+                        sched::sync_acquired(self.addr());
+                        return Ok(self.wrap(g));
+                    }
+                    Err(TryLockError::Poisoned(p)) => {
+                        sched::sync_acquired(self.addr());
+                        return Ok(self.wrap(p.into_inner()));
+                    }
                     Err(TryLockError::WouldBlock) => sched::block_on_lock(self.addr()),
                 }
             }
@@ -101,8 +107,14 @@ impl<T: ?Sized> Mutex<T> {
         if sched::in_execution() {
             sched::yield_point();
             return match self.inner.try_lock() {
-                Ok(g) => Ok(self.wrap(g)),
-                Err(TryLockError::Poisoned(p)) => Ok(self.wrap(p.into_inner())),
+                Ok(g) => {
+                    sched::sync_acquired(self.addr());
+                    Ok(self.wrap(g))
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    sched::sync_acquired(self.addr());
+                    Ok(self.wrap(p.into_inner()))
+                }
                 Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
             };
         }

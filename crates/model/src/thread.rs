@@ -103,11 +103,14 @@ where
     }
 }
 
-/// Yields the baton inside an execution; plain `yield_now` outside.
+/// Yields the baton inside an execution; plain `yield_now` outside. A
+/// model-mode yield draws on the spin budget like a spin hint: `yield_now`
+/// means "I made no progress — run someone else", so once the budget is
+/// spent the thread parks until another thread has actually run.
 #[inline]
 pub fn yield_now() {
     if sched::in_execution() {
-        sched::yield_point();
+        sched::spin_hint();
     } else {
         std::thread::yield_now();
     }

@@ -1,0 +1,106 @@
+//! Model checks for the CLHT bucket/resize protocol.
+//!
+//! The table was stress-only until the bounded-spin shim: writers that lose
+//! the race with a resize back off in a spin loop (`wait_for_table_change`),
+//! which used to pin the baton forever. With the shim, the full
+//! resize-vs-writer dance — flag raise, per-bucket migration under bucket
+//! locks, table-pointer publish, writer back-off and retry — runs under the
+//! exhaustive explorer on a deliberately tiny table.
+//!
+//! The suite proves the two properties the stress harness could only
+//! sample: no insert is lost across a resize, and wait-free lookups never
+//! miss a key that was present before the resize began. It also re-seeds
+//! the classic lost-insert bug (publishing a migrated table without ever
+//! raising the `resizing` flag) and shows the explorer pinpoints it.
+//!
+//! Run with `RUSTFLAGS="--cfg gls_model" cargo test -p gls_model --test
+//! clht_model`.
+
+#![cfg(gls_model)]
+
+use std::sync::Arc;
+
+use gls_clht::Clht;
+use gls_model::{Explorer, FailureKind};
+use gls_sync::thread;
+
+/// A writer inserting while another thread resizes: the insert must land in
+/// whichever table wins, never in a migrated-and-discarded bucket. This is
+/// the no-lost-keys half of the protocol — the `resizing` flag plus the
+/// post-lock table re-check make the writer back off and retry on the new
+/// table.
+#[test]
+fn resize_vs_insert_loses_no_keys() {
+    Explorer::exhaustive().check("clht-resize-vs-insert", || {
+        let map = Arc::new(Clht::model_small(1));
+        map.put_if_absent(1, || 10);
+        map.put_if_absent(2, || 20);
+        let writer = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || {
+                map.put_if_absent(3, || 30);
+            })
+        };
+        map.model_force_resize();
+        writer.join().expect("model writer panicked");
+        assert_eq!(map.get(1), Some(10), "pre-seeded key lost in migration");
+        assert_eq!(map.get(2), Some(20), "pre-seeded key lost in migration");
+        assert_eq!(map.get(3), Some(30), "concurrent insert lost by resize");
+        assert_eq!(map.len(), 3);
+    });
+}
+
+/// A wait-free reader racing a resize: keys present before the resize began
+/// must be found on every schedule, whether the lookup lands on the old
+/// table (kept alive on the retired list) or the new one.
+#[test]
+fn resize_vs_lookup_always_finds_preexisting_keys() {
+    Explorer::exhaustive().check("clht-resize-vs-lookup", || {
+        let map = Arc::new(Clht::model_small(1));
+        map.put_if_absent(1, || 10);
+        map.put_if_absent(2, || 20);
+        let reader = {
+            let map = Arc::clone(&map);
+            thread::spawn(move || {
+                assert_eq!(map.get(1), Some(10), "lookup missed a key mid-resize");
+                assert_eq!(map.get(2), Some(20), "lookup missed a key mid-resize");
+            })
+        };
+        map.model_force_resize();
+        reader.join().expect("model reader panicked");
+    });
+}
+
+/// Re-seeds the historical lost-insert bug: a resize that migrates and
+/// publishes without raising the `resizing` flag. A writer that takes its
+/// bucket lock after that bucket was migrated — but before the new table is
+/// published — sees no flag and an unchanged table pointer, inserts into
+/// the doomed table, and the update vanishes. The explorer must find the
+/// interleaving (this is the same bar the PR-7 rediscovery tests set).
+#[test]
+fn explorer_rediscovers_unflagged_resize_lost_insert() {
+    let failure = Explorer::exhaustive()
+        .find_failure("clht-unflagged-resize", || {
+            let map = Arc::new(Clht::model_small(1));
+            map.put_if_absent(1, || 10);
+            let writer = {
+                let map = Arc::clone(&map);
+                thread::spawn(move || {
+                    map.put_if_absent(2, || 20);
+                })
+            };
+            map.model_resize_without_flag();
+            writer.join().expect("model writer panicked");
+            assert_eq!(
+                map.get(2),
+                Some(20),
+                "insert lost by a resize that never raised the flag"
+            );
+        })
+        .expect("the explorer must find the lost-insert interleaving");
+    assert_eq!(
+        failure.kind,
+        FailureKind::Panic,
+        "expected the lost-insert assertion, got: {failure}"
+    );
+}

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use gls_model::atomic::{AtomicU32, Ordering};
 use gls_model::sync::{Condvar, Mutex};
-use gls_model::{thread, Explorer, FailureKind};
+use gls_model::{thread, Explorer, FailureKind, ModelCell};
 
 /// The canonical lost update: two threads doing load-then-store increments.
 /// Exhaustive exploration with the default bound must find the schedule
@@ -224,4 +224,146 @@ fn random_seed_replays_identically() {
         .expect("replaying the seed must reproduce the failure");
     assert_eq!(found.schedule, replay.schedule, "replay must be exact");
     assert_eq!(replay.executions, 1);
+}
+
+/// The happens-before detector must flag two unsynchronized cell accesses
+/// as a race — not merely as a wrong final value — and say so in the
+/// description so the report is actionable.
+#[test]
+fn race_detector_flags_unsynchronized_cell_access() {
+    let failure = Explorer::exhaustive()
+        .find_failure("cell-race", || {
+            let cell = Arc::new(ModelCell::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    thread::spawn(move || {
+                        // SAFETY: deliberately unsynchronized — the access
+                        // the detector exists to flag.
+                        cell.with_mut(|p| unsafe { *p += 1 });
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .expect("exhaustive exploration must flag the unsynchronized cell");
+    assert_eq!(failure.kind, FailureKind::Race);
+    assert!(failure.description.contains("data race"), "{failure}");
+    assert!(
+        !failure.schedule.is_empty(),
+        "race reports carry the schedule"
+    );
+}
+
+/// The flip side: a release-store/acquire-load handshake orders the cell
+/// accesses, so the same shape must verify clean on every schedule — the
+/// detector tracks real happens-before, it does not just flag sharing.
+#[test]
+fn race_detector_accepts_release_acquire_handshake() {
+    use gls_model::atomic::AtomicBool;
+    Explorer::exhaustive().check("cell-handshake", || {
+        let cell = Arc::new(ModelCell::new(0u32));
+        let ready = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let ready = Arc::clone(&ready);
+            thread::spawn(move || {
+                // SAFETY: the reader only dereferences after the acquire
+                // load below observes the release store.
+                cell.with_mut(|p| unsafe { *p = 42 });
+                ready.store(true, Ordering::Release);
+            })
+        };
+        while !ready.load(Ordering::Acquire) {
+            gls_model::hint::spin_loop();
+        }
+        // SAFETY: ordered after the write by the release/acquire pair.
+        let v = cell.with(|p| unsafe { *p });
+        assert_eq!(v, 42);
+        writer.join().unwrap();
+    });
+}
+
+/// Random-mode race reports carry a seed that replays to the identical
+/// failing schedule, same as assertion failures.
+#[test]
+fn race_in_random_mode_carries_replayable_seed() {
+    let body = || {
+        let cell = Arc::new(ModelCell::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || {
+                    // SAFETY: deliberately unsynchronized.
+                    cell.with_mut(|p| unsafe { *p += 1 });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    };
+    let found = Explorer::random(2_000, 11)
+        .find_failure("random-cell-race", body)
+        .expect("2000 random schedules should hit the race");
+    assert_eq!(found.kind, FailureKind::Race);
+    let seed = found.seed.expect("random failures carry a seed");
+    let replay = Explorer::random(1, seed)
+        .find_failure("random-cell-race-replay", body)
+        .expect("replaying the seed must reproduce the race");
+    assert_eq!(replay.kind, FailureKind::Race);
+    assert_eq!(found.schedule, replay.schedule, "replay must be exact");
+}
+
+/// Preemption-bound coverage for the default bound of 2: a bug that needs
+/// two threads preempted inside their store-windows *simultaneously* is
+/// invisible at bound 1 and found at bound 2. This pins the bound's
+/// semantics (involuntary switches only) and documents why the default
+/// is 2 and not 1.
+#[test]
+fn preemption_bound_two_finds_the_two_window_bug() {
+    let body = || {
+        let a = Arc::new(AtomicU32::new(0));
+        let b = Arc::new(AtomicU32::new(0));
+        let wa = {
+            let a = Arc::clone(&a);
+            thread::spawn(move || {
+                a.store(1, Ordering::Relaxed);
+                a.store(0, Ordering::Relaxed);
+            })
+        };
+        let wb = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                b.store(1, Ordering::Relaxed);
+                b.store(0, Ordering::Relaxed);
+            })
+        };
+        let checker = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                let ra = a.load(Ordering::Relaxed);
+                let rb = b.load(Ordering::Relaxed);
+                assert!(!(ra == 1 && rb == 1), "saw both windows open");
+            })
+        };
+        for h in [wa, wb, checker] {
+            h.join().unwrap();
+        }
+    };
+    assert!(
+        Explorer::exhaustive()
+            .preemption_bound(1)
+            .find_failure("two-window-bound1", body)
+            .is_none(),
+        "one preemption cannot hold both windows open"
+    );
+    let failure = Explorer::exhaustive()
+        .preemption_bound(2)
+        .find_failure("two-window-bound2", body)
+        .expect("two preemptions must expose the conjunction");
+    assert_eq!(failure.kind, FailureKind::Panic);
 }

@@ -16,17 +16,20 @@
 //! actually shipped and fixed, and check the explorer finds them.
 //!
 //! Test-design rules (the explorer makes these hard requirements):
-//! * orchestration waits only through blocking primitives (park, condvar,
-//!   join) — a poll loop never blocks, so exhaustive DFS would drive it
-//!   to the step limit on the no-preemption schedule;
-//! * GLS service models pin entries to `LockKind::Futex` (or `Mutex`):
-//!   the pure spin algorithms (TAS/ticket/MCS/CLH) are deliberately not
-//!   ported to the facade, and a spinning virtual thread never yields the
-//!   baton.
+//! * orchestration prefers blocking primitives (park, condvar, join);
+//!   poll loops are tolerable only through `gls_sync::hint::spin_loop`,
+//!   whose model-mode budget parks the spinner after a few iterations —
+//!   the shim that also lets the pure spin algorithms run under the
+//!   explorer (see the `spinlocks` suite);
+//! * GLS service models still pin entries to `LockKind::Futex` (or
+//!   `Mutex`) so each test exercises one protocol, not a migration;
+//! * shared mutable state lives in a [`ModelCell`], so every admission
+//!   bug is caught twice: as a lost update by the final assertion, and as
+//!   a data race by the happens-before detector, on the exact schedule
+//!   that produced it.
 
 #![cfg(gls_model)]
 
-use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
 use std::sync::Arc;
 
@@ -38,63 +41,53 @@ use gls_locks::{
     FutexLock, FutexRwLock, ParkResult, ParkingLot, QueueInformed, RawLock, RawRwLock, RawTryLock,
 };
 use gls_model::{Explorer, FailureKind};
+use gls_sync::cell::ModelCell;
 use gls_sync::thread;
 
-/// A counter the model threads mutate through raw, unsynchronized writes:
-/// if the lock under test ever admits two holders, the explorer finds an
-/// interleaving where an increment is lost and the final assertion fires.
-struct RacyCounter(UnsafeCell<u64>);
-
-// SAFETY: all access happens inside model executions, where the lock
-// protocol under test is what serializes the writes — that is the claim
-// being checked.
-unsafe impl Sync for RacyCounter {}
+/// A counter the model threads mutate through raw, unsynchronized writes.
+/// The [`ModelCell`] reports every access to the race detector: if the
+/// lock under test ever admits two holders, the explorer flags the data
+/// race on the exact interleaving — and, should the accesses merely
+/// overlap without racing, the final assertion still catches the lost
+/// increment.
+struct RacyCounter(ModelCell<u64>);
 
 impl RacyCounter {
     fn new() -> Self {
-        RacyCounter(UnsafeCell::new(0))
+        RacyCounter(ModelCell::new(0))
     }
 
     /// A deliberately non-atomic read-modify-write.
     fn bump(&self) {
-        // SAFETY: serialized by the lock under test (see struct docs).
-        unsafe {
-            let p = self.0.get();
-            let v = p.read();
-            // A yield between read and write would widen the race window,
-            // but the surrounding lock operations already provide the
-            // scheduling points the explorer needs.
-            p.write(v + 1);
-        }
+        // SAFETY: serialized by the lock under test — the claim the race
+        // detector verifies on every schedule.
+        self.0.with_mut(|p| unsafe { *p += 1 });
     }
 
     fn get(&self) -> u64 {
         // SAFETY: called after every writer joined.
-        unsafe { *self.0.get() }
+        self.0.with(|p| unsafe { *p })
     }
 }
 
 /// A condvar predicate: a plain bool whose every access must happen under
 /// the service lock of the test's address — which is the claim the model
-/// checks.
-struct SharedFlag(UnsafeCell<bool>);
-
-// SAFETY: accesses are serialized by the service lock (see struct docs).
-unsafe impl Sync for SharedFlag {}
+/// (and now the race detector) checks.
+struct SharedFlag(ModelCell<bool>);
 
 impl SharedFlag {
     fn new() -> Self {
-        SharedFlag(UnsafeCell::new(false))
+        SharedFlag(ModelCell::new(false))
     }
 
     fn read(&self) -> bool {
         // SAFETY: caller holds the service lock.
-        unsafe { *self.0.get() }
+        self.0.with(|p| unsafe { *p })
     }
 
     fn set(&self) {
         // SAFETY: caller holds the service lock.
-        unsafe { *self.0.get() = true }
+        self.0.with_mut(|p| unsafe { *p = true })
     }
 }
 

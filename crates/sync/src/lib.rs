@@ -25,20 +25,83 @@
 pub mod atomic {
     #[cfg(gls_model)]
     pub use gls_model::atomic::{
-        AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+        fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
     };
     #[cfg(not(gls_model))]
     pub use std::sync::atomic::{
-        AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+        fence, AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
     };
 }
 
-/// Spin hints: a scheduling point under the model, a CPU hint otherwise.
+/// Spin hints: a budgeted scheduling point under the model (a spinning
+/// virtual thread parks after K hints and yields the baton to the
+/// explorer), a CPU hint otherwise.
 pub mod hint {
     #[cfg(gls_model)]
     pub use gls_model::hint::spin_loop;
     #[cfg(not(gls_model))]
     pub use std::hint::spin_loop;
+}
+
+/// The `UnsafeCell` stand-in for lock-protected plain data. Under the
+/// model every access records a read/write epoch against the owning
+/// thread's vector clock and fails the exploration when two accesses are
+/// unordered by happens-before; the normal build is a zero-cost
+/// `UnsafeCell` wrapper with the same closure API.
+pub mod cell {
+    #[cfg(gls_model)]
+    pub use gls_model::cell::ModelCell;
+    #[cfg(not(gls_model))]
+    pub use passthrough::ModelCell;
+
+    #[cfg(not(gls_model))]
+    mod passthrough {
+        use std::cell::UnsafeCell;
+
+        /// Passthrough `UnsafeCell` with the model cell's closure API.
+        #[derive(Debug, Default)]
+        pub struct ModelCell<T> {
+            inner: UnsafeCell<T>,
+        }
+
+        // SAFETY: a plain-data container like UnsafeCell; sending it moves
+        // the value with exclusive access.
+        unsafe impl<T: Send> Send for ModelCell<T> {}
+        // SAFETY: sharing only hands out raw pointers via `with`/`with_mut`;
+        // callers are responsible for synchronizing the dereference (the
+        // model build of the same API verifies that they do).
+        unsafe impl<T: Send> Sync for ModelCell<T> {}
+
+        impl<T> ModelCell<T> {
+            pub const fn new(value: T) -> Self {
+                Self {
+                    inner: UnsafeCell::new(value),
+                }
+            }
+
+            /// Runs `f` with a shared raw pointer to the value.
+            #[inline]
+            pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+                f(self.inner.get())
+            }
+
+            /// Runs `f` with an exclusive raw pointer to the value.
+            #[inline]
+            pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+                f(self.inner.get())
+            }
+
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut T {
+                self.inner.get_mut()
+            }
+
+            #[inline]
+            pub fn into_inner(self) -> T {
+                self.inner.into_inner()
+            }
+        }
+    }
 }
 
 /// Thread spawn/join/yield: virtual threads inside a model execution.

@@ -17,7 +17,9 @@ below, each with the reason recorded here.
 
 Any other `SeqCst` in workspace Rust sources fails CI. To add one,
 either fix the ordering (usual case) or add the file to ALLOWLIST with a
-written reason.
+written reason. The allowlist itself is checked for drift: an entry
+whose file is missing, or whose file no longer contains any SeqCst,
+fails the run so exemptions cannot outlive the code they excuse.
 
 Usage: check_ordering.py [ROOT]
 """
@@ -40,6 +42,11 @@ ALLOWLIST = {
         "resizing flag: publication must be totally ordered against bucket "
         "in-progress bits across helper threads during a resize"
     ),
+    "crates/model/src/sched.rs": (
+        "ordering classifier: the happens-before recorder pattern-matches "
+        "every C11 ordering — including SeqCst — to decide which accesses "
+        "publish or join clocks; it implements orderings, it does not pick one"
+    ),
 }
 
 # Directories that are not workspace sources.
@@ -55,6 +62,26 @@ def strip_comments(line):
     return LINE_COMMENT.sub(r"\1", line)
 
 
+def check_allowlist_drift(root):
+    """An allowlist entry that no longer earns its keep is itself a
+    violation: the file is gone (stale entry hides future SeqCst under a
+    recycled path) or it no longer contains any SeqCst (the exemption
+    outlived the code it excused)."""
+    drift = []
+    for rel, reason in sorted(ALLOWLIST.items()):
+        path = root / rel
+        if not path.is_file():
+            drift.append(f"{rel}: allowlisted but the file does not exist")
+            continue
+        lines = path.read_text().splitlines()
+        if not any(SEQCST.search(strip_comments(line)) for line in lines):
+            drift.append(
+                f"{rel}: allowlisted ({reason.split(':')[0]}) but contains "
+                "no SeqCst — drop the entry"
+            )
+    return drift
+
+
 def main():
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     violations = []
@@ -67,6 +94,14 @@ def main():
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
             if SEQCST.search(strip_comments(line)):
                 violations.append(f"{rel}:{lineno}: {line.strip()}")
+    drift = check_allowlist_drift(root)
+    if drift:
+        print("Allowlist drift (see scripts/check_ordering.py):")
+        for d in drift:
+            print(f"  {d}")
+        if not violations:
+            print(f"\n{len(drift)} stale allowlist entr(y/ies).")
+            return 1
     if violations:
         print("SeqCst outside the allowlist (see scripts/check_ordering.py):")
         for v in violations:

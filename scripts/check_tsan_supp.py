@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Enforce the tsan.supp justification policy.
+
+The nightly TSan lane runs with `suppressions=tsan.supp`. A suppression
+is a loaded gun: one careless `race:` pattern can silence a real data
+race in exactly the code the lane exists to watch. The policy (stated in
+tsan.supp itself) is that every entry carries a written justification —
+why the report is a false positive (or a deliberate, documented race)
+and a pointer to the code that makes it sound.
+
+This script makes the policy mechanical:
+
+* every suppression line (`race:...`, `deadlock:...`, etc.) must be
+  directly preceded by at least one comment line that is not the file's
+  header block — i.e. a justification written for *that* entry;
+* the justification must be substantive: at least MIN_WORDS words, so
+  `# TODO` or `# false positive` alone do not pass review by machine.
+
+Usage: check_tsan_supp.py [SUPP_FILE]
+"""
+
+import pathlib
+import re
+import sys
+
+# ThreadSanitizer suppression kinds
+# (https://clang.llvm.org/docs/ThreadSanitizer.html).
+SUPPRESSION = re.compile(
+    r"^(race|race_top|thread|mutex|signal|deadlock|called_from_lib):"
+)
+
+# A one- or two-word comment is a label, not a justification.
+MIN_WORDS = 6
+
+
+def check(path):
+    problems = []
+    justification_words = 0
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            # A blank line ends the preceding comment block: a
+            # justification must sit directly above its entry.
+            justification_words = 0
+            continue
+        if line.startswith("#"):
+            justification_words += len(line.lstrip("#").split())
+            continue
+        if SUPPRESSION.match(line):
+            if justification_words == 0:
+                problems.append(
+                    f"{path.name}:{lineno}: suppression '{line}' has no "
+                    "justification comment directly above it"
+                )
+            elif justification_words < MIN_WORDS:
+                problems.append(
+                    f"{path.name}:{lineno}: justification for '{line}' is "
+                    f"too thin ({justification_words} word(s), need "
+                    f">= {MIN_WORDS}): explain why the report is a false "
+                    "positive and point at the code that makes it sound"
+                )
+            # Consecutive suppressions need their own justifications.
+            justification_words = 0
+        else:
+            problems.append(
+                f"{path.name}:{lineno}: unrecognized line '{line}' — "
+                "expected a comment or a <kind>:<pattern> suppression"
+            )
+    return problems
+
+
+def main():
+    path = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "tsan.supp")
+    if not path.is_file():
+        print(f"check_tsan_supp: {path} not found")
+        return 1
+    problems = check(path)
+    if problems:
+        print("tsan.supp policy violations (see scripts/check_tsan_supp.py):")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"check_tsan_supp: OK ({path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
